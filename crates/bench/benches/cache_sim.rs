@@ -1,0 +1,98 @@
+//! Micro-benchmarks of the cache simulator and the phase engine — the
+//! inner loops every simulated request runs through.
+
+use std::time::Duration as StdBenchDuration;
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use densekv_cpu::cache::{Cache, CacheConfig};
+use densekv_cpu::engine::{PhaseEngine, PhaseSpec};
+use densekv_cpu::CoreConfig;
+use densekv_mem::dram::{DramConfig, DramStack};
+use densekv_mem::MemoryTiming;
+
+fn bench_cache_access(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cache");
+    group.throughput(Throughput::Elements(1));
+
+    group.bench_function("l1_hit", |b| {
+        let mut cache = Cache::new(CacheConfig::l1_32k());
+        cache.access(0);
+        b.iter(|| black_box(cache.access(0)))
+    });
+
+    group.bench_function("l1_thrash", |b| {
+        let mut cache = Cache::new(CacheConfig::l1_32k());
+        let mut line = 0u64;
+        b.iter(|| {
+            line = (line + 1) % 4096; // 8x capacity -> all misses
+            black_box(cache.access(line))
+        })
+    });
+
+    group.bench_function("l2_mixed", |b| {
+        let mut cache = Cache::new(CacheConfig::l2_2m());
+        let mut line = 0u64;
+        b.iter(|| {
+            line = (line + 97) % 40_000;
+            black_box(cache.access(line))
+        })
+    });
+    group.finish();
+}
+
+fn bench_phase_engine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine");
+    let spec = PhaseSpec {
+        name: "bench-net",
+        instructions: 24_000,
+        ifetch_footprint_lines: 3_000,
+        ifetch_per_kinstr: 12,
+        kernel_refs: 90,
+        store_refs: vec![100, 200, 300],
+        stream: None,
+        uncached_ops: 6,
+    };
+    group.bench_function("net_phase_a7", |b| {
+        let mut engine = PhaseEngine::with_l2(CoreConfig::a7_1ghz());
+        let mut dram = DramStack::new(DramConfig::default());
+        b.iter(|| black_box(engine.run(&spec, &mut dram)))
+    });
+    group.bench_function("net_phase_a15_no_l2", |b| {
+        let mut engine = PhaseEngine::without_l2(CoreConfig::a15_1ghz());
+        let mut dram = DramStack::new(DramConfig::default());
+        b.iter(|| black_box(engine.run(&spec, &mut dram)))
+    });
+    group.finish();
+}
+
+fn bench_dram_device(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dram");
+    group.throughput(Throughput::Bytes(64));
+    group.bench_function("line_access", |b| {
+        let mut dram = DramStack::new(DramConfig::default());
+        let mut line = 0u64;
+        b.iter(|| {
+            line = line.wrapping_add(12345);
+            black_box(dram.line_access(line, densekv_mem::AccessKind::Read))
+        })
+    });
+    group.finish();
+}
+
+/// Short measurement windows: the suite has ~60 benchmarks and some
+/// iterate whole simulations, so the default 3 s + 5 s windows would
+/// take the better part of an hour.
+fn quick_config() -> Criterion {
+    Criterion::default()
+        .warm_up_time(StdBenchDuration::from_secs(1))
+        .measurement_time(StdBenchDuration::from_secs(2))
+}
+
+criterion_group! {
+    name = benches;
+    config = quick_config();
+    targets = bench_cache_access, bench_phase_engine, bench_dram_device
+}
+criterion_main!(benches);

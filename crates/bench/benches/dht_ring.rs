@@ -1,0 +1,71 @@
+//! Micro-benchmarks of the consistent-hash ring (paper §3.8) plus the
+//! virtual-node load-balance ablation.
+
+use std::time::Duration as StdBenchDuration;
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use densekv_dht::ConsistentHashRing;
+
+fn ring(nodes: u32, vnodes: u32) -> ConsistentHashRing {
+    let mut r = ConsistentHashRing::new(vnodes);
+    for n in 0..nodes {
+        r.add_node(n);
+    }
+    r
+}
+
+fn bench_lookup(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dht");
+    group.throughput(Throughput::Elements(1));
+    for (nodes, vnodes) in [(96u32, 4u32), (96, 64), (3072, 4)] {
+        let r = ring(nodes, vnodes);
+        let mut i = 0u64;
+        group.bench_function(format!("lookup/{nodes}n_{vnodes}v"), |b| {
+            b.iter(|| {
+                i += 1;
+                black_box(r.node_for(&i.to_le_bytes()))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dht");
+    group.bench_function("build/96n_64v", |b| b.iter(|| black_box(ring(96, 64))));
+    group.finish();
+}
+
+/// The §3.8 ablation: print load imbalance vs virtual-node count while
+/// benchmarking the imbalance computation itself.
+fn bench_balance(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dht_balance");
+    group.sample_size(10);
+    for vnodes in [1u32, 4, 16, 64] {
+        let r = ring(96, vnodes);
+        let imbalance = r.load_imbalance(100_000, 7);
+        eprintln!("[dht_balance] 96 nodes, {vnodes:>2} vnodes: max/mean = {imbalance:.3}");
+        group.bench_function(format!("imbalance/{vnodes}v"), |b| {
+            b.iter(|| black_box(r.load_imbalance(10_000, 7)))
+        });
+    }
+    group.finish();
+}
+
+/// Short measurement windows: the suite has ~60 benchmarks and some
+/// iterate whole simulations, so the default 3 s + 5 s windows would
+/// take the better part of an hour.
+fn quick_config() -> Criterion {
+    Criterion::default()
+        .warm_up_time(StdBenchDuration::from_secs(1))
+        .measurement_time(StdBenchDuration::from_secs(2))
+}
+
+criterion_group! {
+    name = benches;
+    config = quick_config();
+    targets = bench_lookup, bench_build, bench_balance
+}
+criterion_main!(benches);

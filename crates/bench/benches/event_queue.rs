@@ -1,0 +1,76 @@
+//! Micro-benchmarks of the discrete-event core: queue churn, RNG, and the
+//! latency histogram.
+
+use std::time::Duration as StdBenchDuration;
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use densekv_sim::stats::LatencyHistogram;
+use densekv_sim::{Duration, EventQueue, SimTime, SplitMix64};
+
+fn bench_event_queue(c: &mut Criterion) {
+    let mut group = c.benchmark_group("event_queue");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("push_pop_1k_window", |b| {
+        let mut q = EventQueue::new();
+        let mut rng = SplitMix64::new(1);
+        for _ in 0..1000 {
+            q.push(SimTime::from_ps(rng.next_u64() >> 20), 0u32);
+        }
+        b.iter(|| {
+            let (t, _) = q.pop().expect("queue stays primed");
+            q.push(t + Duration::from_nanos(rng.next_below(1000) + 1), 0u32);
+        })
+    });
+    group.finish();
+}
+
+fn bench_rng(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rng");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("splitmix_u64", |b| {
+        let mut rng = SplitMix64::new(7);
+        b.iter(|| black_box(rng.next_u64()))
+    });
+    group.bench_function("splitmix_below", |b| {
+        let mut rng = SplitMix64::new(7);
+        b.iter(|| black_box(rng.next_below(12_288)))
+    });
+    group.finish();
+}
+
+fn bench_histogram(c: &mut Criterion) {
+    let mut group = c.benchmark_group("histogram");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("record", |b| {
+        let mut h = LatencyHistogram::new();
+        let mut rng = SplitMix64::new(3);
+        b.iter(|| h.record(Duration::from_nanos(rng.next_below(1_000_000))))
+    });
+    group.bench_function("percentile", |b| {
+        let mut h = LatencyHistogram::new();
+        let mut rng = SplitMix64::new(3);
+        for _ in 0..100_000 {
+            h.record(Duration::from_nanos(rng.next_below(1_000_000)));
+        }
+        b.iter(|| black_box(h.percentile(0.99)))
+    });
+    group.finish();
+}
+
+/// Short measurement windows: the suite has ~60 benchmarks and some
+/// iterate whole simulations, so the default 3 s + 5 s windows would
+/// take the better part of an hour.
+fn quick_config() -> Criterion {
+    Criterion::default()
+        .warm_up_time(StdBenchDuration::from_secs(1))
+        .measurement_time(StdBenchDuration::from_secs(2))
+}
+
+criterion_group! {
+    name = benches;
+    config = quick_config();
+    targets = bench_event_queue, bench_rng, bench_histogram
+}
+criterion_main!(benches);

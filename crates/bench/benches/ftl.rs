@@ -1,0 +1,109 @@
+//! Micro-benchmarks of the flash translation layer: sustained overwrite
+//! pressure (GC in the loop) and the wear-leveling ablation.
+
+use std::time::Duration as StdBenchDuration;
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+use densekv_mem::flash::FlashConfig;
+use densekv_mem::ftl::Ftl;
+use densekv_sim::Duration;
+
+fn small_config() -> FlashConfig {
+    FlashConfig {
+        planes: 4,
+        page_bytes: 8 << 10,
+        pages_per_block: 32,
+        blocks_per_plane: 64,
+        read_latency: Duration::from_micros(10),
+        program_latency: Duration::from_micros(200),
+        erase_latency: Duration::from_millis(2),
+        controller_overhead: Duration::from_micros(8),
+        active_mw_per_gbps: 6.0,
+    }
+}
+
+fn bench_ftl_write(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ftl");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("overwrite_steady_state", |b| {
+        let mut ftl = Ftl::new(small_config(), 0.125);
+        let exported = ftl.exported_pages();
+        // Fill once so every write is an overwrite triggering GC churn.
+        for lpn in 0..exported {
+            ftl.write(lpn).expect("fits");
+        }
+        let mut lpn = 0;
+        b.iter(|| {
+            lpn = (lpn + 7) % exported;
+            ftl.write(lpn).expect("steady state")
+        })
+    });
+    group.bench_function("read_mapped", |b| {
+        let mut ftl = Ftl::new(small_config(), 0.125);
+        for lpn in 0..1000 {
+            ftl.write(lpn).expect("fits");
+        }
+        let mut lpn = 0;
+        b.iter(|| {
+            lpn = (lpn + 1) % 1000;
+            ftl.read(lpn).expect("mapped")
+        })
+    });
+    group.finish();
+}
+
+/// Wear-leveling ablation: report write amplification and wear spread
+/// with and without static leveling under a hot/cold split.
+fn bench_wear_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ftl_ablation");
+    group.sample_size(10);
+    for (label, threshold) in [("leveling_on", 3u32), ("leveling_off", u32::MAX)] {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let mut ftl = Ftl::new(small_config(), 0.125);
+                ftl.set_wear_threshold(threshold);
+                let cold = ftl.exported_pages() / 2;
+                for lpn in 0..cold {
+                    ftl.write(lpn).expect("cold fill");
+                }
+                for i in 0..60_000u64 {
+                    ftl.write(cold + (i % 16)).expect("hot overwrites");
+                }
+                ftl.write_amplification()
+            })
+        });
+        // Report the ablation outcome once per variant.
+        let mut ftl = Ftl::new(small_config(), 0.125);
+        ftl.set_wear_threshold(threshold);
+        let cold = ftl.exported_pages() / 2;
+        for lpn in 0..cold {
+            ftl.write(lpn).expect("cold fill");
+        }
+        for i in 0..60_000u64 {
+            ftl.write(cold + (i % 16)).expect("hot overwrites");
+        }
+        let (min, max) = ftl.flash().wear_spread();
+        eprintln!(
+            "[ftl_ablation] {label}: WA={:.2} wear spread {min}..{max}",
+            ftl.write_amplification()
+        );
+    }
+    group.finish();
+}
+
+/// Short measurement windows: the suite has ~60 benchmarks and some
+/// iterate whole simulations, so the default 3 s + 5 s windows would
+/// take the better part of an hour.
+fn quick_config() -> Criterion {
+    Criterion::default()
+        .warm_up_time(StdBenchDuration::from_secs(1))
+        .measurement_time(StdBenchDuration::from_secs(2))
+}
+
+criterion_group! {
+    name = benches;
+    config = quick_config();
+    targets = bench_ftl_write, bench_wear_ablation
+}
+criterion_main!(benches);

@@ -1,0 +1,123 @@
+//! Micro-benchmarks of the key-value store substrate: GET/SET paths,
+//! hashing, protocol parsing, and eviction pressure.
+
+use std::time::Duration as StdBenchDuration;
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use std::hint::black_box;
+
+use densekv_kv::hash::jenkins_oaat;
+use densekv_kv::protocol::{parse_command, Parsed};
+use densekv_kv::store::{KvStore, StoreConfig};
+
+fn bench_hash(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hash");
+    for len in [16usize, 64, 250] {
+        let key = vec![b'k'; len];
+        group.throughput(Throughput::Bytes(len as u64));
+        group.bench_function(format!("jenkins_oaat/{len}B"), |b| {
+            b.iter(|| jenkins_oaat(black_box(&key)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_store_get(c: &mut Criterion) {
+    let mut store = KvStore::new(StoreConfig::with_capacity(64 << 20));
+    for i in 0..10_000u32 {
+        store
+            .set(format!("key:{i:08}").as_bytes(), vec![7; 100], None, 0)
+            .expect("fits");
+    }
+    let mut group = c.benchmark_group("store");
+    group.throughput(Throughput::Elements(1));
+    let mut i = 0u32;
+    group.bench_function("get_hit", |b| {
+        b.iter(|| {
+            i = (i + 1) % 10_000;
+            let key = format!("key:{i:08}");
+            black_box(store.get(key.as_bytes(), 0).is_some())
+        })
+    });
+    group.bench_function("get_miss", |b| {
+        b.iter(|| black_box(store.get(b"absent-key", 0).is_none()))
+    });
+    group.finish();
+}
+
+fn bench_store_set(c: &mut Criterion) {
+    let mut group = c.benchmark_group("store");
+    for size in [100usize, 4096] {
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_function(format!("set_overwrite/{size}B"), |b| {
+            let mut store = KvStore::new(StoreConfig::with_capacity(64 << 20));
+            let mut i = 0u32;
+            b.iter(|| {
+                i = (i + 1) % 1_000;
+                let key = format!("key:{i:08}");
+                store
+                    .set(key.as_bytes(), vec![1; size], None, 0)
+                    .expect("fits")
+            })
+        });
+    }
+    // Eviction pressure: arena far smaller than the write stream.
+    group.bench_function("set_with_eviction/64KB", |b| {
+        let mut store = KvStore::new(StoreConfig::with_capacity(4 << 20));
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            let key = format!("key:{i:012}");
+            store
+                .set(key.as_bytes(), vec![1; 64 << 10], None, 0)
+                .expect("evicts to fit")
+        })
+    });
+    group.finish();
+}
+
+fn bench_protocol(c: &mut Criterion) {
+    let mut group = c.benchmark_group("protocol");
+    let get_line = b"get some:reasonable:key\r\n".to_vec();
+    group.bench_function("parse_get", |b| {
+        b.iter_batched(
+            || bytes::BytesMut::from(&get_line[..]),
+            |mut buf| matches!(parse_command(&mut buf), Ok(Parsed::Complete(_))),
+            BatchSize::SmallInput,
+        )
+    });
+    let set_msg = {
+        let mut m = b"set k 0 0 100\r\n".to_vec();
+        m.extend_from_slice(&[b'x'; 100]);
+        m.extend_from_slice(b"\r\n");
+        m
+    };
+    group.bench_function("parse_set_100B", |b| {
+        b.iter_batched(
+            || bytes::BytesMut::from(&set_msg[..]),
+            |mut buf| matches!(parse_command(&mut buf), Ok(Parsed::Complete(_))),
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+/// Short measurement windows: the suite has ~60 benchmarks and some
+/// iterate whole simulations, so the default 3 s + 5 s windows would
+/// take the better part of an hour.
+fn quick_config() -> Criterion {
+    Criterion::default()
+        .warm_up_time(StdBenchDuration::from_secs(1))
+        .measurement_time(StdBenchDuration::from_secs(2))
+}
+
+criterion_group! {
+    name = benches;
+    config = quick_config();
+    targets =
+    bench_hash,
+    bench_store_get,
+    bench_store_set,
+    bench_protocol
+}
+criterion_main!(benches);

@@ -1,0 +1,121 @@
+//! Regenerates every table and figure in one pass, sharing the expensive
+//! evaluation grid, and prints a measured-vs-paper summary. This is the
+//! binary EXPERIMENTS.md is produced from.
+
+use densekv::experiments::{evaluation, fig4, fig56, fig78, headline, tables, thermal};
+use densekv::report::TextTable;
+
+fn main() {
+    let effort = densekv_bench::effort();
+    eprintln!("[densekv-bench] static tables");
+    densekv_bench::emit("table1", &tables::table1());
+    densekv_bench::emit("table2", &tables::table2());
+
+    eprintln!("[densekv-bench] fig 4 (breakdowns)");
+    let f4 = fig4::run(effort);
+    for (i, table) in f4.tables().iter().enumerate() {
+        densekv_bench::emit(&format!("fig4{}", ['a', 'b'][i]), table);
+    }
+
+    eprintln!("[densekv-bench] fig 5 (Mercury-1 latency sweep)");
+    let f5 = fig56::fig5(effort);
+    for (i, table) in f5.tables().iter().enumerate() {
+        densekv_bench::emit(&format!("fig5_panel{i}"), table);
+    }
+
+    eprintln!("[densekv-bench] fig 6 (Iridium-1 latency sweep)");
+    let f6 = fig56::fig6(effort);
+    for (i, table) in f6.tables().iter().enumerate() {
+        densekv_bench::emit(&format!("fig6_panel{i}"), table);
+    }
+
+    eprintln!("[densekv-bench] full evaluation grid (table 3, figs 7-8)");
+    let evals = evaluation::evaluate_all(effort);
+    for (i, table) in tables::table3(&evals).iter().enumerate() {
+        densekv_bench::emit(&format!("table3_{i}"), table);
+    }
+    let (f7a, f7b) = fig78::fig7(&evals);
+    densekv_bench::emit("fig7a", &f7a.table(true));
+    densekv_bench::emit("fig7b", &f7b.table(true));
+    let (f8a, f8b) = fig78::fig8(&evals);
+    densekv_bench::emit("fig8a", &f8a.table(false));
+    densekv_bench::emit("fig8b", &f8b.table(false));
+
+    eprintln!("[densekv-bench] table 4 + headline");
+    let t4 = tables::table4(&evals);
+    densekv_bench::emit("table4", &t4.table());
+    let hl = headline::run(&t4);
+    densekv_bench::emit("headline", &hl.table());
+
+    eprintln!("[densekv-bench] thermal");
+    let rows = thermal::run();
+    densekv_bench::emit("thermal", &thermal::table(&rows));
+
+    // Paper-vs-measured digest for EXPERIMENTS.md.
+    let mut digest = TextTable::new(vec![
+        "quantity".into(),
+        "paper".into(),
+        "measured".into(),
+    ])
+    .with_title("Paper vs. measured digest");
+    let row = |t: &mut TextTable, what: &str, paper: String, measured: String| {
+        t.row(vec![what.into(), paper, measured]);
+    };
+    for (name, paper) in [
+        ("Mercury-32 TPS (M)", 32.70),
+        ("Iridium-32 TPS (M)", 16.49),
+    ] {
+        let sys = name.split(' ').next().expect("name");
+        if let Some(r) = t4.row(sys) {
+            row(&mut digest, name, format!("{paper:.2}"), format!("{:.2}", r.mtps));
+        }
+    }
+    if let (Some(m), Some(i)) = (t4.row("Mercury-32"), t4.row("Iridium-32")) {
+        row(
+            &mut digest,
+            "Mercury-32 KTPS/W",
+            "54.77".into(),
+            format!("{:.2}", m.ktps_per_watt),
+        );
+        row(
+            &mut digest,
+            "Iridium-32 KTPS/W",
+            "26.98".into(),
+            format!("{:.2}", i.ktps_per_watt),
+        );
+        row(
+            &mut digest,
+            "Mercury-32 memory (GB)",
+            "372".into(),
+            format!("{:.0}", m.memory_gb),
+        );
+        row(
+            &mut digest,
+            "Iridium-32 memory (GB)",
+            "1901".into(),
+            format!("{:.0}", i.memory_gb),
+        );
+    }
+    row(
+        &mut digest,
+        "Mercury headline (density/TPS-W/TPS/TPS-GB)",
+        "2.9x / 4.9x / 10x / 3.5x".into(),
+        format!(
+            "{:.1}x / {:.1}x / {:.1}x / {:.1}x",
+            hl.mercury.density, hl.mercury.efficiency, hl.mercury.throughput, hl.mercury.tps_per_gb
+        ),
+    );
+    row(
+        &mut digest,
+        "Iridium headline (density/TPS-W/TPS/1 per TPS-GB)",
+        "14.8x / 2.4x / 5.2x / 1/2.8x".into(),
+        format!(
+            "{:.1}x / {:.1}x / {:.1}x / 1/{:.1}x",
+            hl.iridium.density,
+            hl.iridium.efficiency,
+            hl.iridium.throughput,
+            1.0 / hl.iridium.tps_per_gb
+        ),
+    );
+    densekv_bench::emit("digest", &digest);
+}

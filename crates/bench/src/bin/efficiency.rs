@@ -1,0 +1,6 @@
+//! Extension experiment: server efficiency across the size sweep.
+
+fn main() {
+    let points = densekv::experiments::efficiency::run(densekv_bench::effort());
+    densekv_bench::emit("efficiency", &densekv::experiments::efficiency::table(&points));
+}

@@ -1,0 +1,9 @@
+//! Regenerates Figure 5: Mercury-1 TPS vs request size across CPU
+//! configurations and DRAM latencies.
+
+fn main() {
+    let fig = densekv::experiments::fig56::fig5(densekv_bench::effort());
+    for (i, table) in fig.tables().iter().enumerate() {
+        densekv_bench::emit(&format!("fig5_panel{i}"), table);
+    }
+}

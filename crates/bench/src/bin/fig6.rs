@@ -1,0 +1,9 @@
+//! Regenerates Figure 6: Iridium-1 TPS vs request size across CPU
+//! configurations and flash latencies.
+
+fn main() {
+    let fig = densekv::experiments::fig56::fig6(densekv_bench::effort());
+    for (i, table) in fig.tables().iter().enumerate() {
+        densekv_bench::emit(&format!("fig6_panel{i}"), table);
+    }
+}

@@ -1,0 +1,6 @@
+//! Extension experiment: multi-GET batching amortization.
+
+fn main() {
+    let points = densekv::experiments::multiget::run();
+    densekv_bench::emit("multiget", &densekv::experiments::multiget::table(&points));
+}

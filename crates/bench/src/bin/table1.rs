@@ -1,0 +1,5 @@
+//! Regenerates Table 1: component power and area.
+
+fn main() {
+    densekv_bench::emit("table1", &densekv::experiments::tables::table1());
+}

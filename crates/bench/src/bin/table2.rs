@@ -1,0 +1,5 @@
+//! Regenerates Table 2: 3D-stacked DRAM vs DIMM packages.
+
+fn main() {
+    densekv_bench::emit("table2", &densekv::experiments::tables::table2());
+}

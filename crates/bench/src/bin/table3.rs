@@ -1,0 +1,9 @@
+//! Regenerates Table 3: 1.5U maximum configurations (full grid: 3 core
+//! types x Mercury/Iridium x 6 core counts).
+
+fn main() {
+    let evals = densekv::experiments::evaluate_all(densekv_bench::effort());
+    for (i, table) in densekv::experiments::tables::table3(&evals).iter().enumerate() {
+        densekv_bench::emit(&format!("table3_{i}"), table);
+    }
+}

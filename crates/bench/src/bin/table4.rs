@@ -1,0 +1,8 @@
+//! Regenerates Table 4: A7 Mercury/Iridium vs Memcached 1.4/1.6/Bags and
+//! TSSP at 64 B GETs.
+
+fn main() {
+    let evals = densekv::experiments::evaluation::evaluate_a7(densekv_bench::effort());
+    let t4 = densekv::experiments::tables::table4(&evals);
+    densekv_bench::emit("table4", &t4.table());
+}

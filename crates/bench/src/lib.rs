@@ -1,0 +1,76 @@
+//! Shared plumbing for the `densekv-bench` binaries: where results go and
+//! how tables are emitted.
+//!
+//! Every `bin/` target regenerates one table or figure of the paper (see
+//! DESIGN.md's experiment index) and drops both the rendered text and a
+//! CSV under `results/`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::path::{Path, PathBuf};
+
+use densekv::report::TextTable;
+
+/// Directory (relative to the workspace root) where experiment output is
+/// written.
+pub const RESULTS_DIR: &str = "results";
+
+/// Resolves the results directory, creating it if needed.
+///
+/// # Panics
+///
+/// Panics if the directory cannot be created.
+pub fn results_dir() -> PathBuf {
+    // The binaries run from the workspace root (`cargo run -p ...`), but
+    // fall back to the manifest's parent if invoked elsewhere.
+    let base = if Path::new("Cargo.toml").exists() {
+        PathBuf::from(".")
+    } else {
+        PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..")
+    };
+    let dir = base.join(RESULTS_DIR);
+    std::fs::create_dir_all(&dir).expect("create results dir");
+    dir
+}
+
+/// Prints a table and writes its CSV next to the other results.
+///
+/// # Panics
+///
+/// Panics if the CSV cannot be written.
+pub fn emit(name: &str, table: &TextTable) {
+    println!("{table}");
+    let path = results_dir().join(format!("{name}.csv"));
+    std::fs::write(&path, table.to_csv()).expect("write csv");
+    eprintln!("[densekv-bench] wrote {}", path.display());
+}
+
+/// Picks the sweep effort: full by default, `DENSEKV_QUICK=1` for a fast
+/// smoke run.
+pub fn effort() -> densekv::sweep::SweepEffort {
+    if std::env::var("DENSEKV_QUICK").is_ok_and(|v| v != "0") {
+        densekv::sweep::SweepEffort::quick()
+    } else {
+        densekv::sweep::SweepEffort::full()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_dir_exists_after_call() {
+        let dir = results_dir();
+        assert!(dir.is_dir());
+    }
+
+    #[test]
+    fn effort_honors_env() {
+        // Not setting the variable here (tests run in parallel); just
+        // exercise the default path.
+        let e = effort();
+        assert!(e.measured > 0);
+    }
+}

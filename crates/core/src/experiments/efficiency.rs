@@ -1,0 +1,142 @@
+//! Extension experiment: efficiency across the size sweep.
+//!
+//! Table 4 reports TPS/W at 64 B only. This experiment extends the
+//! paper's efficiency story across the full 64 B–1 MB sweep for the
+//! headline A7 servers: where Mercury's advantage peaks, where the wire
+//! cap flattens it, and where Iridium's cheap flash bandwidth narrows
+//! the gap.
+
+use densekv_cpu::CoreConfig;
+use densekv_server::{evaluate_server, plan_server, ServerConstraints};
+use densekv_stack::StackConfig;
+use densekv_workload::paper_size_sweep;
+
+use crate::experiments::evaluation::Family;
+use crate::report::{size_label, TextTable};
+use crate::sim::CoreSimConfig;
+use crate::sweep::{measure_point, SweepEffort};
+
+/// One size point of the efficiency sweep.
+#[derive(Debug, Clone)]
+pub struct EfficiencyPoint {
+    /// Mercury or Iridium.
+    pub family: Family,
+    /// Value size, bytes.
+    pub value_bytes: u64,
+    /// Whole-server TPS.
+    pub tps: f64,
+    /// Whole-server wall power, watts.
+    pub power_w: f64,
+    /// Efficiency, thousand TPS per watt.
+    pub ktps_per_watt: f64,
+    /// Wire payload delivered, GB/s.
+    pub wire_gbps: f64,
+}
+
+/// Runs the sweep for the A7 Mercury-32 and Iridium-32 servers.
+pub fn run(effort: SweepEffort) -> Vec<EfficiencyPoint> {
+    let constraints = ServerConstraints::paper_1p5u();
+    let mut points = Vec::new();
+    for (family, config, stack) in [
+        (
+            Family::Mercury,
+            CoreSimConfig::mercury_a7(),
+            StackConfig::mercury(CoreConfig::a7_1ghz(), 32, true).expect("valid"),
+        ),
+        (
+            Family::Iridium,
+            CoreSimConfig::iridium_a7(),
+            StackConfig::iridium(CoreConfig::a7_1ghz(), 32).expect("valid"),
+        ),
+    ] {
+        let sweep: Vec<_> = paper_size_sweep()
+            .into_iter()
+            .map(|size| measure_point(&config, size, effort))
+            .collect();
+        let peak = sweep
+            .iter()
+            .map(|p| crate::experiments::evaluation::stack_mem_gbps(32, p.get.perf))
+            .fold(0.0f64, f64::max);
+        let plan = plan_server(&constraints, stack, peak);
+        for point in &sweep {
+            let report = evaluate_server(&plan, point.get.perf);
+            points.push(EfficiencyPoint {
+                family,
+                value_bytes: point.value_bytes,
+                tps: report.tps,
+                power_w: report.power_w,
+                ktps_per_watt: report.ktps_per_watt,
+                wire_gbps: report.wire_gbps,
+            });
+        }
+    }
+    points
+}
+
+/// Renders the efficiency sweep.
+pub fn table(points: &[EfficiencyPoint]) -> TextTable {
+    let mut t = TextTable::new(vec![
+        "size".into(),
+        "Mercury KTPS/W".into(),
+        "Mercury GB/s".into(),
+        "Iridium KTPS/W".into(),
+        "Iridium GB/s".into(),
+    ])
+    .with_title("Extension — A7-32 server efficiency across the size sweep (GETs)");
+    for size in paper_size_sweep() {
+        let find = |family: Family| {
+            points
+                .iter()
+                .find(|p| p.family == family && p.value_bytes == size)
+        };
+        if let (Some(m), Some(i)) = (find(Family::Mercury), find(Family::Iridium)) {
+            t.row(vec![
+                size_label(size),
+                format!("{:.2}", m.ktps_per_watt),
+                format!("{:.2}", m.wire_gbps),
+                format!("{:.2}", i.ktps_per_watt),
+                format!("{:.2}", i.wire_gbps),
+            ]);
+        }
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn efficiency_peaks_small_and_mercury_leads() {
+        let points = run(SweepEffort::quick());
+        assert_eq!(points.len(), 30);
+        let mercury_64 = points
+            .iter()
+            .find(|p| p.family == Family::Mercury && p.value_bytes == 64)
+            .expect("present");
+        let mercury_1m = points
+            .iter()
+            .find(|p| p.family == Family::Mercury && p.value_bytes == 1 << 20)
+            .expect("present");
+        // TPS/W collapses with size (per-request work grows, power ~flat).
+        assert!(mercury_64.ktps_per_watt > 10.0 * mercury_1m.ktps_per_watt);
+        // Mercury leads Iridium at every size.
+        for size in paper_size_sweep() {
+            let m = points
+                .iter()
+                .find(|p| p.family == Family::Mercury && p.value_bytes == size)
+                .expect("mercury point");
+            let i = points
+                .iter()
+                .find(|p| p.family == Family::Iridium && p.value_bytes == size)
+                .expect("iridium point");
+            assert!(
+                m.ktps_per_watt > i.ktps_per_watt,
+                "at {size}: {} vs {}",
+                m.ktps_per_watt,
+                i.ktps_per_watt
+            );
+        }
+        assert!(table(&points).row_count() == 15);
+    }
+}

@@ -1,0 +1,131 @@
+//! The §6 headline multipliers: Mercury and Iridium versus the strongest
+//! software baseline (Bags).
+
+use densekv_baseline::BAGS;
+
+use crate::experiments::tables::Table4;
+use crate::paper::{Headline, IRIDIUM_HEADLINE, MERCURY_HEADLINE};
+use crate::report::TextTable;
+
+/// Measured-vs-published headline comparison.
+#[derive(Debug, Clone)]
+pub struct HeadlineReport {
+    /// Measured Mercury multipliers (Mercury-32 vs. Bags).
+    pub mercury: Headline,
+    /// Measured Iridium multipliers (Iridium-32 vs. Bags).
+    pub iridium: Headline,
+}
+
+impl HeadlineReport {
+    /// Renders measured vs. paper side by side.
+    pub fn table(&self) -> TextTable {
+        let mut t = TextTable::new(vec![
+            "metric".into(),
+            "Mercury (measured)".into(),
+            "Mercury (paper)".into(),
+            "Iridium (measured)".into(),
+            "Iridium (paper)".into(),
+        ])
+        .with_title("§6 headline multipliers vs. Memcached Bags");
+        type Getter = fn(&Headline) -> f64;
+        let rows: [(&str, Getter); 4] = [
+            ("density", |h| h.density),
+            ("TPS/W", |h| h.efficiency),
+            ("TPS", |h| h.throughput),
+            ("TPS/GB", |h| h.tps_per_gb),
+        ];
+        for (name, get) in rows {
+            t.row(vec![
+                name.into(),
+                format!("{:.2}x", get(&self.mercury)),
+                format!("{:.2}x", get(&MERCURY_HEADLINE)),
+                format!("{:.2}x", get(&self.iridium)),
+                format!("{:.2}x", get(&IRIDIUM_HEADLINE)),
+            ]);
+        }
+        t
+    }
+}
+
+/// Computes the headline multipliers from a reproduced Table 4.
+///
+/// # Panics
+///
+/// Panics if the table lacks the Mercury-32 / Iridium-32 rows.
+pub fn run(table4: &Table4) -> HeadlineReport {
+    let ratio = |name: &str| {
+        let row = table4.row(name).expect("Table 4 row present");
+        Headline {
+            density: row.memory_gb / BAGS.memory_gb,
+            efficiency: row.ktps_per_watt / BAGS.ktps_per_watt(),
+            throughput: row.mtps / BAGS.mtps,
+            tps_per_gb: row.ktps_per_gb / BAGS.ktps_per_gb(),
+        }
+    };
+    HeadlineReport {
+        mercury: ratio("Mercury-32"),
+        iridium: ratio("Iridium-32"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::evaluation::evaluate_a7;
+    use crate::experiments::tables::table4;
+    use crate::sweep::SweepEffort;
+
+    #[test]
+    fn headline_bands() {
+        let t4 = table4(&evaluate_a7(SweepEffort::quick()));
+        let report = run(&t4);
+
+        // Mercury: 2.9x density, 4.9x TPS/W, 10x TPS, 3.5x TPS/GB.
+        assert!(
+            (2.3..3.5).contains(&report.mercury.density),
+            "density {:.2}",
+            report.mercury.density
+        );
+        assert!(
+            (3.5..7.0).contains(&report.mercury.efficiency),
+            "efficiency {:.2}",
+            report.mercury.efficiency
+        );
+        assert!(
+            (7.0..13.5).contains(&report.mercury.throughput),
+            "throughput {:.2}",
+            report.mercury.throughput
+        );
+        assert!(
+            (2.5..4.6).contains(&report.mercury.tps_per_gb),
+            "TPS/GB {:.2}",
+            report.mercury.tps_per_gb
+        );
+
+        // Iridium: ~14.8x density, 2.4x TPS/W, 5.2x TPS, 1/2.8 TPS/GB.
+        assert!(
+            (13.0..16.0).contains(&report.iridium.density),
+            "density {:.2}",
+            report.iridium.density
+        );
+        assert!(
+            (1.6..3.5).contains(&report.iridium.efficiency),
+            "efficiency {:.2}",
+            report.iridium.efficiency
+        );
+        assert!(
+            (3.5..7.0).contains(&report.iridium.throughput),
+            "throughput {:.2}",
+            report.iridium.throughput
+        );
+        assert!(
+            report.iridium.tps_per_gb < 0.6,
+            "TPS/GB {:.2} should be well below 1",
+            report.iridium.tps_per_gb
+        );
+
+        let rendered = report.table().to_string();
+        assert!(rendered.contains("density"));
+        assert!(rendered.contains("x"));
+    }
+}

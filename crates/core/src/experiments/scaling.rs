@@ -1,0 +1,113 @@
+//! Extension experiment: validating the §5.3 linear-scaling assumption.
+//!
+//! Tables 3–4 multiply per-core throughput by the core count; the only
+//! stack-level contention the analytic model applies is the 10 GbE wire
+//! cap. This experiment re-derives stack throughput *event by event*
+//! (cores sharing the port through the discrete-event scheduler) and
+//! compares it against the analytic `n × per-core` prediction, at a
+//! size where the wire is idle (64 B) and one where it saturates
+//! (256 KB).
+
+use crate::report::TextTable;
+use crate::stack_sim::{run as run_stack, StackSimConfig};
+
+/// One row: event-driven vs analytic stack throughput.
+#[derive(Debug, Clone)]
+pub struct ScalingPoint {
+    /// Value size, bytes.
+    pub value_bytes: u64,
+    /// Cores on the stack.
+    pub cores: u32,
+    /// Event-driven aggregate TPS.
+    pub simulated_tps: f64,
+    /// Analytic prediction: `n ×` the single-core result.
+    pub linear_tps: f64,
+    /// Outbound wire utilization in the event-driven run.
+    pub wire_utilization: f64,
+}
+
+impl ScalingPoint {
+    /// Simulated ÷ analytic: 1.0 = the assumption holds.
+    pub fn scaling_efficiency(&self) -> f64 {
+        self.simulated_tps / self.linear_tps
+    }
+}
+
+/// Runs the scaling validation across core counts at both sizes.
+pub fn run() -> Vec<ScalingPoint> {
+    let mut points = Vec::new();
+    for &(value_bytes, requests, warmup) in &[(64u64, 60u32, 120u32), (256 << 10, 16, 5)] {
+        let mut baseline_cfg = StackSimConfig::mercury_a7(1, value_bytes);
+        baseline_cfg.requests_per_core = requests;
+        baseline_cfg.warmup_per_core = warmup;
+        let one = run_stack(&baseline_cfg);
+        for cores in [1u32, 4, 16, 32] {
+            let mut cfg = StackSimConfig::mercury_a7(cores, value_bytes);
+            cfg.requests_per_core = requests;
+            cfg.warmup_per_core = warmup;
+            let result = run_stack(&cfg);
+            points.push(ScalingPoint {
+                value_bytes,
+                cores,
+                simulated_tps: result.aggregate_tps,
+                linear_tps: one.aggregate_tps * cores as f64,
+                wire_utilization: result.wire_out_utilization,
+            });
+        }
+    }
+    points
+}
+
+/// Renders the scaling table.
+pub fn table(points: &[ScalingPoint]) -> TextTable {
+    let mut t = TextTable::new(vec![
+        "size".into(),
+        "cores".into(),
+        "simulated (KTPS)".into(),
+        "n x 1-core (KTPS)".into(),
+        "efficiency".into(),
+        "wire util".into(),
+    ])
+    .with_title("Extension — event-driven check of the §5.3 linear-scaling assumption");
+    for p in points {
+        t.row(vec![
+            crate::report::size_label(p.value_bytes),
+            p.cores.to_string(),
+            format!("{:.2}", p.simulated_tps / 1000.0),
+            format!("{:.2}", p.linear_tps / 1000.0),
+            format!("{:.2}", p.scaling_efficiency()),
+            format!("{:.2}", p.wire_utilization),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_at_64b_saturating_at_256k() {
+        let points = run();
+        let small_32 = points
+            .iter()
+            .find(|p| p.value_bytes == 64 && p.cores == 32)
+            .expect("present");
+        assert!(
+            small_32.scaling_efficiency() > 0.85,
+            "64 B should scale nearly linearly to 32 cores: {:.2}",
+            small_32.scaling_efficiency()
+        );
+        let big_32 = points
+            .iter()
+            .find(|p| p.value_bytes == 256 << 10 && p.cores == 32)
+            .expect("present");
+        assert!(
+            big_32.scaling_efficiency() < 0.75,
+            "256 KB responses must saturate the port: {:.2}",
+            big_32.scaling_efficiency()
+        );
+        assert!(big_32.wire_utilization > 0.6);
+        assert!(table(&points).to_string().contains("efficiency"));
+    }
+}

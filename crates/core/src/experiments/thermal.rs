@@ -1,0 +1,98 @@
+//! §6.5: cooling. Per-stack TDP and passive-cooling feasibility for the
+//! headline configurations.
+
+use densekv_cpu::CoreConfig;
+use densekv_stack::area::{thermal_report, ThermalReport};
+use densekv_stack::StackConfig;
+
+use crate::report::TextTable;
+
+/// One row of the thermal check.
+#[derive(Debug, Clone)]
+pub struct ThermalRow {
+    /// Configuration name.
+    pub name: String,
+    /// The §6.5 report.
+    pub report: ThermalReport,
+}
+
+/// Runs the thermal check across the headline stacks.
+pub fn run() -> Vec<ThermalRow> {
+    let configs: Vec<(StackConfig, f64)> = vec![
+        // (stack, peak memory GB/s it sustains)
+        (
+            StackConfig::mercury(CoreConfig::a7_1ghz(), 32, true).expect("valid"),
+            6.25,
+        ),
+        (
+            StackConfig::iridium(CoreConfig::a7_1ghz(), 32).expect("valid"),
+            0.5,
+        ),
+        (
+            StackConfig::mercury(CoreConfig::a15_1ghz(), 8, true).expect("valid"),
+            2.25,
+        ),
+        (
+            StackConfig::mercury(CoreConfig::a15_1p5ghz(), 32, true).expect("valid"),
+            1.3,
+        ),
+    ];
+    configs
+        .into_iter()
+        .map(|(stack, gbps)| ThermalRow {
+            name: format!("{} ({})", stack.name(), stack.core.label()),
+            report: thermal_report(&stack, gbps),
+        })
+        .collect()
+}
+
+/// Renders the thermal rows.
+pub fn table(rows: &[ThermalRow]) -> TextTable {
+    let mut t = TextTable::new(vec![
+        "stack".into(),
+        "TDP (W)".into(),
+        "W/cm^2".into(),
+        "passive cooling".into(),
+    ])
+    .with_title("§6.5 — Per-stack thermal budget");
+    for r in rows {
+        t.row(vec![
+            r.name.clone(),
+            format!("{:.2}", r.report.stack_tdp_w),
+            format!("{:.2}", r.report.power_density_w_cm2),
+            if r.report.passively_coolable {
+                "ok".into()
+            } else {
+                "exceeds limit".into()
+            },
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn a7_headline_stacks_are_coolable() {
+        let rows = run();
+        let mercury = rows.iter().find(|r| r.name.contains("Mercury-32 (A7")).unwrap();
+        assert!(mercury.report.passively_coolable);
+        // §6.5: ~6.2 W per stack.
+        assert!((4.0..8.0).contains(&mercury.report.stack_tdp_w));
+        let iridium = rows.iter().find(|r| r.name.contains("Iridium-32")).unwrap();
+        assert!(iridium.report.passively_coolable);
+        assert!(iridium.report.stack_tdp_w < mercury.report.stack_tdp_w);
+    }
+
+    #[test]
+    fn hot_a15_stack_flagged() {
+        let rows = run();
+        let hot = rows.iter().find(|r| r.name.contains("A15 @1.5GHz")).unwrap();
+        assert!(!hot.report.passively_coolable);
+        let rendered = table(&rows).to_string();
+        assert!(rendered.contains("exceeds limit"));
+        assert!(rendered.contains("ok"));
+    }
+}

@@ -1,0 +1,523 @@
+//! The phase timing engine.
+//!
+//! A Memcached request decomposes into phases (Fig. 4 of the paper:
+//! network stack, hash computation, store metadata, plus value movement).
+//! Each phase is described by a [`PhaseSpec`] — an instruction budget and
+//! a memory-reference mix — and "executed" against the core's cache
+//! hierarchy and the stack's memory device. The result is the phase's
+//! simulated time, split into compute and stall components, which is what
+//! the figure-4 experiment reports.
+//!
+//! Reference classes:
+//!
+//! * **Instruction fetches.** Scale-out workloads have instruction
+//!   footprints far beyond an L1I (Ferdman et al., ASPLOS '12). Each phase
+//!   cycles a fetch cursor through its own footprint; the resulting L1I
+//!   misses hit the L2 when present (the paper notes a 2 MB L2 holds the
+//!   entire instruction footprint, §4.2.1) and memory otherwise.
+//! * **Kernel-structure references** — socket buffers, protocol control
+//!   blocks, dispatch tables. Random within a ~768 KB hot region: they
+//!   thrash a 32 KB L1D but fit the 2 MB L2.
+//! * **Store references** — hash-bucket walks, item headers, and value
+//!   lines. These are spread over the stack's whole data capacity
+//!   (gigabytes), so their cache hit rate is negligible and they go
+//!   straight to the memory device; sequential value transfers overlap by
+//!   the core's `stream_mlp`.
+//! * **Uncached operations** — NIC doorbells/MMIO, priced at a fixed
+//!   latency that no core overlaps.
+
+use std::collections::HashMap;
+
+use densekv_mem::{AccessKind, MemoryTiming};
+use densekv_sim::Duration;
+
+use crate::cache::{Cache, CacheConfig};
+use crate::core::CoreConfig;
+
+/// Line-granular base of the kernel hot region (arbitrary, disjoint from
+/// instruction and store regions).
+const KERNEL_BASE_LINE: u64 = 0x8000_0000;
+/// Lines in the kernel hot region: 12,288 lines = 768 KB.
+const KERNEL_REGION_LINES: u64 = 12_288;
+/// Line-granular base where per-phase instruction footprints start.
+const INSTR_BASE_LINE: u64 = 0x4000_0000;
+
+/// A sequential value transfer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamRef {
+    /// First line of the transfer (device line address).
+    pub start_line: u64,
+    /// Number of 64 B lines.
+    pub lines: u64,
+    /// Direction.
+    pub kind: AccessKind,
+}
+
+/// One request phase's instruction budget and reference mix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseSpec {
+    /// Phase name; phases with the same name share an instruction
+    /// footprint (and therefore warm each other's caches).
+    pub name: &'static str,
+    /// Committed instructions.
+    pub instructions: u64,
+    /// Instruction-cache footprint the phase cycles through, in lines.
+    pub ifetch_footprint_lines: u64,
+    /// Off-loop instruction fetches per 1,000 instructions (an L1I-MPKI
+    /// proxy; Ferdman et al. measure O(10) for scale-out code).
+    pub ifetch_per_kinstr: u64,
+    /// Random references into the kernel hot region.
+    pub kernel_refs: u64,
+    /// Explicit store references (hash buckets, item headers), as device
+    /// line addresses.
+    pub store_refs: Vec<u64>,
+    /// Optional bulk value transfer.
+    pub stream: Option<StreamRef>,
+    /// Uncached MMIO operations (NIC doorbells, DMA descriptors).
+    pub uncached_ops: u64,
+}
+
+impl PhaseSpec {
+    /// A compute-only phase (no memory traffic beyond its fetch stream).
+    pub fn compute(name: &'static str, instructions: u64) -> Self {
+        PhaseSpec {
+            name,
+            instructions,
+            ifetch_footprint_lines: 64,
+            ifetch_per_kinstr: 2,
+            kernel_refs: 0,
+            store_refs: Vec::new(),
+            stream: None,
+            uncached_ops: 0,
+        }
+    }
+}
+
+/// Where a simulated reference was satisfied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum Level {
+    L1,
+    L2,
+    Memory,
+}
+
+/// Timing result of one phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PhaseResult {
+    /// Total phase time.
+    pub time: Duration,
+    /// Pure compute component (instructions / (IPC × f) + MMIO).
+    pub busy: Duration,
+    /// Memory-stall component.
+    pub stall: Duration,
+    /// References that reached the memory device.
+    pub mem_refs: u64,
+    /// References satisfied by the L2.
+    pub l2_hits: u64,
+    /// Bytes moved at the memory device by this phase.
+    pub mem_bytes: u64,
+}
+
+impl PhaseResult {
+    /// Accumulates another result into this one.
+    pub fn merge(&mut self, other: &PhaseResult) {
+        self.time += other.time;
+        self.busy += other.busy;
+        self.stall += other.stall;
+        self.mem_refs += other.mem_refs;
+        self.l2_hits += other.l2_hits;
+        self.mem_bytes += other.mem_bytes;
+    }
+}
+
+/// Cache hierarchy + core parameters; executes [`PhaseSpec`]s.
+///
+/// # Examples
+///
+/// ```
+/// use densekv_cpu::engine::{PhaseEngine, PhaseSpec};
+/// use densekv_cpu::CoreConfig;
+/// use densekv_mem::dram::{DramConfig, DramStack};
+///
+/// let mut engine = PhaseEngine::with_l2(CoreConfig::a7_1ghz());
+/// let mut dram = DramStack::new(DramConfig::default());
+/// let result = engine.run(&PhaseSpec::compute("hash", 1_400), &mut dram);
+/// // 1,400 instructions at IPC 0.7 and 1 GHz = 2 us of compute.
+/// assert_eq!(result.busy, densekv_sim::Duration::from_micros(2));
+/// ```
+#[derive(Debug, Clone)]
+pub struct PhaseEngine {
+    core: CoreConfig,
+    l1i: Cache,
+    l1d: Cache,
+    l2: Option<Cache>,
+    uncached_latency: Duration,
+    /// Per-phase-name instruction footprint base and fetch cursor.
+    instr_regions: HashMap<&'static str, (u64, u64)>,
+    next_instr_base: u64,
+    /// Cursor cycling the kernel hot region (shared by all phases).
+    kernel_cursor: u64,
+}
+
+impl PhaseEngine {
+    /// Creates an engine with 32 KB L1s and a 2 MB L2.
+    pub fn with_l2(core: CoreConfig) -> Self {
+        Self::new(core, Some(CacheConfig::l2_2m()))
+    }
+
+    /// Creates an engine with 32 KB L1s and no L2 (the paper's "no L2"
+    /// configurations issue requests directly to memory, §4.1.3).
+    pub fn without_l2(core: CoreConfig) -> Self {
+        Self::new(core, None)
+    }
+
+    /// Creates an engine with an explicit L2 choice.
+    pub fn new(core: CoreConfig, l2: Option<CacheConfig>) -> Self {
+        PhaseEngine {
+            core,
+            l1i: Cache::new(CacheConfig::l1_32k()),
+            l1d: Cache::new(CacheConfig::l1_32k()),
+            l2: l2.map(Cache::new),
+            uncached_latency: Duration::from_nanos(300),
+            instr_regions: HashMap::new(),
+            next_instr_base: INSTR_BASE_LINE,
+            kernel_cursor: 0,
+        }
+    }
+
+    /// The core configuration.
+    pub fn core(&self) -> &CoreConfig {
+        &self.core
+    }
+
+    /// Whether an L2 is present.
+    pub fn has_l2(&self) -> bool {
+        self.l2.is_some()
+    }
+
+    /// Overrides the uncached-operation latency.
+    pub fn set_uncached_latency(&mut self, latency: Duration) {
+        self.uncached_latency = latency;
+    }
+
+    /// Walks one reference through the hierarchy (for instruction or
+    /// kernel classes); returns where it hit.
+    fn lookup(l1: &mut Cache, l2: &mut Option<Cache>, line: u64) -> Level {
+        if l1.access(line) {
+            return Level::L1;
+        }
+        match l2 {
+            Some(l2) => {
+                if l2.access(line) {
+                    Level::L2
+                } else {
+                    Level::Memory
+                }
+            }
+            None => Level::Memory,
+        }
+    }
+
+    /// Executes a phase against `mem`, returning its timing. The phase's
+    /// stream (if any) also targets `mem`.
+    pub fn run(&mut self, spec: &PhaseSpec, mem: &mut dyn MemoryTiming) -> PhaseResult {
+        self.run_split(spec, mem, None)
+    }
+
+    /// Executes a phase with distinct devices: instruction fetches,
+    /// kernel references, and store references hit `backing` (the memory
+    /// behind the caches), while the bulk stream — when `stream_dev` is
+    /// provided — targets a different device (e.g. Iridium's on-die
+    /// packet-buffer SRAM).
+    pub fn run_split(
+        &mut self,
+        spec: &PhaseSpec,
+        mem: &mut dyn MemoryTiming,
+        mut stream_dev: Option<&mut dyn MemoryTiming>,
+    ) -> PhaseResult {
+        let mut result = PhaseResult::default();
+        let bytes_before =
+            mem.bytes_moved() + stream_dev.as_deref().map_or(0, |d| d.bytes_moved());
+
+        // Compute: instruction commit plus MMIO (never overlapped).
+        result.busy =
+            self.core.instruction_time(spec.instructions) + self.uncached_latency * spec.uncached_ops;
+
+        let l2_latency = self
+            .l2
+            .as_ref()
+            .map(|c| c.config().latency)
+            .unwrap_or(Duration::ZERO);
+
+        // Instruction fetches: cycle the phase's cursor through its
+        // footprint.
+        let fetches = spec.instructions * spec.ifetch_per_kinstr / 1000;
+        if fetches > 0 {
+            let footprint = spec.ifetch_footprint_lines.max(1);
+            let (base, cursor) = {
+                let entry = self
+                    .instr_regions
+                    .entry(spec.name)
+                    .or_insert((self.next_instr_base, 0));
+                (entry.0, entry.1)
+            };
+            if base == self.next_instr_base {
+                self.next_instr_base += footprint;
+            }
+            let mut cur = cursor;
+            for _ in 0..fetches {
+                let line = base + (cur % footprint);
+                cur += 1;
+                match Self::lookup(&mut self.l1i, &mut self.l2, line) {
+                    Level::L1 => {}
+                    Level::L2 => {
+                        result.l2_hits += 1;
+                        result.stall += l2_latency;
+                    }
+                    Level::Memory => {
+                        result.mem_refs += 1;
+                        let overlap = self.core.mlp.min(mem.max_overlap(AccessKind::Read)).max(1.0);
+                        let lat = mem.line_access(line, AccessKind::Read);
+                        result.stall += lat * (1.0 / overlap);
+                    }
+                }
+            }
+            self.instr_regions
+                .insert(spec.name, (base, cur % footprint));
+        }
+
+        // Kernel-structure references: cycle the hot region. A cyclic
+        // pattern has the same steady-state behaviour as the real mix —
+        // it thrashes a 32 KB L1D but fits (and stays warm in) a 2 MB L2
+        // — while warming deterministically within one region pass.
+        for _ in 0..spec.kernel_refs {
+            let line = KERNEL_BASE_LINE + self.kernel_cursor;
+            self.kernel_cursor = (self.kernel_cursor + 1) % KERNEL_REGION_LINES;
+            match Self::lookup(&mut self.l1d, &mut self.l2, line) {
+                Level::L1 => {}
+                Level::L2 => {
+                    result.l2_hits += 1;
+                    result.stall += l2_latency;
+                }
+                Level::Memory => {
+                    result.mem_refs += 1;
+                    let overlap = self.core.mlp.min(mem.max_overlap(AccessKind::Read)).max(1.0);
+                    let lat = mem.line_access(line, AccessKind::Read);
+                    result.stall += lat * (1.0 / overlap);
+                }
+            }
+        }
+
+        // Store references: gigabyte-scale working set, modeled as always
+        // missing (see module docs); demand misses overlap by `mlp`,
+        // capped by what the device sustains.
+        for &line in &spec.store_refs {
+            result.mem_refs += 1;
+            let overlap = self.core.mlp.min(mem.max_overlap(AccessKind::Read)).max(1.0);
+            let lat = mem.line_access(line, AccessKind::Read);
+            result.stall += lat * (1.0 / overlap);
+        }
+
+        // Bulk value transfer: sequential lines overlap by `stream_mlp`,
+        // capped by the device.
+        if let Some(stream) = spec.stream {
+            let dev: &mut dyn MemoryTiming = match stream_dev.as_deref_mut() {
+                Some(d) => d,
+                None => mem,
+            };
+            let overlap = self.core.stream_mlp.min(dev.max_overlap(stream.kind)).max(1.0);
+            for i in 0..stream.lines {
+                result.mem_refs += 1;
+                let lat = dev.line_access(stream.start_line + i, stream.kind);
+                result.stall += lat * (1.0 / overlap);
+            }
+        }
+
+        result.mem_bytes = mem.bytes_moved() + stream_dev.as_deref().map_or(0, |d| d.bytes_moved())
+            - bytes_before;
+        result.time = result.busy + result.stall;
+        result
+    }
+
+    /// Runs a phase repeatedly until caches warm up, then returns a fresh
+    /// measurement — used by experiments that want steady-state numbers.
+    pub fn run_steady(
+        &mut self,
+        spec: &PhaseSpec,
+        mem: &mut dyn MemoryTiming,
+        warmup: u32,
+    ) -> PhaseResult {
+        for _ in 0..warmup {
+            self.run(spec, mem);
+        }
+        self.run(spec, mem)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use densekv_mem::dram::{DramConfig, DramStack};
+    use densekv_mem::flash::{FlashArray, FlashConfig};
+
+    fn dram(ns: u64) -> DramStack {
+        DramStack::new(DramConfig::mercury(Duration::from_nanos(ns)))
+    }
+
+    fn net_phase() -> PhaseSpec {
+        PhaseSpec {
+            name: "net-rx",
+            instructions: 12_000,
+            ifetch_footprint_lines: 3_000,
+            ifetch_per_kinstr: 12,
+            kernel_refs: 60,
+            store_refs: Vec::new(),
+            stream: None,
+            uncached_ops: 4,
+        }
+    }
+
+    #[test]
+    fn compute_phase_time_is_instruction_bound() {
+        let mut e = PhaseEngine::with_l2(CoreConfig::a15_1ghz());
+        let mut mem = dram(10);
+        let r = e.run(&PhaseSpec::compute("x", 2_000), &mut mem);
+        assert_eq!(r.busy, Duration::from_micros(1));
+        assert!(r.stall < r.busy);
+    }
+
+    #[test]
+    fn a15_faster_than_a7_on_same_phase() {
+        let mut a7 = PhaseEngine::with_l2(CoreConfig::a7_1ghz());
+        let mut a15 = PhaseEngine::with_l2(CoreConfig::a15_1ghz());
+        let mut m1 = dram(10);
+        let mut m2 = dram(10);
+        let spec = net_phase();
+        let r7 = a7.run_steady(&spec, &mut m1, 5);
+        let r15 = a15.run_steady(&spec, &mut m2, 5);
+        assert!(r15.time < r7.time);
+        let ratio = r7.time.as_nanos_f64() / r15.time.as_nanos_f64();
+        assert!(ratio > 2.0 && ratio < 4.0, "A15/A7 ratio {ratio}");
+    }
+
+    #[test]
+    fn l2_absorbs_kernel_refs_after_warmup() {
+        let mut e = PhaseEngine::with_l2(CoreConfig::a7_1ghz());
+        let mut mem = dram(100);
+        let spec = net_phase();
+        // Warm the L2 with the kernel region and the fetch footprint.
+        for _ in 0..600 {
+            e.run(&spec, &mut mem);
+        }
+        let r = e.run(&spec, &mut mem);
+        assert!(
+            r.mem_refs < 6,
+            "warm L2 should satisfy nearly all refs, saw {} memory refs",
+            r.mem_refs
+        );
+        assert!(r.l2_hits > 50);
+    }
+
+    #[test]
+    fn no_l2_sends_misses_to_memory() {
+        let mut e = PhaseEngine::without_l2(CoreConfig::a7_1ghz());
+        let mut mem = dram(100);
+        let spec = net_phase();
+        let r = e.run_steady(&spec, &mut mem, 10);
+        assert_eq!(r.l2_hits, 0);
+        assert!(r.mem_refs > 50, "misses must reach memory: {}", r.mem_refs);
+    }
+
+    #[test]
+    fn no_l2_hurts_more_at_high_latency() {
+        let time_at = |ns: u64, l2: bool| {
+            let core = CoreConfig::a7_1ghz();
+            let mut e = if l2 {
+                PhaseEngine::with_l2(core)
+            } else {
+                PhaseEngine::without_l2(core)
+            };
+            let mut mem = dram(ns);
+            e.run_steady(&net_phase(), &mut mem, 600).time
+        };
+        // Paper §6.2: at 10 ns the L2 provides no benefit (may even
+        // hinder); at 100 ns it significantly helps.
+        let slowdown_no_l2_100 = time_at(100, false).as_nanos_f64() / time_at(100, true).as_nanos_f64();
+        let slowdown_no_l2_10 = time_at(10, false).as_nanos_f64() / time_at(10, true).as_nanos_f64();
+        assert!(slowdown_no_l2_100 > 1.3, "at 100 ns: {slowdown_no_l2_100}");
+        assert!(slowdown_no_l2_10 < 1.1, "at 10 ns: {slowdown_no_l2_10}");
+    }
+
+    #[test]
+    fn stream_overlaps_by_stream_mlp() {
+        let mut e = PhaseEngine::with_l2(CoreConfig::a7_1ghz());
+        let mut mem = dram(10);
+        let mut spec = PhaseSpec::compute("copy", 0);
+        spec.stream = Some(StreamRef {
+            start_line: 0,
+            lines: 1000,
+            kind: AccessKind::Read,
+        });
+        let r = e.run(&spec, &mut mem);
+        // 1000 lines x 20.24 ns / stream_mlp 2 = 10.12 us.
+        let expect = Duration::from_nanos_f64(1000.0 * 20.24 / 2.0);
+        assert_eq!(r.stall, expect);
+        assert_eq!(r.mem_bytes, 64_000);
+    }
+
+    #[test]
+    fn store_refs_always_reach_memory() {
+        let mut e = PhaseEngine::with_l2(CoreConfig::a15_1ghz());
+        let mut mem = dram(10);
+        let mut spec = PhaseSpec::compute("get", 0);
+        spec.store_refs = vec![1, 1, 1]; // even repeats bypass the caches
+        let r = e.run(&spec, &mut mem);
+        assert_eq!(r.mem_refs, 3);
+        // A15 overlaps demand misses 3-wide.
+        let expect = 3.0 * 20.24 / 3.0;
+        assert!((r.stall.as_nanos_f64() - expect).abs() < 0.01);
+    }
+
+    #[test]
+    fn flash_latency_dominates_store_refs() {
+        let mut e = PhaseEngine::with_l2(CoreConfig::a7_1ghz());
+        let mut flash = FlashArray::new(FlashConfig::default());
+        let mut spec = PhaseSpec::compute("get", 1_000);
+        spec.store_refs = vec![0, 100, 200];
+        let r = e.run(&spec, &mut flash);
+        // 3 flash line reads at 10 us each, no overlap on the A7.
+        assert!(r.stall >= Duration::from_micros(30));
+    }
+
+    #[test]
+    fn uncached_ops_are_fixed_cost() {
+        let mut e = PhaseEngine::with_l2(CoreConfig::a15_1p5ghz());
+        e.set_uncached_latency(Duration::from_nanos(250));
+        let mut mem = dram(10);
+        let mut spec = PhaseSpec::compute("mmio", 0);
+        spec.uncached_ops = 8;
+        let r = e.run(&spec, &mut mem);
+        assert_eq!(r.busy, Duration::from_nanos(2000));
+    }
+
+    #[test]
+    fn distinct_phases_get_distinct_footprints() {
+        let mut e = PhaseEngine::with_l2(CoreConfig::a7_1ghz());
+        let mut mem = dram(10);
+        let a = PhaseSpec {
+            name: "alpha",
+            ..net_phase()
+        };
+        let b = PhaseSpec {
+            name: "beta",
+            ..net_phase()
+        };
+        // Warm alpha fully, then run beta: beta must cold-miss.
+        for _ in 0..30 {
+            e.run(&a, &mut mem);
+        }
+        let warm_a = e.run(&a, &mut mem);
+        let cold_b = e.run(&b, &mut mem);
+        assert!(cold_b.mem_refs > warm_a.mem_refs);
+    }
+}

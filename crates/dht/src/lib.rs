@@ -1,0 +1,263 @@
+//! Consistent hashing over the server's stacks (paper §3.8).
+//!
+//! A Memcached cluster maps each key onto a point on a circle; every node
+//! owns the arcs adjacent to its positions. The paper argues that because
+//! Mercury/Iridium multiply the number of *physical* nodes (every core is
+//! an independent Memcached instance), resource contention from uneven
+//! arc ownership shrinks without needing many virtual nodes. This crate
+//! provides the ring plus the load-imbalance statistics that back that
+//! argument (reproduced by the `dht_balance` bench).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::BTreeMap;
+
+use densekv_sim::SplitMix64;
+
+/// Hashes an arbitrary byte string onto the ring (SplitMix64 finalizer
+/// over a FNV-style fold — stable across runs).
+fn ring_hash(data: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in data {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    // One SplitMix64 scramble to spread FNV's weak high bits.
+    SplitMix64::new(h).next_u64()
+}
+
+/// A consistent-hash ring with virtual nodes.
+///
+/// # Examples
+///
+/// ```
+/// use densekv_dht::ConsistentHashRing;
+///
+/// let mut ring = ConsistentHashRing::new(4);
+/// ring.add_node(0);
+/// ring.add_node(1);
+/// let owner = ring.node_for(b"user:42").unwrap();
+/// assert!(owner == 0 || owner == 1);
+/// // Same key, same owner.
+/// assert_eq!(ring.node_for(b"user:42"), Some(owner));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ConsistentHashRing {
+    /// Ring position → node id.
+    ring: BTreeMap<u64, u32>,
+    vnodes: u32,
+    nodes: Vec<u32>,
+}
+
+impl ConsistentHashRing {
+    /// Creates an empty ring placing `vnodes` virtual nodes per physical
+    /// node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vnodes` is zero.
+    pub fn new(vnodes: u32) -> Self {
+        assert!(vnodes > 0, "need at least one virtual node");
+        ConsistentHashRing {
+            ring: BTreeMap::new(),
+            vnodes,
+            nodes: Vec::new(),
+        }
+    }
+
+    /// Virtual nodes per physical node.
+    pub fn vnodes(&self) -> u32 {
+        self.vnodes
+    }
+
+    /// Physical nodes currently on the ring.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Adds a physical node (idempotent).
+    pub fn add_node(&mut self, node: u32) {
+        if self.nodes.contains(&node) {
+            return;
+        }
+        self.nodes.push(node);
+        for v in 0..self.vnodes {
+            let pos = ring_hash(format!("node:{node}:vnode:{v}").as_bytes());
+            self.ring.insert(pos, node);
+        }
+    }
+
+    /// Removes a physical node and all its virtual positions.
+    pub fn remove_node(&mut self, node: u32) {
+        self.nodes.retain(|&n| n != node);
+        self.ring.retain(|_, n| *n != node);
+    }
+
+    /// The node owning `key`, or `None` on an empty ring.
+    pub fn node_for(&self, key: &[u8]) -> Option<u32> {
+        if self.ring.is_empty() {
+            return None;
+        }
+        let h = ring_hash(key);
+        self.ring
+            .range(h..)
+            .next()
+            .or_else(|| self.ring.iter().next())
+            .map(|(_, &node)| node)
+    }
+
+    /// Fraction of the ring each node owns, by arc length.
+    pub fn arc_ownership(&self) -> Vec<(u32, f64)> {
+        if self.ring.is_empty() {
+            return Vec::new();
+        }
+        let points: Vec<(u64, u32)> = self.ring.iter().map(|(&p, &n)| (p, n)).collect();
+        let mut owned: std::collections::HashMap<u32, u128> = std::collections::HashMap::new();
+        for i in 0..points.len() {
+            let (start, _) = points[i];
+            // The arc (previous point, this point] belongs to this node.
+            let prev = if i == 0 {
+                points[points.len() - 1].0
+            } else {
+                points[i - 1].0
+            };
+            let arc = start.wrapping_sub(prev) as u128;
+            *owned.entry(points[i].1).or_insert(0) += arc;
+        }
+        let total = u64::MAX as u128 + 1;
+        let mut result: Vec<(u32, f64)> = owned
+            .into_iter()
+            .map(|(node, arc)| (node, arc as f64 / total as f64))
+            .collect();
+        result.sort_unstable_by_key(|&(node, _)| node);
+        result
+    }
+
+    /// Simulates `samples` uniformly random keys and returns the load
+    /// imbalance: `max node share / mean share` (1.0 = perfect).
+    pub fn load_imbalance(&self, samples: u64, seed: u64) -> f64 {
+        assert!(!self.ring.is_empty(), "ring has no nodes");
+        let mut rng = SplitMix64::new(seed);
+        let mut counts: std::collections::HashMap<u32, u64> = std::collections::HashMap::new();
+        for _ in 0..samples {
+            let key = rng.next_u64().to_le_bytes();
+            let node = self.node_for(&key).expect("nonempty ring");
+            *counts.entry(node).or_insert(0) += 1;
+        }
+        let max = counts.values().copied().max().unwrap_or(0) as f64;
+        let mean = samples as f64 / self.nodes.len() as f64;
+        max / mean
+    }
+}
+
+/// Keys that move when a cluster grows from `before` to `after` nodes —
+/// consistent hashing's selling point is that this stays near
+/// `1/after` instead of rehashing everything.
+pub fn remapped_fraction(
+    before: &ConsistentHashRing,
+    after: &ConsistentHashRing,
+    samples: u64,
+    seed: u64,
+) -> f64 {
+    let mut rng = SplitMix64::new(seed);
+    let mut moved = 0;
+    for _ in 0..samples {
+        let key = rng.next_u64().to_le_bytes();
+        if before.node_for(&key) != after.node_for(&key) {
+            moved += 1;
+        }
+    }
+    moved as f64 / samples as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ring_with(nodes: u32, vnodes: u32) -> ConsistentHashRing {
+        let mut ring = ConsistentHashRing::new(vnodes);
+        for n in 0..nodes {
+            ring.add_node(n);
+        }
+        ring
+    }
+
+    #[test]
+    fn lookup_is_stable() {
+        let ring = ring_with(8, 16);
+        for i in 0..100 {
+            let key = format!("k{i}");
+            assert_eq!(ring.node_for(key.as_bytes()), ring.node_for(key.as_bytes()));
+        }
+    }
+
+    #[test]
+    fn empty_ring_returns_none() {
+        let ring = ConsistentHashRing::new(4);
+        assert_eq!(ring.node_for(b"x"), None);
+        assert!(ring.arc_ownership().is_empty());
+    }
+
+    #[test]
+    fn add_is_idempotent_and_remove_works() {
+        let mut ring = ring_with(3, 8);
+        ring.add_node(1);
+        assert_eq!(ring.node_count(), 3);
+        ring.remove_node(1);
+        assert_eq!(ring.node_count(), 2);
+        for i in 0..200 {
+            let key = format!("k{i}");
+            assert_ne!(ring.node_for(key.as_bytes()), Some(1), "removed node owns nothing");
+        }
+    }
+
+    #[test]
+    fn more_vnodes_balance_better() {
+        // Paper §3.8: virtual nodes distribute arcs more uniformly.
+        let coarse = ring_with(16, 1).load_imbalance(100_000, 7);
+        let fine = ring_with(16, 64).load_imbalance(100_000, 7);
+        assert!(
+            fine < coarse,
+            "64 vnodes ({fine:.3}) should balance better than 1 ({coarse:.3})"
+        );
+        assert!(fine < 1.5, "fine-grained ring should be near-uniform: {fine:.3}");
+    }
+
+    #[test]
+    fn more_physical_nodes_reduce_hot_arc_share() {
+        // The paper's argument for many small nodes: each owns a smaller
+        // arc, so the worst node's share of total traffic shrinks.
+        let few = ring_with(6, 4);
+        let many = ring_with(96, 4);
+        let worst_share_few = few
+            .arc_ownership()
+            .into_iter()
+            .map(|(_, s)| s)
+            .fold(0.0f64, f64::max);
+        let worst_share_many = many
+            .arc_ownership()
+            .into_iter()
+            .map(|(_, s)| s)
+            .fold(0.0f64, f64::max);
+        assert!(worst_share_many < worst_share_few);
+    }
+
+    #[test]
+    fn arc_ownership_sums_to_one() {
+        let ring = ring_with(10, 8);
+        let total: f64 = ring.arc_ownership().iter().map(|(_, s)| s).sum();
+        assert!((total - 1.0).abs() < 1e-9, "{total}");
+    }
+
+    #[test]
+    fn growth_remaps_about_one_over_n() {
+        let before = ring_with(9, 32);
+        let after = ring_with(10, 32);
+        let moved = remapped_fraction(&before, &after, 50_000, 3);
+        assert!(
+            (0.05..0.2).contains(&moved),
+            "adding 1 of 10 nodes should move ~10% of keys, moved {moved:.3}"
+        );
+    }
+}

@@ -1,0 +1,641 @@
+//! The Memcached binary protocol.
+//!
+//! Alongside the text protocol, Memcached 1.4 speaks a fixed-header
+//! binary protocol (the one smart NICs like TSSP parse in hardware —
+//! §3.7 of the paper). Frames carry a 24-byte header:
+//!
+//! ```text
+//! byte 0      magic (0x80 request / 0x81 response)
+//! byte 1      opcode
+//! bytes 2-3   key length (big endian)
+//! byte 4      extras length
+//! byte 5      data type (always 0)
+//! bytes 6-7   vbucket id (request) / status (response)
+//! bytes 8-11  total body length = extras + key + value
+//! bytes 12-15 opaque (echoed verbatim)
+//! bytes 16-23 CAS
+//! ```
+//!
+//! This module provides frame encode/decode and a binary server loop over
+//! the same [`KvStore`] the text protocol drives.
+
+use bytes::{Buf, BufMut, BytesMut};
+
+use crate::store::{KvStore, StoreError};
+
+/// Request magic byte.
+pub const MAGIC_REQUEST: u8 = 0x80;
+/// Response magic byte.
+pub const MAGIC_RESPONSE: u8 = 0x81;
+/// Header size in bytes.
+pub const HEADER_BYTES: usize = 24;
+/// Largest accepted body (matches the text protocol's item bound).
+const MAX_BODY_BYTES: u32 = 64 << 20;
+
+/// Binary opcodes (the subset Memcached 1.4 clients use).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum Opcode {
+    /// Fetch a value.
+    Get = 0x00,
+    /// Unconditional store.
+    Set = 0x01,
+    /// Store if absent.
+    Add = 0x02,
+    /// Store if present.
+    Replace = 0x03,
+    /// Delete a key.
+    Delete = 0x04,
+    /// Numeric increment.
+    Increment = 0x05,
+    /// Numeric decrement.
+    Decrement = 0x06,
+    /// Close the connection.
+    Quit = 0x07,
+    /// Drop all items.
+    Flush = 0x08,
+    /// No operation (pipelining barrier).
+    Noop = 0x0a,
+    /// Server version string.
+    Version = 0x0b,
+    /// Append to a value.
+    Append = 0x0e,
+    /// Prepend to a value.
+    Prepend = 0x0f,
+}
+
+impl Opcode {
+    /// Decodes an opcode byte.
+    pub fn from_u8(byte: u8) -> Option<Opcode> {
+        Some(match byte {
+            0x00 => Opcode::Get,
+            0x01 => Opcode::Set,
+            0x02 => Opcode::Add,
+            0x03 => Opcode::Replace,
+            0x04 => Opcode::Delete,
+            0x05 => Opcode::Increment,
+            0x06 => Opcode::Decrement,
+            0x07 => Opcode::Quit,
+            0x08 => Opcode::Flush,
+            0x0a => Opcode::Noop,
+            0x0b => Opcode::Version,
+            0x0e => Opcode::Append,
+            0x0f => Opcode::Prepend,
+            _ => return None,
+        })
+    }
+}
+
+/// Binary response status codes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u16)]
+pub enum Status {
+    /// Success.
+    NoError = 0x0000,
+    /// Key not found.
+    KeyNotFound = 0x0001,
+    /// Key exists (CAS conflict / `add` on live key).
+    KeyExists = 0x0002,
+    /// Value too large.
+    ValueTooLarge = 0x0003,
+    /// Malformed arguments.
+    InvalidArguments = 0x0004,
+    /// Item not stored (`replace`/`append` on missing key).
+    NotStored = 0x0005,
+    /// Increment/decrement on a non-numeric value.
+    DeltaBadval = 0x0006,
+    /// Unknown opcode.
+    UnknownCommand = 0x0081,
+    /// Out of memory.
+    OutOfMemory = 0x0082,
+}
+
+impl Status {
+    fn from_store_error(err: &StoreError) -> Status {
+        match err {
+            StoreError::NotFound => Status::KeyNotFound,
+            StoreError::Exists | StoreError::CasMismatch => Status::KeyExists,
+            StoreError::ValueTooLarge { .. } => Status::ValueTooLarge,
+            StoreError::KeyTooLong { .. } => Status::InvalidArguments,
+            StoreError::OutOfMemory => Status::OutOfMemory,
+            StoreError::NotNumeric => Status::DeltaBadval,
+        }
+    }
+}
+
+/// A decoded binary request frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// Operation.
+    pub opcode: Opcode,
+    /// Extras bytes (flags/expiry for stores, delta block for incr/decr).
+    pub extras: Vec<u8>,
+    /// Key bytes.
+    pub key: Vec<u8>,
+    /// Value bytes.
+    pub value: Vec<u8>,
+    /// Client-chosen token echoed in the response.
+    pub opaque: u32,
+    /// CAS token (0 = unconditional).
+    pub cas: u64,
+}
+
+/// Frame-level decode errors (the connection should close).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameError {
+    /// First byte wasn't the request magic.
+    BadMagic(u8),
+    /// Unknown opcode byte.
+    BadOpcode(u8),
+    /// Lengths in the header are inconsistent or oversized.
+    BadLengths,
+}
+
+impl core::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            FrameError::BadMagic(b) => write!(f, "bad magic byte {b:#04x}"),
+            FrameError::BadOpcode(b) => write!(f, "unknown opcode {b:#04x}"),
+            FrameError::BadLengths => write!(f, "inconsistent header lengths"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// Decodes one request frame from `buf`; `Ok(None)` means more bytes are
+/// needed (buffer untouched).
+///
+/// # Errors
+///
+/// [`FrameError`] on malformed frames.
+pub fn decode_request(buf: &mut BytesMut) -> Result<Option<Frame>, FrameError> {
+    if buf.len() < HEADER_BYTES {
+        return Ok(None);
+    }
+    let magic = buf[0];
+    if magic != MAGIC_REQUEST {
+        return Err(FrameError::BadMagic(magic));
+    }
+    let opcode = Opcode::from_u8(buf[1]).ok_or(FrameError::BadOpcode(buf[1]))?;
+    let key_len = u16::from_be_bytes([buf[2], buf[3]]) as usize;
+    let extras_len = buf[4] as usize;
+    let body_len = u32::from_be_bytes([buf[8], buf[9], buf[10], buf[11]]);
+    if body_len > MAX_BODY_BYTES || (extras_len + key_len) as u32 > body_len {
+        return Err(FrameError::BadLengths);
+    }
+    let total = HEADER_BYTES + body_len as usize;
+    if buf.len() < total {
+        return Ok(None);
+    }
+    let opaque = u32::from_be_bytes([buf[12], buf[13], buf[14], buf[15]]);
+    let cas = u64::from_be_bytes([
+        buf[16], buf[17], buf[18], buf[19], buf[20], buf[21], buf[22], buf[23],
+    ]);
+    buf.advance(HEADER_BYTES);
+    let extras = buf.split_to(extras_len).to_vec();
+    let key = buf.split_to(key_len).to_vec();
+    let value = buf
+        .split_to(body_len as usize - extras_len - key_len)
+        .to_vec();
+    Ok(Some(Frame {
+        opcode,
+        extras,
+        key,
+        value,
+        opaque,
+        cas,
+    }))
+}
+
+/// Encodes a request frame (client side).
+pub fn encode_request(frame: &Frame, out: &mut BytesMut) {
+    encode(MAGIC_REQUEST, frame.opcode as u8, 0, frame, out);
+}
+
+/// A response to send back.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// Operation being answered.
+    pub opcode: Opcode,
+    /// Outcome.
+    pub status: Status,
+    /// Extras (flags for GET responses).
+    pub extras: Vec<u8>,
+    /// Key (empty unless the request asked for it).
+    pub key: Vec<u8>,
+    /// Value (GET payloads, incr/decr counters, error text).
+    pub value: Vec<u8>,
+    /// Echoed opaque.
+    pub opaque: u32,
+    /// CAS of the stored item (0 when not applicable).
+    pub cas: u64,
+}
+
+impl Response {
+    fn empty(opcode: Opcode, status: Status, opaque: u32) -> Response {
+        Response {
+            opcode,
+            status,
+            extras: Vec::new(),
+            key: Vec::new(),
+            value: Vec::new(),
+            opaque,
+            cas: 0,
+        }
+    }
+}
+
+/// Encodes a response frame.
+pub fn encode_response(response: &Response, out: &mut BytesMut) {
+    let frame = Frame {
+        opcode: response.opcode,
+        extras: response.extras.clone(),
+        key: response.key.clone(),
+        value: response.value.clone(),
+        opaque: response.opaque,
+        cas: response.cas,
+    };
+    encode(MAGIC_RESPONSE, response.opcode as u8, response.status as u16, &frame, out);
+}
+
+fn encode(magic: u8, opcode: u8, status: u16, frame: &Frame, out: &mut BytesMut) {
+    let body = frame.extras.len() + frame.key.len() + frame.value.len();
+    out.put_u8(magic);
+    out.put_u8(opcode);
+    out.put_u16(frame.key.len() as u16);
+    out.put_u8(frame.extras.len() as u8);
+    out.put_u8(0); // data type
+    out.put_u16(status);
+    out.put_u32(body as u32);
+    out.put_u32(frame.opaque);
+    out.put_u64(frame.cas);
+    out.put_slice(&frame.extras);
+    out.put_slice(&frame.key);
+    out.put_slice(&frame.value);
+}
+
+/// Decodes one response frame (client side); `Ok(None)` = need bytes.
+///
+/// # Errors
+///
+/// [`FrameError`] on malformed frames.
+pub fn decode_response(buf: &mut BytesMut) -> Result<Option<(Response, Status)>, FrameError> {
+    if buf.len() < HEADER_BYTES {
+        return Ok(None);
+    }
+    if buf[0] != MAGIC_RESPONSE {
+        return Err(FrameError::BadMagic(buf[0]));
+    }
+    let opcode = Opcode::from_u8(buf[1]).ok_or(FrameError::BadOpcode(buf[1]))?;
+    let status_raw = u16::from_be_bytes([buf[6], buf[7]]);
+    // Re-parse the body with the request decoder's length logic.
+    let mut shadow = buf.clone();
+    shadow[0] = MAGIC_REQUEST;
+    shadow[6] = 0;
+    shadow[7] = 0;
+    let Some(frame) = decode_request(&mut shadow)? else {
+        return Ok(None);
+    };
+    let consumed = buf.len() - shadow.len();
+    buf.advance(consumed);
+    let status = match status_raw {
+        0x0000 => Status::NoError,
+        0x0001 => Status::KeyNotFound,
+        0x0002 => Status::KeyExists,
+        0x0003 => Status::ValueTooLarge,
+        0x0004 => Status::InvalidArguments,
+        0x0005 => Status::NotStored,
+        0x0006 => Status::DeltaBadval,
+        0x0082 => Status::OutOfMemory,
+        _ => Status::UnknownCommand,
+    };
+    Ok(Some((
+        Response {
+            opcode,
+            status,
+            extras: frame.extras,
+            key: frame.key,
+            value: frame.value,
+            opaque: frame.opaque,
+            cas: frame.cas,
+        },
+        status,
+    )))
+}
+
+/// Executes one decoded frame against the store; `None` means the client
+/// sent `Quit`.
+pub fn execute_frame(store: &mut KvStore, frame: &Frame, now: u64) -> Option<Response> {
+    let opaque = frame.opaque;
+    let response = match frame.opcode {
+        Opcode::Get => match store.get(&frame.key, now) {
+            Some(hit) => Response {
+                opcode: Opcode::Get,
+                status: Status::NoError,
+                extras: hit.flags().to_be_bytes().to_vec(),
+                key: Vec::new(),
+                value: hit.value().to_vec(),
+                cas: hit.cas(),
+                opaque,
+            },
+            None => Response::empty(Opcode::Get, Status::KeyNotFound, opaque),
+        },
+        Opcode::Set | Opcode::Add | Opcode::Replace => {
+            if frame.extras.len() != 8 {
+                return Some(Response::empty(frame.opcode, Status::InvalidArguments, opaque));
+            }
+            let flags = u32::from_be_bytes(frame.extras[0..4].try_into().expect("4 bytes"));
+            let expiry = u32::from_be_bytes(frame.extras[4..8].try_into().expect("4 bytes"));
+            let ttl = (expiry > 0).then_some(u64::from(expiry));
+            let result = match (frame.opcode, frame.cas) {
+                (Opcode::Set, 0) => {
+                    store.set_with_flags(&frame.key, frame.value.clone(), flags, ttl, now)
+                }
+                (Opcode::Set, cas) => store.cas(&frame.key, frame.value.clone(), cas, ttl, now),
+                (Opcode::Add, _) => store.add(&frame.key, frame.value.clone(), ttl, now),
+                (Opcode::Replace, _) => store.replace(&frame.key, frame.value.clone(), ttl, now),
+                _ => unreachable!("matched above"),
+            };
+            match result {
+                Ok(_) => {
+                    let cas = store.get(&frame.key, now).map_or(0, |hit| hit.cas());
+                    Response {
+                        cas,
+                        ..Response::empty(frame.opcode, Status::NoError, opaque)
+                    }
+                }
+                Err(e) => Response::empty(frame.opcode, Status::from_store_error(&e), opaque),
+            }
+        }
+        Opcode::Append | Opcode::Prepend => {
+            let front = frame.opcode == Opcode::Prepend;
+            match store.concat(&frame.key, &frame.value, front, now) {
+                Ok(_) => Response::empty(frame.opcode, Status::NoError, opaque),
+                Err(e) => Response::empty(frame.opcode, Status::from_store_error(&e), opaque),
+            }
+        }
+        Opcode::Delete => {
+            let status = if store.delete(&frame.key).is_some() {
+                Status::NoError
+            } else {
+                Status::KeyNotFound
+            };
+            Response::empty(Opcode::Delete, status, opaque)
+        }
+        Opcode::Increment | Opcode::Decrement => {
+            if frame.extras.len() != 20 {
+                return Some(Response::empty(frame.opcode, Status::InvalidArguments, opaque));
+            }
+            let delta = u64::from_be_bytes(frame.extras[0..8].try_into().expect("8 bytes"));
+            let decrement = frame.opcode == Opcode::Decrement;
+            match store.incr_decr(&frame.key, delta, decrement, now) {
+                Ok(n) => Response {
+                    value: n.to_be_bytes().to_vec(),
+                    ..Response::empty(frame.opcode, Status::NoError, opaque)
+                },
+                Err(e) => Response::empty(frame.opcode, Status::from_store_error(&e), opaque),
+            }
+        }
+        Opcode::Flush => {
+            store.flush_all();
+            Response::empty(Opcode::Flush, Status::NoError, opaque)
+        }
+        Opcode::Noop => Response::empty(Opcode::Noop, Status::NoError, opaque),
+        Opcode::Version => Response {
+            value: b"1.4.15-densekv".to_vec(),
+            ..Response::empty(Opcode::Version, Status::NoError, opaque)
+        },
+        Opcode::Quit => return None,
+    };
+    Some(response)
+}
+
+/// Drains complete binary frames from `input` through the store,
+/// returning the response bytes. Stops at `Quit` or a framing error.
+pub fn serve_binary(store: &mut KvStore, input: &[u8], now: u64) -> Vec<u8> {
+    let mut buf = BytesMut::from(input);
+    let mut out = BytesMut::new();
+    while let Ok(Some(frame)) = decode_request(&mut buf) {
+        match execute_frame(store, &frame, now) {
+            Some(response) => encode_response(&response, &mut out),
+            None => break,
+        }
+    }
+    out.to_vec()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::StoreConfig;
+
+    fn store() -> KvStore {
+        KvStore::new(StoreConfig::with_capacity(8 << 20))
+    }
+
+    fn set_frame(key: &[u8], value: &[u8]) -> Frame {
+        let mut extras = Vec::new();
+        extras.extend_from_slice(&7u32.to_be_bytes()); // flags
+        extras.extend_from_slice(&0u32.to_be_bytes()); // expiry
+        Frame {
+            opcode: Opcode::Set,
+            extras,
+            key: key.to_vec(),
+            value: value.to_vec(),
+            opaque: 0xDEAD_BEEF,
+            cas: 0,
+        }
+    }
+
+    fn get_frame(key: &[u8]) -> Frame {
+        Frame {
+            opcode: Opcode::Get,
+            extras: Vec::new(),
+            key: key.to_vec(),
+            value: Vec::new(),
+            opaque: 42,
+            cas: 0,
+        }
+    }
+
+    #[test]
+    fn frame_roundtrip() {
+        let frame = set_frame(b"key", b"value bytes");
+        let mut wire = BytesMut::new();
+        encode_request(&frame, &mut wire);
+        assert_eq!(wire.len(), HEADER_BYTES + 8 + 3 + 11);
+        let decoded = decode_request(&mut wire).unwrap().unwrap();
+        assert_eq!(decoded, frame);
+        assert!(wire.is_empty());
+    }
+
+    #[test]
+    fn partial_frames_wait() {
+        let mut wire = BytesMut::new();
+        encode_request(&set_frame(b"k", b"v"), &mut wire);
+        let full = wire.clone();
+        for cut in [0, 5, HEADER_BYTES, full.len() - 1] {
+            let mut partial = BytesMut::from(&full[..cut]);
+            assert_eq!(decode_request(&mut partial).unwrap(), None, "cut at {cut}");
+            assert_eq!(partial.len(), cut, "nothing consumed");
+        }
+    }
+
+    #[test]
+    fn malformed_frames_error() {
+        let mut bad_magic = BytesMut::from(&[0x42u8; 24][..]);
+        assert!(matches!(
+            decode_request(&mut bad_magic),
+            Err(FrameError::BadMagic(0x42))
+        ));
+        let mut frame = BytesMut::new();
+        encode_request(&get_frame(b"k"), &mut frame);
+        frame[1] = 0xFF;
+        assert!(matches!(
+            decode_request(&mut frame),
+            Err(FrameError::BadOpcode(0xFF))
+        ));
+        // key_len + extras_len > body_len
+        let mut inconsistent = BytesMut::from(&[0u8; 24][..]);
+        inconsistent[0] = MAGIC_REQUEST;
+        inconsistent[3] = 10; // key length 10, body 0
+        assert!(matches!(
+            decode_request(&mut inconsistent),
+            Err(FrameError::BadLengths)
+        ));
+    }
+
+    #[test]
+    fn set_then_get_over_the_wire() {
+        let mut s = store();
+        let mut wire = BytesMut::new();
+        encode_request(&set_frame(b"k", b"hello"), &mut wire);
+        encode_request(&get_frame(b"k"), &mut wire);
+        let out = serve_binary(&mut s, &wire, 0);
+        let mut buf = BytesMut::from(&out[..]);
+        let (set_resp, set_status) = decode_response(&mut buf).unwrap().unwrap();
+        assert_eq!(set_status, Status::NoError);
+        assert_eq!(set_resp.opaque, 0xDEAD_BEEF);
+        assert!(set_resp.cas > 0, "stores return the new CAS");
+        let (get_resp, get_status) = decode_response(&mut buf).unwrap().unwrap();
+        assert_eq!(get_status, Status::NoError);
+        assert_eq!(get_resp.value, b"hello");
+        assert_eq!(get_resp.extras, 7u32.to_be_bytes());
+        assert_eq!(get_resp.opaque, 42);
+    }
+
+    #[test]
+    fn cas_via_binary_set() {
+        let mut s = store();
+        let mut wire = BytesMut::new();
+        encode_request(&set_frame(b"k", b"v1"), &mut wire);
+        let out = serve_binary(&mut s, &wire, 0);
+        let mut buf = BytesMut::from(&out[..]);
+        let (resp, _) = decode_response(&mut buf).unwrap().unwrap();
+        let token = resp.cas;
+
+        // A CAS-carrying set with the right token succeeds; a stale one
+        // answers KeyExists.
+        let mut ok = set_frame(b"k", b"v2");
+        ok.cas = token;
+        let mut wire = BytesMut::new();
+        encode_request(&ok, &mut wire);
+        let mut stale = set_frame(b"k", b"v3");
+        stale.cas = token;
+        encode_request(&stale, &mut wire);
+        let out = serve_binary(&mut s, &wire, 0);
+        let mut buf = BytesMut::from(&out[..]);
+        assert_eq!(decode_response(&mut buf).unwrap().unwrap().1, Status::NoError);
+        assert_eq!(decode_response(&mut buf).unwrap().unwrap().1, Status::KeyExists);
+    }
+
+    #[test]
+    fn incr_decr_binary() {
+        let mut s = store();
+        s.set(b"n", b"10".to_vec(), None, 0).unwrap();
+        let mut extras = Vec::new();
+        extras.extend_from_slice(&5u64.to_be_bytes()); // delta
+        extras.extend_from_slice(&0u64.to_be_bytes()); // initial
+        extras.extend_from_slice(&0u32.to_be_bytes()); // expiry
+        let frame = Frame {
+            opcode: Opcode::Increment,
+            extras,
+            key: b"n".to_vec(),
+            value: Vec::new(),
+            opaque: 1,
+            cas: 0,
+        };
+        let response = execute_frame(&mut s, &frame, 0).unwrap();
+        assert_eq!(response.status, Status::NoError);
+        assert_eq!(response.value, 15u64.to_be_bytes());
+    }
+
+    #[test]
+    fn add_replace_delete_statuses() {
+        let mut s = store();
+        let mut add = set_frame(b"k", b"v");
+        add.opcode = Opcode::Add;
+        assert_eq!(execute_frame(&mut s, &add, 0).unwrap().status, Status::NoError);
+        assert_eq!(
+            execute_frame(&mut s, &add, 0).unwrap().status,
+            Status::KeyExists
+        );
+        let mut replace_missing = set_frame(b"absent", b"v");
+        replace_missing.opcode = Opcode::Replace;
+        assert_eq!(
+            execute_frame(&mut s, &replace_missing, 0).unwrap().status,
+            Status::KeyNotFound
+        );
+        let del = Frame {
+            opcode: Opcode::Delete,
+            ..get_frame(b"k")
+        };
+        assert_eq!(execute_frame(&mut s, &del, 0).unwrap().status, Status::NoError);
+        assert_eq!(
+            execute_frame(&mut s, &del, 0).unwrap().status,
+            Status::KeyNotFound
+        );
+    }
+
+    #[test]
+    fn quit_noop_version_flush() {
+        let mut s = store();
+        s.set(b"k", b"v".to_vec(), None, 0).unwrap();
+        let noop = Frame {
+            opcode: Opcode::Noop,
+            ..get_frame(b"")
+        };
+        assert_eq!(execute_frame(&mut s, &noop, 0).unwrap().status, Status::NoError);
+        let version = Frame {
+            opcode: Opcode::Version,
+            ..get_frame(b"")
+        };
+        assert!(execute_frame(&mut s, &version, 0)
+            .unwrap()
+            .value
+            .starts_with(b"1.4"));
+        let flush = Frame {
+            opcode: Opcode::Flush,
+            ..get_frame(b"")
+        };
+        execute_frame(&mut s, &flush, 0).unwrap();
+        assert!(s.is_empty());
+        let quit = Frame {
+            opcode: Opcode::Quit,
+            ..get_frame(b"")
+        };
+        assert_eq!(execute_frame(&mut s, &quit, 0), None);
+    }
+
+    #[test]
+    fn bad_extras_are_invalid_arguments() {
+        let mut s = store();
+        let mut set = set_frame(b"k", b"v");
+        set.extras.truncate(3);
+        assert_eq!(
+            execute_frame(&mut s, &set, 0).unwrap().status,
+            Status::InvalidArguments
+        );
+    }
+}

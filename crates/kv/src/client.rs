@@ -1,0 +1,349 @@
+//! Client-side protocol codec: builds request bytes and incrementally
+//! parses server responses. Modeled after the Whalin-style Java client
+//! the paper's experiments use (§5.1), but operating on byte buffers so
+//! it composes with the simulator and with real sockets alike.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// Builds request byte streams.
+///
+/// # Examples
+///
+/// ```
+/// use densekv_kv::client::RequestBuilder;
+///
+/// let mut builder = RequestBuilder::new();
+/// builder.set(b"k", b"hi", 0, 0);
+/// builder.get(b"k");
+/// assert_eq!(&builder.take()[..], b"set k 0 0 2\r\nhi\r\nget k\r\n");
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct RequestBuilder {
+    buf: BytesMut,
+}
+
+impl RequestBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        RequestBuilder {
+            buf: BytesMut::new(),
+        }
+    }
+
+    fn storage(&mut self, verb: &str, key: &[u8], value: &[u8], flags: u32, exptime: u64) {
+        self.buf.put_slice(verb.as_bytes());
+        self.buf.put_u8(b' ');
+        self.buf.put_slice(key);
+        self.buf
+            .put_slice(format!(" {flags} {exptime} {}\r\n", value.len()).as_bytes());
+        self.buf.put_slice(value);
+        self.buf.put_slice(b"\r\n");
+    }
+
+    /// Queues a `set`.
+    pub fn set(&mut self, key: &[u8], value: &[u8], flags: u32, exptime: u64) -> &mut Self {
+        self.storage("set", key, value, flags, exptime);
+        self
+    }
+
+    /// Queues an `add`.
+    pub fn add(&mut self, key: &[u8], value: &[u8], flags: u32, exptime: u64) -> &mut Self {
+        self.storage("add", key, value, flags, exptime);
+        self
+    }
+
+    /// Queues a `cas` with `token`.
+    pub fn cas(&mut self, key: &[u8], value: &[u8], flags: u32, exptime: u64, token: u64) -> &mut Self {
+        self.buf.put_slice(b"cas ");
+        self.buf.put_slice(key);
+        self.buf
+            .put_slice(format!(" {flags} {exptime} {} {token}\r\n", value.len()).as_bytes());
+        self.buf.put_slice(value);
+        self.buf.put_slice(b"\r\n");
+        self
+    }
+
+    /// Queues a `get` for one key.
+    pub fn get(&mut self, key: &[u8]) -> &mut Self {
+        self.buf.put_slice(b"get ");
+        self.buf.put_slice(key);
+        self.buf.put_slice(b"\r\n");
+        self
+    }
+
+    /// Queues a `gets` (CAS tokens included in the reply).
+    pub fn gets(&mut self, key: &[u8]) -> &mut Self {
+        self.buf.put_slice(b"gets ");
+        self.buf.put_slice(key);
+        self.buf.put_slice(b"\r\n");
+        self
+    }
+
+    /// Queues a `delete`.
+    pub fn delete(&mut self, key: &[u8]) -> &mut Self {
+        self.buf.put_slice(b"delete ");
+        self.buf.put_slice(key);
+        self.buf.put_slice(b"\r\n");
+        self
+    }
+
+    /// Queues an `incr` (or `decr` when `decrement`).
+    pub fn incr_decr(&mut self, key: &[u8], delta: u64, decrement: bool) -> &mut Self {
+        self.buf
+            .put_slice(if decrement { b"decr ".as_slice() } else { b"incr ".as_slice() });
+        self.buf.put_slice(key);
+        self.buf.put_slice(format!(" {delta}\r\n").as_bytes());
+        self
+    }
+
+    /// Takes the queued bytes, leaving the builder empty.
+    pub fn take(&mut self) -> Bytes {
+        self.buf.split().freeze()
+    }
+}
+
+/// One parsed server reply.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Reply {
+    /// A `VALUE … END` block (possibly empty on a miss).
+    Values(Vec<Value>),
+    /// `STORED`.
+    Stored,
+    /// `NOT_STORED`.
+    NotStored,
+    /// `EXISTS` (CAS conflict).
+    Exists,
+    /// `NOT_FOUND`.
+    NotFound,
+    /// `DELETED`.
+    Deleted,
+    /// `TOUCHED`.
+    Touched,
+    /// An `incr`/`decr` result.
+    Number(u64),
+    /// `VERSION <text>`.
+    Version(String),
+    /// `OK` (e.g. `flush_all`).
+    Ok,
+    /// `ERROR` / `CLIENT_ERROR …` / `SERVER_ERROR …`.
+    Error(String),
+}
+
+/// One `VALUE` block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Value {
+    /// Item key.
+    pub key: Vec<u8>,
+    /// Client-opaque flags.
+    pub flags: u32,
+    /// Value bytes.
+    pub data: Vec<u8>,
+    /// CAS token when the request was a `gets`.
+    pub cas: Option<u64>,
+}
+
+/// Client-side parse failure (malformed server output).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BadReply(pub String);
+
+impl core::fmt::Display for BadReply {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "malformed server reply: {}", self.0)
+    }
+}
+
+impl std::error::Error for BadReply {}
+
+/// Incrementally parses one reply from `buf`. `Ok(None)` means more
+/// bytes are needed; on success the reply's bytes are consumed.
+///
+/// # Errors
+///
+/// [`BadReply`] when the server output doesn't follow the protocol.
+pub fn parse_reply(buf: &mut BytesMut) -> Result<Option<Reply>, BadReply> {
+    let Some(line_end) = buf.windows(2).position(|w| w == b"\r\n") else {
+        return Ok(None);
+    };
+    let line = String::from_utf8_lossy(&buf[..line_end]).into_owned();
+    let mut words = line.split(' ');
+    match words.next().unwrap_or("") {
+        "VALUE" => parse_value_block(buf),
+        "END" => {
+            buf.advance(line_end + 2);
+            Ok(Some(Reply::Values(Vec::new())))
+        }
+        "STORED" => consume(buf, line_end, Reply::Stored),
+        "NOT_STORED" => consume(buf, line_end, Reply::NotStored),
+        "EXISTS" => consume(buf, line_end, Reply::Exists),
+        "NOT_FOUND" => consume(buf, line_end, Reply::NotFound),
+        "DELETED" => consume(buf, line_end, Reply::Deleted),
+        "TOUCHED" => consume(buf, line_end, Reply::Touched),
+        "OK" => consume(buf, line_end, Reply::Ok),
+        "VERSION" => {
+            let version = line["VERSION ".len().min(line.len())..].to_owned();
+            consume(buf, line_end, Reply::Version(version))
+        }
+        "ERROR" | "CLIENT_ERROR" | "SERVER_ERROR" => {
+            let err = line.clone();
+            consume(buf, line_end, Reply::Error(err))
+        }
+        first if first.chars().all(|c| c.is_ascii_digit()) && !first.is_empty() => {
+            let n = first.parse().map_err(|_| BadReply(line.clone()))?;
+            consume(buf, line_end, Reply::Number(n))
+        }
+        _ => Err(BadReply(line)),
+    }
+}
+
+fn consume(buf: &mut BytesMut, line_end: usize, reply: Reply) -> Result<Option<Reply>, BadReply> {
+    buf.advance(line_end + 2);
+    Ok(Some(reply))
+}
+
+/// Parses `VALUE …` blocks up to the terminating `END`.
+fn parse_value_block(buf: &mut BytesMut) -> Result<Option<Reply>, BadReply> {
+    // Scan without consuming until the whole block (through END) is here.
+    let mut values = Vec::new();
+    let mut pos = 0usize;
+    loop {
+        let Some(rel_end) = buf[pos..].windows(2).position(|w| w == b"\r\n") else {
+            return Ok(None);
+        };
+        let line_end = pos + rel_end;
+        let line = String::from_utf8_lossy(&buf[pos..line_end]).into_owned();
+        if line == "END" {
+            buf.advance(line_end + 2);
+            return Ok(Some(Reply::Values(values)));
+        }
+        let mut words = line.split(' ');
+        if words.next() != Some("VALUE") {
+            return Err(BadReply(line));
+        }
+        let key = words.next().ok_or_else(|| BadReply(line.clone()))?.as_bytes().to_vec();
+        let flags: u32 = words
+            .next()
+            .and_then(|w| w.parse().ok())
+            .ok_or_else(|| BadReply(line.clone()))?;
+        let nbytes: usize = words
+            .next()
+            .and_then(|w| w.parse().ok())
+            .filter(|&n: &usize| n <= 64 << 20)
+            .ok_or_else(|| BadReply(line.clone()))?;
+        let cas: Option<u64> = words.next().and_then(|w| w.parse().ok());
+        let data_start = line_end + 2;
+        if buf.len() < data_start + nbytes + 2 {
+            return Ok(None);
+        }
+        if &buf[data_start + nbytes..data_start + nbytes + 2] != b"\r\n" {
+            return Err(BadReply("unterminated data block".into()));
+        }
+        values.push(Value {
+            key,
+            flags,
+            data: buf[data_start..data_start + nbytes].to_vec(),
+            cas,
+        });
+        pos = data_start + nbytes + 2;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse_all(mut input: BytesMut) -> Vec<Reply> {
+        let mut replies = Vec::new();
+        while let Some(reply) = parse_reply(&mut input).expect("well-formed") {
+            replies.push(reply);
+        }
+        replies
+    }
+
+    #[test]
+    fn builder_produces_protocol_bytes() {
+        let mut b = RequestBuilder::new();
+        b.add(b"a", b"1", 2, 3)
+            .delete(b"a")
+            .gets(b"a")
+            .incr_decr(b"n", 4, true)
+            .cas(b"c", b"v", 0, 0, 77);
+        let bytes = b.take();
+        let text = String::from_utf8_lossy(&bytes).into_owned();
+        assert!(text.starts_with("add a 2 3 1\r\n1\r\n"));
+        assert!(text.contains("delete a\r\n"));
+        assert!(text.contains("gets a\r\n"));
+        assert!(text.contains("decr n 4\r\n"));
+        assert!(text.contains("cas c 0 0 1 77\r\nv\r\n"));
+        assert!(b.take().is_empty(), "take drains");
+    }
+
+    #[test]
+    fn parses_simple_replies() {
+        let replies = parse_all(BytesMut::from(
+            &b"STORED\r\nNOT_STORED\r\nEXISTS\r\nNOT_FOUND\r\nDELETED\r\nTOUCHED\r\nOK\r\n42\r\nVERSION 1.4\r\n"[..],
+        ));
+        assert_eq!(replies.len(), 9);
+        assert_eq!(replies[7], Reply::Number(42));
+        assert_eq!(replies[8], Reply::Version("1.4".into()));
+    }
+
+    #[test]
+    fn parses_value_blocks() {
+        let replies = parse_all(BytesMut::from(
+            &b"VALUE k 7 5\r\nhello\r\nVALUE j 0 2 99\r\nhi\r\nEND\r\n"[..],
+        ));
+        assert_eq!(replies.len(), 1);
+        let Reply::Values(values) = &replies[0] else {
+            panic!("expected values");
+        };
+        assert_eq!(values.len(), 2);
+        assert_eq!(values[0].data, b"hello");
+        assert_eq!(values[0].cas, None);
+        assert_eq!(values[1].cas, Some(99));
+    }
+
+    #[test]
+    fn empty_get_result_is_empty_values() {
+        let replies = parse_all(BytesMut::from(&b"END\r\n"[..]));
+        assert_eq!(replies, vec![Reply::Values(Vec::new())]);
+    }
+
+    #[test]
+    fn incomplete_input_waits() {
+        let mut buf = BytesMut::from(&b"VALUE k 0 10\r\nonly4"[..]);
+        assert_eq!(parse_reply(&mut buf).unwrap(), None);
+        assert_eq!(&buf[..5], b"VALUE", "nothing consumed");
+        let mut buf = BytesMut::from(&b"STOR"[..]);
+        assert_eq!(parse_reply(&mut buf).unwrap(), None);
+    }
+
+    #[test]
+    fn garbage_is_an_error() {
+        let mut buf = BytesMut::from(&b"WHAT 1 2\r\n"[..]);
+        assert!(parse_reply(&mut buf).is_err());
+    }
+
+    #[test]
+    fn error_lines_are_replies_not_failures() {
+        let replies = parse_all(BytesMut::from(&b"CLIENT_ERROR bad data chunk\r\n"[..]));
+        assert!(matches!(&replies[0], Reply::Error(e) if e.contains("bad data")));
+    }
+
+    #[test]
+    fn loopback_through_the_server() {
+        use crate::server::serve_buffer;
+        use crate::store::{KvStore, StoreConfig};
+        let mut store = KvStore::new(StoreConfig::with_capacity(8 << 20));
+        let mut b = RequestBuilder::new();
+        b.set(b"k", b"hello", 1, 0).gets(b"k").incr_decr(b"k", 1, false);
+        let out = serve_buffer(&mut store, &b.take(), 0);
+        let replies = parse_all(BytesMut::from(&out[..]));
+        assert_eq!(replies[0], Reply::Stored);
+        let Reply::Values(values) = &replies[1] else {
+            panic!("expected values");
+        };
+        assert_eq!(values[0].data, b"hello");
+        assert!(values[0].cas.is_some());
+        assert!(matches!(&replies[2], Reply::Error(_)), "incr on text errors");
+    }
+}

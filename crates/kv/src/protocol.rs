@@ -1,0 +1,604 @@
+//! The Memcached text protocol (the subset the paper's workloads use:
+//! `get`, `gets`, `set`, `delete`, `touch`, `flush_all`, `stats`, plus
+//! `version` and `quit`).
+//!
+//! Parsing is incremental over a [`bytes::BytesMut`]: a parse call either
+//! yields a complete command (consuming its bytes), reports that more
+//! bytes are needed, or fails with a protocol error — exactly the contract
+//! a byte-stream server loop needs.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::store::{GetHit, StoreError};
+
+/// Maximum accepted command-line length (Memcached rejects longer).
+pub const MAX_LINE_BYTES: usize = 2048;
+
+/// Which storage semantics a data-block command carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StoreVerb {
+    /// Unconditional store.
+    Set,
+    /// Store only if absent.
+    Add,
+    /// Store only if present.
+    Replace,
+    /// Append to an existing value.
+    Append,
+    /// Prepend to an existing value.
+    Prepend,
+    /// Compare-and-swap against a token.
+    Cas,
+}
+
+/// A parsed client command.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Command {
+    /// `get <key>+` — fetch one or more keys.
+    Get {
+        /// Keys requested.
+        keys: Vec<Bytes>,
+        /// Whether CAS tokens were requested (`gets`).
+        with_cas: bool,
+    },
+    /// `set|add|replace|append|prepend|cas <key> <flags> <exptime>
+    /// <bytes> [cas] [noreply]` + data block.
+    Set {
+        /// Storage semantics.
+        verb: StoreVerb,
+        /// Item key.
+        key: Bytes,
+        /// Client-opaque flags.
+        flags: u32,
+        /// Expiry in seconds (0 = immortal).
+        exptime: u64,
+        /// Value bytes.
+        data: Bytes,
+        /// CAS token (only for `cas`).
+        cas: u64,
+        /// Suppress the reply.
+        noreply: bool,
+    },
+    /// `incr <key> <delta> [noreply]` / `decr …`.
+    IncrDecr {
+        /// Item key.
+        key: Bytes,
+        /// Unsigned delta.
+        delta: u64,
+        /// True for `decr`.
+        decrement: bool,
+        /// Suppress the reply.
+        noreply: bool,
+    },
+    /// `delete <key> [noreply]`.
+    Delete {
+        /// Item key.
+        key: Bytes,
+        /// Suppress the reply.
+        noreply: bool,
+    },
+    /// `touch <key> <exptime> [noreply]`.
+    Touch {
+        /// Item key.
+        key: Bytes,
+        /// New expiry in seconds.
+        exptime: u64,
+        /// Suppress the reply.
+        noreply: bool,
+    },
+    /// `flush_all`.
+    FlushAll,
+    /// `stats`.
+    Stats,
+    /// `version`.
+    Version,
+    /// `quit`.
+    Quit,
+}
+
+/// Protocol-level parse errors (the server answers `CLIENT_ERROR`/`ERROR`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProtocolError {
+    /// Unknown verb.
+    UnknownCommand(String),
+    /// Malformed arguments for a known verb.
+    BadArguments(&'static str),
+    /// Command line exceeded [`MAX_LINE_BYTES`].
+    LineTooLong,
+    /// Data block wasn't terminated with CRLF.
+    BadDataChunk,
+}
+
+impl core::fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ProtocolError::UnknownCommand(verb) => write!(f, "unknown command {verb:?}"),
+            ProtocolError::BadArguments(what) => write!(f, "bad arguments: {what}"),
+            ProtocolError::LineTooLong => write!(f, "command line too long"),
+            ProtocolError::BadDataChunk => write!(f, "bad data chunk"),
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+/// Incremental parse outcome.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Parsed {
+    /// A complete command was consumed from the buffer.
+    Complete(Command),
+    /// The buffer does not yet hold a complete command; read more bytes.
+    Incomplete,
+}
+
+/// Tries to parse one command from the front of `buf`.
+///
+/// On [`Parsed::Complete`] the command's bytes (including its data block,
+/// for `set`) have been consumed. On [`Parsed::Incomplete`] the buffer is
+/// untouched.
+///
+/// # Errors
+///
+/// Returns a [`ProtocolError`] for malformed input; the caller should
+/// answer with [`render_error`] and close or resynchronize.
+///
+/// # Examples
+///
+/// ```
+/// use bytes::BytesMut;
+/// use densekv_kv::protocol::{parse_command, Command, Parsed};
+///
+/// let mut buf = BytesMut::from(&b"get user:42\r\n"[..]);
+/// match parse_command(&mut buf)? {
+///     Parsed::Complete(Command::Get { keys, .. }) => {
+///         assert_eq!(&keys[0][..], b"user:42");
+///     }
+///     other => panic!("unexpected: {other:?}"),
+/// }
+/// # Ok::<(), densekv_kv::protocol::ProtocolError>(())
+/// ```
+pub fn parse_command(buf: &mut BytesMut) -> Result<Parsed, ProtocolError> {
+    let Some(line_end) = find_crlf(buf) else {
+        if buf.len() > MAX_LINE_BYTES {
+            return Err(ProtocolError::LineTooLong);
+        }
+        return Ok(Parsed::Incomplete);
+    };
+    if line_end > MAX_LINE_BYTES {
+        return Err(ProtocolError::LineTooLong);
+    }
+
+    // Peek the line without consuming: `set` needs the data block too.
+    let line: Vec<u8> = buf[..line_end].to_vec();
+    let mut parts = line
+        .split(|&b| b == b' ')
+        .filter(|token| !token.is_empty());
+    let verb = parts.next().unwrap_or(b"");
+
+    match verb {
+        b"get" | b"gets" => {
+            let keys: Vec<Bytes> = parts.map(Bytes::copy_from_slice).collect();
+            if keys.is_empty() {
+                return Err(ProtocolError::BadArguments("get needs at least one key"));
+            }
+            buf.advance(line_end + 2);
+            Ok(Parsed::Complete(Command::Get {
+                keys,
+                with_cas: verb == b"gets",
+            }))
+        }
+        b"set" | b"add" | b"replace" | b"append" | b"prepend" | b"cas" => {
+            let store_verb = match verb {
+                b"set" => StoreVerb::Set,
+                b"add" => StoreVerb::Add,
+                b"replace" => StoreVerb::Replace,
+                b"append" => StoreVerb::Append,
+                b"prepend" => StoreVerb::Prepend,
+                _ => StoreVerb::Cas,
+            };
+            let key = parts
+                .next()
+                .ok_or(ProtocolError::BadArguments("storage command needs a key"))?;
+            let flags = parse_u64(parts.next(), "flags")? as u32;
+            let exptime = parse_u64(parts.next(), "exptime")?;
+            let nbytes = parse_u64(parts.next(), "bytes")?;
+            // Memcached rejects oversized items up front; the bound also
+            // keeps the length arithmetic below overflow-safe.
+            if nbytes > 64 << 20 {
+                return Err(ProtocolError::BadArguments("data block too large"));
+            }
+            let nbytes = nbytes as usize;
+            let cas = if store_verb == StoreVerb::Cas {
+                parse_u64(parts.next(), "cas token")?
+            } else {
+                0
+            };
+            let noreply = matches!(parts.next(), Some(b"noreply"));
+            let data_start = line_end + 2;
+            let needed = data_start + nbytes + 2;
+            if buf.len() < needed {
+                return Ok(Parsed::Incomplete);
+            }
+            if &buf[data_start + nbytes..needed] != b"\r\n" {
+                return Err(ProtocolError::BadDataChunk);
+            }
+            let key = Bytes::copy_from_slice(key);
+            buf.advance(data_start);
+            let data = buf.split_to(nbytes).freeze();
+            buf.advance(2);
+            Ok(Parsed::Complete(Command::Set {
+                verb: store_verb,
+                key,
+                flags,
+                exptime,
+                data,
+                cas,
+                noreply,
+            }))
+        }
+        b"incr" | b"decr" => {
+            let key = parts
+                .next()
+                .ok_or(ProtocolError::BadArguments("incr/decr needs a key"))?;
+            let delta = parse_u64(parts.next(), "delta")?;
+            let noreply = matches!(parts.next(), Some(b"noreply"));
+            let cmd = Command::IncrDecr {
+                key: Bytes::copy_from_slice(key),
+                delta,
+                decrement: verb == b"decr",
+                noreply,
+            };
+            buf.advance(line_end + 2);
+            Ok(Parsed::Complete(cmd))
+        }
+        b"delete" => {
+            let key = parts
+                .next()
+                .ok_or(ProtocolError::BadArguments("delete needs a key"))?;
+            let noreply = matches!(parts.next(), Some(b"noreply"));
+            let cmd = Command::Delete {
+                key: Bytes::copy_from_slice(key),
+                noreply,
+            };
+            buf.advance(line_end + 2);
+            Ok(Parsed::Complete(cmd))
+        }
+        b"touch" => {
+            let key = parts
+                .next()
+                .ok_or(ProtocolError::BadArguments("touch needs a key"))?;
+            let exptime = parse_u64(parts.next(), "exptime")?;
+            let noreply = matches!(parts.next(), Some(b"noreply"));
+            let cmd = Command::Touch {
+                key: Bytes::copy_from_slice(key),
+                exptime,
+                noreply,
+            };
+            buf.advance(line_end + 2);
+            Ok(Parsed::Complete(cmd))
+        }
+        b"flush_all" => {
+            buf.advance(line_end + 2);
+            Ok(Parsed::Complete(Command::FlushAll))
+        }
+        b"stats" => {
+            buf.advance(line_end + 2);
+            Ok(Parsed::Complete(Command::Stats))
+        }
+        b"version" => {
+            buf.advance(line_end + 2);
+            Ok(Parsed::Complete(Command::Version))
+        }
+        b"quit" => {
+            buf.advance(line_end + 2);
+            Ok(Parsed::Complete(Command::Quit))
+        }
+        other => Err(ProtocolError::UnknownCommand(
+            String::from_utf8_lossy(other).into_owned(),
+        )),
+    }
+}
+
+fn find_crlf(buf: &[u8]) -> Option<usize> {
+    buf.windows(2).position(|w| w == b"\r\n")
+}
+
+fn parse_u64(token: Option<&[u8]>, what: &'static str) -> Result<u64, ProtocolError> {
+    let token = token.ok_or(ProtocolError::BadArguments(what))?;
+    std::str::from_utf8(token)
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .ok_or(ProtocolError::BadArguments(what))
+}
+
+/// Renders a `VALUE` block for one GET hit.
+pub fn render_value(out: &mut BytesMut, key: &[u8], hit: &GetHit, with_cas: bool) {
+    out.put_slice(b"VALUE ");
+    out.put_slice(key);
+    if with_cas {
+        out.put_slice(format!(" {} {} {}\r\n", hit.flags(), hit.value().len(), hit.cas()).as_bytes());
+    } else {
+        out.put_slice(format!(" {} {}\r\n", hit.flags(), hit.value().len()).as_bytes());
+    }
+    out.put_slice(hit.value());
+    out.put_slice(b"\r\n");
+}
+
+/// Terminates a GET response.
+pub fn render_end(out: &mut BytesMut) {
+    out.put_slice(b"END\r\n");
+}
+
+/// Renders the reply to a storage command.
+pub fn render_stored(out: &mut BytesMut) {
+    out.put_slice(b"STORED\r\n");
+}
+
+/// Renders the reply to a delete.
+pub fn render_deleted(out: &mut BytesMut, existed: bool) {
+    out.put_slice(if existed { b"DELETED\r\n".as_slice() } else { b"NOT_FOUND\r\n".as_slice() });
+}
+
+/// Renders a store-side failure.
+pub fn render_store_error(out: &mut BytesMut, err: &StoreError) {
+    match err {
+        StoreError::OutOfMemory => out.put_slice(b"SERVER_ERROR out of memory storing object\r\n"),
+        StoreError::CasMismatch => out.put_slice(b"EXISTS\r\n"),
+        StoreError::NotFound => out.put_slice(b"NOT_FOUND\r\n"),
+        StoreError::Exists => out.put_slice(b"NOT_STORED\r\n"),
+        StoreError::NotNumeric => out.put_slice(
+            b"CLIENT_ERROR cannot increment or decrement non-numeric value\r\n",
+        ),
+        other => {
+            out.put_slice(b"CLIENT_ERROR ");
+            out.put_slice(other.to_string().as_bytes());
+            out.put_slice(b"\r\n");
+        }
+    }
+}
+
+/// Renders an `incr`/`decr` result.
+pub fn render_number(out: &mut BytesMut, value: u64) {
+    out.put_slice(value.to_string().as_bytes());
+    out.put_slice(b"\r\n");
+}
+
+/// Renders a protocol-level failure.
+pub fn render_error(out: &mut BytesMut, err: &ProtocolError) {
+    match err {
+        ProtocolError::UnknownCommand(_) => out.put_slice(b"ERROR\r\n"),
+        other => {
+            out.put_slice(b"CLIENT_ERROR ");
+            out.put_slice(other.to_string().as_bytes());
+            out.put_slice(b"\r\n");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::{KvStore, StoreConfig};
+
+    fn parse_one(input: &[u8]) -> Result<Parsed, ProtocolError> {
+        let mut buf = BytesMut::from(input);
+        parse_command(&mut buf)
+    }
+
+    #[test]
+    fn get_single_and_multi() {
+        match parse_one(b"get a\r\n").unwrap() {
+            Parsed::Complete(Command::Get { keys, with_cas }) => {
+                assert_eq!(keys.len(), 1);
+                assert!(!with_cas);
+            }
+            other => panic!("{other:?}"),
+        }
+        match parse_one(b"gets a bb ccc\r\n").unwrap() {
+            Parsed::Complete(Command::Get { keys, with_cas }) => {
+                assert_eq!(keys.len(), 3);
+                assert_eq!(&keys[2][..], b"ccc");
+                assert!(with_cas);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn set_with_data_block() {
+        let mut buf = BytesMut::from(&b"set k 7 60 5\r\nhello\r\nget k\r\n"[..]);
+        match parse_command(&mut buf).unwrap() {
+            Parsed::Complete(Command::Set {
+                verb,
+                key,
+                flags,
+                exptime,
+                data,
+                cas,
+                noreply,
+            }) => {
+                assert_eq!(verb, StoreVerb::Set);
+                assert_eq!(&key[..], b"k");
+                assert_eq!(flags, 7);
+                assert_eq!(exptime, 60);
+                assert_eq!(&data[..], b"hello");
+                assert_eq!(cas, 0);
+                assert!(!noreply);
+            }
+            other => panic!("{other:?}"),
+        }
+        // The following command is still in the buffer.
+        assert!(matches!(
+            parse_command(&mut buf).unwrap(),
+            Parsed::Complete(Command::Get { .. })
+        ));
+    }
+
+    #[test]
+    fn set_noreply_flag() {
+        match parse_one(b"set k 0 0 2 noreply\r\nhi\r\n").unwrap() {
+            Parsed::Complete(Command::Set { noreply, .. }) => assert!(noreply),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn incomplete_inputs_wait_for_more() {
+        assert_eq!(parse_one(b"get a").unwrap(), Parsed::Incomplete);
+        assert_eq!(parse_one(b"set k 0 0 10\r\nhalf").unwrap(), Parsed::Incomplete);
+        // Incomplete parse leaves the buffer intact.
+        let mut buf = BytesMut::from(&b"set k 0 0 4\r\nab"[..]);
+        let before = buf.clone();
+        assert_eq!(parse_command(&mut buf).unwrap(), Parsed::Incomplete);
+        assert_eq!(buf, before);
+    }
+
+    #[test]
+    fn value_data_may_contain_spaces_and_binary() {
+        match parse_one(b"set k 0 0 6\r\na b\r\nc\r\n").unwrap() {
+            Parsed::Complete(Command::Set { data, .. }) => assert_eq!(&data[..], b"a b\r\nc"),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn errors() {
+        assert!(matches!(
+            parse_one(b"frobnicate\r\n"),
+            Err(ProtocolError::UnknownCommand(_))
+        ));
+        assert!(matches!(
+            parse_one(b"set k 0 0 notanumber\r\n"),
+            Err(ProtocolError::BadArguments(_))
+        ));
+        assert!(matches!(
+            parse_one(b"set k 0 0 3\r\nabcX\r"),
+            Err(ProtocolError::BadDataChunk) | Ok(Parsed::Incomplete)
+        ));
+        assert!(matches!(parse_one(b"get\r\n"), Err(ProtocolError::BadArguments(_))));
+    }
+
+    #[test]
+    fn misc_verbs() {
+        assert!(matches!(
+            parse_one(b"flush_all\r\n").unwrap(),
+            Parsed::Complete(Command::FlushAll)
+        ));
+        assert!(matches!(
+            parse_one(b"stats\r\n").unwrap(),
+            Parsed::Complete(Command::Stats)
+        ));
+        assert!(matches!(
+            parse_one(b"version\r\n").unwrap(),
+            Parsed::Complete(Command::Version)
+        ));
+        assert!(matches!(
+            parse_one(b"quit\r\n").unwrap(),
+            Parsed::Complete(Command::Quit)
+        ));
+        assert!(matches!(
+            parse_one(b"touch k 30\r\n").unwrap(),
+            Parsed::Complete(Command::Touch { exptime: 30, .. })
+        ));
+    }
+
+    #[test]
+    fn render_roundtrip_through_store() {
+        let mut store = KvStore::new(StoreConfig::with_capacity(4 << 20));
+        store.set_with_flags(b"k", b"world".to_vec(), 9, None, 0).unwrap();
+        let hit = store.get(b"k", 0).unwrap();
+        let mut out = BytesMut::new();
+        render_value(&mut out, b"k", &hit, false);
+        render_end(&mut out);
+        assert_eq!(&out[..], b"VALUE k 9 5\r\nworld\r\nEND\r\n");
+        let mut out = BytesMut::new();
+        render_value(&mut out, b"k", &hit, true);
+        let text = String::from_utf8_lossy(&out).into_owned();
+        assert!(text.starts_with("VALUE k 9 5 "), "{text}");
+    }
+
+    #[test]
+    fn render_misc() {
+        let mut out = BytesMut::new();
+        render_stored(&mut out);
+        render_deleted(&mut out, true);
+        render_deleted(&mut out, false);
+        render_store_error(&mut out, &StoreError::OutOfMemory);
+        render_error(&mut out, &ProtocolError::UnknownCommand("x".into()));
+        let text = String::from_utf8_lossy(&out).into_owned();
+        assert!(text.contains("STORED"));
+        assert!(text.contains("DELETED"));
+        assert!(text.contains("NOT_FOUND"));
+        assert!(text.contains("SERVER_ERROR"));
+        assert!(text.ends_with("ERROR\r\n"));
+    }
+
+    #[test]
+    fn storage_verb_family() {
+        for (text, verb) in [
+            (&b"add k 0 0 2\r\nhi\r\n"[..], StoreVerb::Add),
+            (b"replace k 0 0 2\r\nhi\r\n", StoreVerb::Replace),
+            (b"append k 0 0 2\r\nhi\r\n", StoreVerb::Append),
+            (b"prepend k 0 0 2\r\nhi\r\n", StoreVerb::Prepend),
+        ] {
+            match parse_one(text).unwrap() {
+                Parsed::Complete(Command::Set { verb: v, data, .. }) => {
+                    assert_eq!(v, verb);
+                    assert_eq!(&data[..], b"hi");
+                }
+                other => panic!("{other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn cas_carries_token() {
+        match parse_one(b"cas k 1 0 2 99\r\nhi\r\n").unwrap() {
+            Parsed::Complete(Command::Set {
+                verb, cas, noreply, ..
+            }) => {
+                assert_eq!(verb, StoreVerb::Cas);
+                assert_eq!(cas, 99);
+                assert!(!noreply);
+            }
+            other => panic!("{other:?}"),
+        }
+        match parse_one(b"cas k 1 0 2 99 noreply\r\nhi\r\n").unwrap() {
+            Parsed::Complete(Command::Set { noreply, .. }) => assert!(noreply),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn incr_decr_parse() {
+        match parse_one(b"incr counter 5\r\n").unwrap() {
+            Parsed::Complete(Command::IncrDecr {
+                delta, decrement, ..
+            }) => {
+                assert_eq!(delta, 5);
+                assert!(!decrement);
+            }
+            other => panic!("{other:?}"),
+        }
+        match parse_one(b"decr counter 3\r\n").unwrap() {
+            Parsed::Complete(Command::IncrDecr { decrement, .. }) => assert!(decrement),
+            other => panic!("{other:?}"),
+        }
+        assert!(matches!(
+            parse_one(b"incr counter notanumber\r\n"),
+            Err(ProtocolError::BadArguments(_))
+        ));
+    }
+
+    #[test]
+    fn render_number_and_new_errors() {
+        let mut out = BytesMut::new();
+        render_number(&mut out, 16);
+        render_store_error(&mut out, &StoreError::Exists);
+        render_store_error(&mut out, &StoreError::NotNumeric);
+        let text = String::from_utf8_lossy(&out).into_owned();
+        assert!(text.starts_with("16\r\n"));
+        assert!(text.contains("NOT_STORED"));
+        assert!(text.contains("non-numeric"));
+    }
+}

@@ -1,0 +1,266 @@
+//! The server-side command loop: dispatches parsed protocol commands to
+//! a [`KvStore`] and renders responses — the glue between
+//! [`crate::protocol`] and [`crate::store`] that a byte-stream server
+//! (or the simulator's functional path) runs per connection.
+
+use bytes::BytesMut;
+
+use crate::protocol::{
+    parse_command, render_deleted, render_end, render_error, render_number, render_stored,
+    render_store_error, render_value, Command, Parsed, ProtocolError, StoreVerb,
+};
+use crate::store::{KvStore, StoreError};
+
+/// What the connection should do after a command.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Disposition {
+    /// Keep serving this connection.
+    KeepAlive,
+    /// The client sent `quit`.
+    Close,
+}
+
+/// Executes one parsed command against `store` at time `now` (seconds),
+/// appending any response to `out`.
+pub fn handle_command(
+    store: &mut KvStore,
+    command: Command,
+    now: u64,
+    out: &mut BytesMut,
+) -> Disposition {
+    match command {
+        Command::Get { keys, with_cas } => {
+            for key in &keys {
+                if let Some(hit) = store.get(key, now) {
+                    render_value(out, key, &hit, with_cas);
+                }
+            }
+            render_end(out);
+        }
+        Command::Set {
+            verb,
+            key,
+            flags,
+            exptime,
+            data,
+            cas,
+            noreply,
+        } => {
+            let ttl = (exptime > 0).then_some(exptime);
+            let result = match verb {
+                StoreVerb::Set => store
+                    .set_with_flags(&key, data.to_vec(), flags, ttl, now)
+                    .map(|_| ()),
+                StoreVerb::Add => store.add(&key, data.to_vec(), ttl, now).map(|_| ()),
+                StoreVerb::Replace => store.replace(&key, data.to_vec(), ttl, now).map(|_| ()),
+                StoreVerb::Append => store.concat(&key, &data, false, now).map(|_| ()),
+                StoreVerb::Prepend => store.concat(&key, &data, true, now).map(|_| ()),
+                StoreVerb::Cas => store.cas(&key, data.to_vec(), cas, ttl, now).map(|_| ()),
+            };
+            if !noreply {
+                match result {
+                    Ok(()) => render_stored(out),
+                    Err(e) => render_store_error(out, &e),
+                }
+            }
+        }
+        Command::IncrDecr {
+            key,
+            delta,
+            decrement,
+            noreply,
+        } => {
+            let result = store.incr_decr(&key, delta, decrement, now);
+            if !noreply {
+                match result {
+                    Ok(value) => render_number(out, value),
+                    Err(e) => render_store_error(out, &e),
+                }
+            }
+        }
+        Command::Delete { key, noreply } => {
+            let existed = store.delete(&key).is_some();
+            if !noreply {
+                render_deleted(out, existed);
+            }
+        }
+        Command::Touch {
+            key,
+            exptime,
+            noreply,
+        } => {
+            let touched = store.touch(&key, (exptime > 0).then_some(exptime), now);
+            if !noreply {
+                if touched {
+                    out.extend_from_slice(b"TOUCHED\r\n");
+                } else {
+                    render_store_error(out, &StoreError::NotFound);
+                }
+            }
+        }
+        Command::FlushAll => {
+            store.flush_all();
+            out.extend_from_slice(b"OK\r\n");
+        }
+        Command::Stats => {
+            let stats = store.stats();
+            for (name, value) in [
+                ("get_hits", stats.get_hits),
+                ("get_misses", stats.get_misses),
+                ("cmd_set", stats.sets),
+                ("evictions", stats.evictions),
+                ("expired_unfetched", stats.expirations),
+                ("curr_items", stats.items),
+                ("bytes", stats.bytes),
+            ] {
+                out.extend_from_slice(format!("STAT {name} {value}\r\n").as_bytes());
+            }
+            render_end(out);
+        }
+        Command::Version => out.extend_from_slice(b"VERSION 1.4.15-densekv\r\n"),
+        Command::Quit => return Disposition::Close,
+    }
+    Disposition::KeepAlive
+}
+
+/// Drains every complete command in `input` through `store`, returning
+/// the accumulated response bytes. Protocol errors are answered in-band
+/// (as Memcached does) and parsing continues at the next line where
+/// possible.
+///
+/// # Examples
+///
+/// ```
+/// use densekv_kv::server::serve_buffer;
+/// use densekv_kv::store::{KvStore, StoreConfig};
+///
+/// let mut store = KvStore::new(StoreConfig::with_capacity(8 << 20));
+/// let out = serve_buffer(&mut store, b"set k 0 0 2\r\nhi\r\nget k\r\n", 0);
+/// assert_eq!(&out[..], b"STORED\r\nVALUE k 0 2\r\nhi\r\nEND\r\n");
+/// ```
+pub fn serve_buffer(store: &mut KvStore, input: &[u8], now: u64) -> Vec<u8> {
+    let mut buf = BytesMut::from(input);
+    let mut out = BytesMut::new();
+    loop {
+        match parse_command(&mut buf) {
+            Ok(Parsed::Complete(command)) => {
+                if handle_command(store, command, now, &mut out) == Disposition::Close {
+                    break;
+                }
+            }
+            Ok(Parsed::Incomplete) => break,
+            Err(err) => {
+                render_error(&mut out, &err);
+                if !resync(&mut buf, &err) {
+                    break;
+                }
+            }
+        }
+    }
+    out.to_vec()
+}
+
+/// Skips past the offending line after a protocol error; returns whether
+/// parsing can continue.
+fn resync(buf: &mut BytesMut, err: &ProtocolError) -> bool {
+    if matches!(err, ProtocolError::BadDataChunk | ProtocolError::LineTooLong) {
+        // Framing is lost; a real server closes the connection.
+        return false;
+    }
+    if let Some(pos) = buf.windows(2).position(|w| w == b"\r\n") {
+        bytes::Buf::advance(buf, pos + 2);
+        true
+    } else {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::StoreConfig;
+
+    fn store() -> KvStore {
+        KvStore::new(StoreConfig::with_capacity(8 << 20))
+    }
+
+    fn text(store: &mut KvStore, input: &[u8]) -> String {
+        String::from_utf8(serve_buffer(store, input, 0)).expect("ascii")
+    }
+
+    #[test]
+    fn full_verb_tour() {
+        let mut s = store();
+        let out = text(
+            &mut s,
+            b"set k 0 0 3\r\nfoo\r\n\
+              add k 0 0 3\r\nbar\r\n\
+              append k 0 0 3\r\nbar\r\n\
+              get k\r\n\
+              set n 0 0 1\r\n5\r\n\
+              incr n 10\r\n\
+              decr n 100\r\n\
+              delete k\r\n\
+              delete k\r\n",
+        );
+        assert_eq!(
+            out,
+            "STORED\r\nNOT_STORED\r\nSTORED\r\nVALUE k 0 6\r\nfoobar\r\nEND\r\n\
+             STORED\r\n15\r\n0\r\nDELETED\r\nNOT_FOUND\r\n"
+        );
+    }
+
+    #[test]
+    fn cas_flow_over_the_wire() {
+        let mut s = store();
+        text(&mut s, b"set k 0 0 1\r\na\r\n");
+        let gets = text(&mut s, b"gets k\r\n");
+        // Extract the token from "VALUE k 0 1 <cas>".
+        let token: u64 = gets
+            .lines()
+            .next()
+            .and_then(|l| l.split(' ').nth(4))
+            .and_then(|t| t.parse().ok())
+            .expect("cas token in gets response");
+        let ok = text(&mut s, format!("cas k 0 0 1 {token}\r\nb\r\n").as_bytes());
+        assert_eq!(ok, "STORED\r\n");
+        let stale = text(&mut s, format!("cas k 0 0 1 {token}\r\nc\r\n").as_bytes());
+        assert_eq!(stale, "EXISTS\r\n");
+    }
+
+    #[test]
+    fn noreply_suppresses_output() {
+        let mut s = store();
+        let out = text(&mut s, b"set k 0 0 1 noreply\r\nx\r\nget k\r\n");
+        assert_eq!(out, "VALUE k 0 1\r\nx\r\nEND\r\n");
+    }
+
+    #[test]
+    fn stats_version_flush_touch() {
+        let mut s = store();
+        let out = text(
+            &mut s,
+            b"set k 0 0 1\r\nx\r\ntouch k 60\r\ntouch missing 60\r\nversion\r\nstats\r\nflush_all\r\nget k\r\n",
+        );
+        assert!(out.contains("TOUCHED"));
+        assert!(out.contains("NOT_FOUND"));
+        assert!(out.contains("VERSION"));
+        assert!(out.contains("STAT curr_items 1"));
+        assert!(out.contains("OK\r\n"));
+        assert!(out.ends_with("END\r\n"));
+    }
+
+    #[test]
+    fn errors_answered_in_band_then_resync() {
+        let mut s = store();
+        let out = text(&mut s, b"bogus\r\nget missing\r\n");
+        assert_eq!(out, "ERROR\r\nEND\r\n");
+    }
+
+    #[test]
+    fn quit_stops_processing() {
+        let mut s = store();
+        let out = text(&mut s, b"quit\r\nget k\r\n");
+        assert_eq!(out, "");
+    }
+}

@@ -1,0 +1,935 @@
+//! The key-value store: Memcached 1.4 semantics over the slab allocator,
+//! hash table, and eviction policies.
+//!
+//! Every operation returns (alongside its result) an [`AccessTrace`] — the
+//! byte offsets of the hash bucket, chain entries, item header, and value
+//! the operation touched. The simulator feeds those addresses to the cache
+//! and memory-device models, making the timing model execution-driven.
+
+use core::fmt;
+
+use crate::hash::jenkins_oaat;
+use crate::lru::{EvictionKind, EvictionPolicy};
+use crate::slab::{SlabAddr, SlabAllocator, SlabError};
+use crate::table::HashTable;
+
+/// Per-item metadata overhead, matching Memcached's `item` header plus
+/// chain pointers (48 B) — keys and values share the item's slab chunk.
+pub const ITEM_HEADER_BYTES: u64 = 48;
+
+/// Maximum key length (Memcached: 250 bytes).
+pub const MAX_KEY_BYTES: usize = 250;
+
+/// Errors returned by store operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreError {
+    /// Key exceeds [`MAX_KEY_BYTES`].
+    KeyTooLong {
+        /// Offending key length.
+        len: usize,
+    },
+    /// The item (header + key + value) exceeds the largest slab chunk.
+    ValueTooLarge {
+        /// Total item bytes requested.
+        bytes: u64,
+    },
+    /// Memory is exhausted and eviction could not make room.
+    OutOfMemory,
+    /// CAS token didn't match (the item changed since `gets`).
+    CasMismatch,
+    /// Target does not exist (CAS, `replace`, `append`, `incr`…).
+    NotFound,
+    /// `add` refused because the key already exists.
+    Exists,
+    /// `incr`/`decr` on a value that is not an unsigned decimal.
+    NotNumeric,
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::KeyTooLong { len } => write!(f, "key of {len} bytes exceeds 250"),
+            StoreError::ValueTooLarge { bytes } => {
+                write!(f, "item of {bytes} bytes exceeds the largest slab class")
+            }
+            StoreError::OutOfMemory => write!(f, "out of memory after eviction attempts"),
+            StoreError::CasMismatch => write!(f, "compare-and-swap token mismatch"),
+            StoreError::NotFound => write!(f, "key not found"),
+            StoreError::Exists => write!(f, "key already exists"),
+            StoreError::NotNumeric => write!(f, "value is not an unsigned decimal"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+/// Store configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StoreConfig {
+    /// Memory budget for item storage (slab arena), bytes.
+    pub memory_bytes: u64,
+    /// Eviction policy (per slab class, as in Memcached).
+    pub eviction: EvictionKind,
+    /// Initial hash-table buckets.
+    pub initial_buckets: u64,
+    /// Evict when full (Memcached `-M` disables this; we default on).
+    pub evict_on_full: bool,
+}
+
+impl StoreConfig {
+    /// A config with the given memory budget and defaults elsewhere.
+    pub fn with_capacity(memory_bytes: u64) -> Self {
+        StoreConfig {
+            memory_bytes,
+            eviction: EvictionKind::StrictLru,
+            initial_buckets: 1024,
+            evict_on_full: true,
+        }
+    }
+}
+
+impl Default for StoreConfig {
+    fn default() -> Self {
+        StoreConfig::with_capacity(64 << 20)
+    }
+}
+
+/// Counters exposed by `stats`, mirroring Memcached's.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StoreStats {
+    /// GETs that found a live item.
+    pub get_hits: u64,
+    /// GETs that missed (absent or expired).
+    pub get_misses: u64,
+    /// Successful SETs.
+    pub sets: u64,
+    /// Successful deletes.
+    pub deletes: u64,
+    /// Items evicted to make room.
+    pub evictions: u64,
+    /// Items dropped because their TTL lapsed (lazy expiry).
+    pub expirations: u64,
+    /// Live items.
+    pub items: u64,
+    /// Bytes of live item data (keys + values + headers).
+    pub bytes: u64,
+}
+
+/// Byte offsets (within the store's address space) an operation touched.
+///
+/// Layout: hash-table buckets live at the front of the address space
+/// (8 bytes per bucket); the slab arena follows at
+/// [`AccessTrace::SLAB_REGION_OFFSET`].
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct AccessTrace {
+    /// Offset of the hash bucket head examined.
+    pub bucket_offset: u64,
+    /// Offsets of the item headers walked along the chain (including the
+    /// matching item, if any).
+    pub chain_offsets: Vec<u64>,
+    /// Offset and length of the value read or written, if any.
+    pub value: Option<(u64, u64)>,
+}
+
+impl AccessTrace {
+    /// Where the slab arena starts in the store address space (1 GB in,
+    /// leaving room for any table size we simulate).
+    pub const SLAB_REGION_OFFSET: u64 = 1 << 30;
+
+    /// All metadata offsets (bucket + chain walk) in access order.
+    pub fn metadata_offsets(&self) -> impl Iterator<Item = u64> + '_ {
+        std::iter::once(self.bucket_offset).chain(self.chain_offsets.iter().copied())
+    }
+}
+
+/// A live item.
+#[derive(Debug, Clone)]
+struct Item {
+    key: Vec<u8>,
+    value: Vec<u8>,
+    flags: u32,
+    /// Absolute expiry in seconds; `None` = immortal.
+    expires_at: Option<u64>,
+    cas: u64,
+    addr: SlabAddr,
+}
+
+impl Item {
+    fn footprint(&self) -> u64 {
+        ITEM_HEADER_BYTES + self.key.len() as u64 + self.value.len() as u64
+    }
+}
+
+/// A successful GET.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GetHit {
+    value: Vec<u8>,
+    flags: u32,
+    cas: u64,
+    trace: AccessTrace,
+}
+
+impl GetHit {
+    /// The value bytes.
+    pub fn value(&self) -> &[u8] {
+        &self.value
+    }
+
+    /// The client-opaque flags stored with the item.
+    pub fn flags(&self) -> u32 {
+        self.flags
+    }
+
+    /// The CAS token (for `gets`/`cas`).
+    pub fn cas(&self) -> u64 {
+        self.cas
+    }
+
+    /// The addresses the lookup touched.
+    pub fn trace(&self) -> &AccessTrace {
+        &self.trace
+    }
+
+    /// Consumes the hit, returning the value.
+    pub fn into_value(self) -> Vec<u8> {
+        self.value
+    }
+}
+
+/// Outcome of a successful SET.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SetOutcome {
+    /// Items evicted to make room.
+    pub evicted: u64,
+    /// The addresses the operation touched.
+    pub trace: AccessTrace,
+}
+
+/// The single-threaded store. Concurrency wrappers live in
+/// [`crate::concurrent`].
+///
+/// # Examples
+///
+/// ```
+/// use densekv_kv::store::{KvStore, StoreConfig};
+///
+/// let mut store = KvStore::new(StoreConfig::with_capacity(16 << 20));
+/// store.set(b"k", b"v".to_vec(), None, 0)?;
+/// assert!(store.get(b"k", 0).is_some());
+/// assert!(store.delete(b"k").is_some());
+/// assert!(store.get(b"k", 0).is_none());
+/// # Ok::<(), densekv_kv::StoreError>(())
+/// ```
+pub struct KvStore {
+    config: StoreConfig,
+    slab: SlabAllocator,
+    table: HashTable,
+    /// One eviction policy per slab class (Memcached keeps per-class LRU).
+    policies: Vec<Box<dyn EvictionPolicy + Send>>,
+    items: Vec<Option<Item>>,
+    free_slots: Vec<u32>,
+    stats: StoreStats,
+    next_cas: u64,
+}
+
+impl fmt::Debug for KvStore {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("KvStore")
+            .field("config", &self.config)
+            .field("stats", &self.stats)
+            .finish_non_exhaustive()
+    }
+}
+
+impl KvStore {
+    /// Creates an empty store.
+    pub fn new(config: StoreConfig) -> Self {
+        let slab = SlabAllocator::new(config.memory_bytes);
+        let policies = (0..slab.class_count())
+            .map(|_| config.eviction.build())
+            .collect();
+        KvStore {
+            table: HashTable::new(config.initial_buckets),
+            policies,
+            items: Vec::new(),
+            free_slots: Vec::new(),
+            stats: StoreStats::default(),
+            next_cas: 1,
+            slab,
+            config,
+        }
+    }
+
+    /// Current statistics.
+    pub fn stats(&self) -> StoreStats {
+        self.stats
+    }
+
+    /// The configured memory budget.
+    pub fn capacity_bytes(&self) -> u64 {
+        self.slab.arena_bytes()
+    }
+
+    /// Live items.
+    pub fn len(&self) -> u64 {
+        self.stats.items
+    }
+
+    /// True when the store holds no items.
+    pub fn is_empty(&self) -> bool {
+        self.stats.items == 0
+    }
+
+    fn bucket_offset(&self, hash: u64) -> u64 {
+        (hash % self.table.bucket_count()) * 8
+    }
+
+    fn header_offset(&self, addr: SlabAddr) -> u64 {
+        AccessTrace::SLAB_REGION_OFFSET + self.slab.byte_offset(addr)
+    }
+
+    fn value_offset(&self, item: &Item) -> u64 {
+        self.header_offset(item.addr) + ITEM_HEADER_BYTES + item.key.len() as u64
+    }
+
+    fn is_expired(item: &Item, now: u64) -> bool {
+        item.expires_at.is_some_and(|t| t <= now)
+    }
+
+    /// Looks up a live item slot, lazily expiring a stale one. Returns the
+    /// slot and the trace of the walk.
+    fn lookup(&mut self, key: &[u8], hash: u64, now: u64) -> (Option<u32>, AccessTrace) {
+        let items = &self.items;
+        let found = self.table.find_with(hash, |slot| {
+            items[slot as usize]
+                .as_ref()
+                .is_some_and(|item| item.key == key)
+        });
+        let mut trace = AccessTrace {
+            bucket_offset: self.bucket_offset(hash),
+            chain_offsets: Vec::new(),
+            value: None,
+        };
+        // Reconstruct chain-walk addresses: we log the matched item's
+        // header (dependent loads along the chain are represented by the
+        // probe count).
+        if let Some(slot) = found.slot {
+            let item = self.items[slot as usize].as_ref().expect("found slot live");
+            for _ in 1..found.probes {
+                // Probed-but-unmatched headers: charge one header line each;
+                // we use the matched item's neighbourhood as a proxy address.
+                trace.chain_offsets.push(self.header_offset(item.addr));
+            }
+            trace.chain_offsets.push(self.header_offset(item.addr));
+            if Self::is_expired(item, now) {
+                self.remove_slot(slot, hash);
+                self.stats.expirations += 1;
+                return (None, trace);
+            }
+            return (Some(slot), trace);
+        }
+        (None, trace)
+    }
+
+    /// Fetches `key`, returning the value and trace on a live hit.
+    pub fn get(&mut self, key: &[u8], now: u64) -> Option<GetHit> {
+        let hash = jenkins_oaat(key);
+        let (slot, mut trace) = self.lookup(key, hash, now);
+        match slot {
+            Some(slot) => {
+                let class = {
+                    let item = self.items[slot as usize].as_ref().expect("live");
+                    trace.value = Some((self.value_offset(item), item.value.len() as u64));
+                    item.addr.class
+                };
+                self.policies[class as usize].on_access(slot);
+                self.stats.get_hits += 1;
+                let item = self.items[slot as usize].as_ref().expect("live");
+                Some(GetHit {
+                    value: item.value.clone(),
+                    flags: item.flags,
+                    cas: item.cas,
+                    trace,
+                })
+            }
+            None => {
+                self.stats.get_misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Stores `key` → `value` with optional TTL (seconds from `now`).
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::KeyTooLong`], [`StoreError::ValueTooLarge`], or
+    /// [`StoreError::OutOfMemory`] when eviction (if enabled) cannot make
+    /// room.
+    pub fn set(
+        &mut self,
+        key: &[u8],
+        value: Vec<u8>,
+        ttl_secs: Option<u64>,
+        now: u64,
+    ) -> Result<SetOutcome, StoreError> {
+        self.set_with_flags(key, value, 0, ttl_secs, now)
+    }
+
+    /// [`KvStore::set`] with client flags.
+    ///
+    /// # Errors
+    ///
+    /// As for [`KvStore::set`].
+    pub fn set_with_flags(
+        &mut self,
+        key: &[u8],
+        value: Vec<u8>,
+        flags: u32,
+        ttl_secs: Option<u64>,
+        now: u64,
+    ) -> Result<SetOutcome, StoreError> {
+        if key.len() > MAX_KEY_BYTES {
+            return Err(StoreError::KeyTooLong { len: key.len() });
+        }
+        let hash = jenkins_oaat(key);
+        let footprint = ITEM_HEADER_BYTES + key.len() as u64 + value.len() as u64;
+
+        // Replace any existing copy first (frees its chunk).
+        let (existing, mut trace) = self.lookup(key, hash, now);
+        if let Some(slot) = existing {
+            self.remove_slot(slot, hash);
+        }
+
+        let (addr, evicted) = self.allocate_with_eviction(footprint)?;
+        let cas = self.next_cas;
+        self.next_cas += 1;
+        let item = Item {
+            key: key.to_vec(),
+            value,
+            flags,
+            expires_at: ttl_secs.map(|t| now + t),
+            cas,
+            addr,
+        };
+        trace.value = Some((
+            AccessTrace::SLAB_REGION_OFFSET
+                + self.slab.byte_offset(addr)
+                + ITEM_HEADER_BYTES
+                + item.key.len() as u64,
+            item.value.len() as u64,
+        ));
+        trace.chain_offsets.push(self.header_offset(addr));
+        self.stats.bytes += item.footprint();
+        self.stats.items += 1;
+        self.stats.sets += 1;
+
+        let slot = match self.free_slots.pop() {
+            Some(slot) => {
+                self.items[slot as usize] = Some(item);
+                slot
+            }
+            None => {
+                self.items.push(Some(item));
+                (self.items.len() - 1) as u32
+            }
+        };
+        self.table.insert(hash, slot);
+        self.policies[addr.class as usize].on_insert(slot);
+        Ok(SetOutcome { evicted, trace })
+    }
+
+    /// Compare-and-swap: stores only if the item's CAS token still equals
+    /// `cas`.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::NotFound`] if the key is absent,
+    /// [`StoreError::CasMismatch`] if the token changed, or any
+    /// [`KvStore::set`] error.
+    pub fn cas(
+        &mut self,
+        key: &[u8],
+        value: Vec<u8>,
+        cas: u64,
+        ttl_secs: Option<u64>,
+        now: u64,
+    ) -> Result<SetOutcome, StoreError> {
+        let hash = jenkins_oaat(key);
+        let (slot, _) = self.lookup(key, hash, now);
+        let slot = slot.ok_or(StoreError::NotFound)?;
+        let current = self.items[slot as usize].as_ref().expect("live").cas;
+        if current != cas {
+            return Err(StoreError::CasMismatch);
+        }
+        self.set(key, value, ttl_secs, now)
+    }
+
+    /// Deletes `key`, returning its trace if it was present.
+    pub fn delete(&mut self, key: &[u8]) -> Option<AccessTrace> {
+        let hash = jenkins_oaat(key);
+        let (slot, trace) = self.lookup(key, hash, u64::MAX.saturating_sub(1));
+        let slot = slot?;
+        self.remove_slot(slot, hash);
+        self.stats.deletes += 1;
+        Some(trace)
+    }
+
+    /// Stores only if the key is absent (Memcached `add`).
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Exists`] if the key is live, or any [`KvStore::set`]
+    /// error.
+    pub fn add(
+        &mut self,
+        key: &[u8],
+        value: Vec<u8>,
+        ttl_secs: Option<u64>,
+        now: u64,
+    ) -> Result<SetOutcome, StoreError> {
+        let hash = jenkins_oaat(key);
+        if self.lookup(key, hash, now).0.is_some() {
+            return Err(StoreError::Exists);
+        }
+        self.set(key, value, ttl_secs, now)
+    }
+
+    /// Stores only if the key already exists (Memcached `replace`).
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::NotFound`] if the key is absent, or any
+    /// [`KvStore::set`] error.
+    pub fn replace(
+        &mut self,
+        key: &[u8],
+        value: Vec<u8>,
+        ttl_secs: Option<u64>,
+        now: u64,
+    ) -> Result<SetOutcome, StoreError> {
+        let hash = jenkins_oaat(key);
+        if self.lookup(key, hash, now).0.is_none() {
+            return Err(StoreError::NotFound);
+        }
+        self.set(key, value, ttl_secs, now)
+    }
+
+    /// Appends (or, with `front`, prepends) bytes to an existing value
+    /// (Memcached `append`/`prepend`). Flags, TTL, and CAS advance as a
+    /// store.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::NotFound`] if the key is absent, or any
+    /// [`KvStore::set`] error.
+    pub fn concat(
+        &mut self,
+        key: &[u8],
+        extra: &[u8],
+        front: bool,
+        now: u64,
+    ) -> Result<SetOutcome, StoreError> {
+        let hash = jenkins_oaat(key);
+        let (slot, _) = self.lookup(key, hash, now);
+        let slot = slot.ok_or(StoreError::NotFound)?;
+        let (mut value, flags, expires_at) = {
+            let item = self.items[slot as usize].as_ref().expect("live");
+            (item.value.clone(), item.flags, item.expires_at)
+        };
+        if front {
+            let mut combined = extra.to_vec();
+            combined.extend_from_slice(&value);
+            value = combined;
+        } else {
+            value.extend_from_slice(extra);
+        }
+        let ttl = expires_at.map(|t| t.saturating_sub(now));
+        self.set_with_flags(key, value, flags, ttl, now)
+    }
+
+    /// Increments (or decrements) a numeric value (Memcached
+    /// `incr`/`decr`). The value must be an ASCII decimal; decrements
+    /// saturate at zero, as Memcached's do.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::NotFound`] if the key is absent,
+    /// [`StoreError::NotNumeric`] if the value isn't an unsigned decimal,
+    /// or any [`KvStore::set`] error.
+    pub fn incr_decr(
+        &mut self,
+        key: &[u8],
+        delta: u64,
+        decrement: bool,
+        now: u64,
+    ) -> Result<u64, StoreError> {
+        let hash = jenkins_oaat(key);
+        let (slot, _) = self.lookup(key, hash, now);
+        let slot = slot.ok_or(StoreError::NotFound)?;
+        let (current, flags, expires_at) = {
+            let item = self.items[slot as usize].as_ref().expect("live");
+            let text = std::str::from_utf8(&item.value).map_err(|_| StoreError::NotNumeric)?;
+            let n: u64 = text.trim().parse().map_err(|_| StoreError::NotNumeric)?;
+            (n, item.flags, item.expires_at)
+        };
+        let next = if decrement {
+            current.saturating_sub(delta)
+        } else {
+            current.wrapping_add(delta)
+        };
+        let ttl = expires_at.map(|t| t.saturating_sub(now));
+        self.set_with_flags(key, next.to_string().into_bytes(), flags, ttl, now)?;
+        Ok(next)
+    }
+
+    /// Updates a live item's TTL without touching its value.
+    pub fn touch(&mut self, key: &[u8], ttl_secs: Option<u64>, now: u64) -> bool {
+        let hash = jenkins_oaat(key);
+        let (slot, _) = self.lookup(key, hash, now);
+        match slot {
+            Some(slot) => {
+                let item = self.items[slot as usize].as_mut().expect("live");
+                item.expires_at = ttl_secs.map(|t| now + t);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Drops every item (Memcached `flush_all`).
+    pub fn flush_all(&mut self) {
+        let slots: Vec<u32> = self
+            .items
+            .iter()
+            .enumerate()
+            .filter_map(|(i, item)| item.as_ref().map(|_| i as u32))
+            .collect();
+        for slot in slots {
+            let hash = {
+                let item = self.items[slot as usize].as_ref().expect("live");
+                jenkins_oaat(&item.key)
+            };
+            self.remove_slot(slot, hash);
+        }
+    }
+
+    fn remove_slot(&mut self, slot: u32, hash: u64) {
+        let item = self.items[slot as usize].take().expect("slot is live");
+        self.table.remove(hash, slot);
+        self.policies[item.addr.class as usize].on_remove(slot);
+        self.slab.free(item.addr);
+        self.stats.bytes -= item.footprint();
+        self.stats.items -= 1;
+        self.free_slots.push(slot);
+    }
+
+    /// Allocates a chunk, evicting same-class victims as needed (the
+    /// Memcached strategy: eviction can only help within the class).
+    fn allocate_with_eviction(&mut self, footprint: u64) -> Result<(SlabAddr, u64), StoreError> {
+        let class = self
+            .slab
+            .class_for(footprint)
+            .ok_or(StoreError::ValueTooLarge { bytes: footprint })? as usize;
+        let mut evicted = 0;
+        loop {
+            match self.slab.allocate(footprint) {
+                Ok(addr) => return Ok((addr, evicted)),
+                Err(SlabError::ObjectTooLarge { requested, .. }) => {
+                    return Err(StoreError::ValueTooLarge { bytes: requested })
+                }
+                Err(SlabError::OutOfMemory) => {
+                    if !self.config.evict_on_full {
+                        return Err(StoreError::OutOfMemory);
+                    }
+                    let Some(victim) = self.policies[class].pop_victim() else {
+                        return Err(StoreError::OutOfMemory);
+                    };
+                    let hash = {
+                        let item = self.items[victim as usize].as_ref().expect("victim live");
+                        jenkins_oaat(&item.key)
+                    };
+                    // pop_victim already dropped it from the policy;
+                    // remove_slot's on_remove is then a no-op.
+                    self.remove_slot(victim, hash);
+                    self.stats.evictions += 1;
+                    evicted += 1;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> KvStore {
+        KvStore::new(StoreConfig::with_capacity(2 << 20))
+    }
+
+    #[test]
+    fn set_get_roundtrip_with_flags() {
+        let mut s = small();
+        s.set_with_flags(b"k", b"hello".to_vec(), 99, None, 0).unwrap();
+        let hit = s.get(b"k", 0).unwrap();
+        assert_eq!(hit.value(), b"hello");
+        assert_eq!(hit.flags(), 99);
+        assert_eq!(s.stats().get_hits, 1);
+    }
+
+    #[test]
+    fn get_missing_counts_miss() {
+        let mut s = small();
+        assert!(s.get(b"nope", 0).is_none());
+        assert_eq!(s.stats().get_misses, 1);
+    }
+
+    #[test]
+    fn overwrite_replaces_value_and_keeps_one_item() {
+        let mut s = small();
+        s.set(b"k", b"one".to_vec(), None, 0).unwrap();
+        s.set(b"k", b"two".to_vec(), None, 0).unwrap();
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.get(b"k", 0).unwrap().value(), b"two");
+    }
+
+    #[test]
+    fn delete_removes() {
+        let mut s = small();
+        s.set(b"k", b"v".to_vec(), None, 0).unwrap();
+        assert!(s.delete(b"k").is_some());
+        assert!(s.delete(b"k").is_none());
+        assert!(s.get(b"k", 0).is_none());
+        assert_eq!(s.stats().items, 0);
+        assert_eq!(s.stats().bytes, 0);
+    }
+
+    #[test]
+    fn ttl_expires_lazily() {
+        let mut s = small();
+        s.set(b"k", b"v".to_vec(), Some(10), 100).unwrap();
+        assert!(s.get(b"k", 105).is_some(), "still alive at 105");
+        assert!(s.get(b"k", 110).is_none(), "expired at 110");
+        assert_eq!(s.stats().expirations, 1);
+        assert_eq!(s.len(), 0);
+    }
+
+    #[test]
+    fn touch_extends_ttl() {
+        let mut s = small();
+        s.set(b"k", b"v".to_vec(), Some(10), 0).unwrap();
+        assert!(s.touch(b"k", Some(100), 5));
+        assert!(s.get(b"k", 50).is_some());
+        assert!(!s.touch(b"missing", None, 0));
+    }
+
+    #[test]
+    fn cas_semantics() {
+        let mut s = small();
+        s.set(b"k", b"v1".to_vec(), None, 0).unwrap();
+        let token = s.get(b"k", 0).unwrap().cas();
+        // Interleaved write bumps the token.
+        s.set(b"k", b"v2".to_vec(), None, 0).unwrap();
+        assert_eq!(
+            s.cas(b"k", b"v3".to_vec(), token, None, 0),
+            Err(StoreError::CasMismatch)
+        );
+        let fresh = s.get(b"k", 0).unwrap().cas();
+        s.cas(b"k", b"v3".to_vec(), fresh, None, 0).unwrap();
+        assert_eq!(s.get(b"k", 0).unwrap().value(), b"v3");
+        assert_eq!(
+            s.cas(b"absent", b"x".to_vec(), 1, None, 0),
+            Err(StoreError::NotFound)
+        );
+    }
+
+    #[test]
+    fn key_length_enforced() {
+        let mut s = small();
+        let long = vec![b'a'; 251];
+        assert_eq!(
+            s.set(&long, b"v".to_vec(), None, 0),
+            Err(StoreError::KeyTooLong { len: 251 })
+        );
+    }
+
+    #[test]
+    fn oversized_value_rejected() {
+        let mut s = small();
+        let huge = vec![0u8; (2 << 20) + 1];
+        assert!(matches!(
+            s.set(b"k", huge, None, 0),
+            Err(StoreError::ValueTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn eviction_makes_room_lru_order() {
+        // 2 MB arena, ~64 KB values: ~30 fit; insert 40 and confirm the
+        // earliest (least recently used) were evicted.
+        let mut s = small();
+        let value = vec![7u8; 64 << 10];
+        let mut total_evicted = 0;
+        for i in 0..40 {
+            let key = format!("key{i:02}");
+            let out = s.set(key.as_bytes(), value.clone(), None, 0).unwrap();
+            total_evicted += out.evicted;
+        }
+        assert!(total_evicted > 0);
+        assert!(s.get(b"key39", 0).is_some(), "newest survives");
+        assert!(s.get(b"key00", 0).is_none(), "oldest evicted");
+        assert_eq!(s.stats().evictions, total_evicted);
+    }
+
+    #[test]
+    fn eviction_disabled_returns_oom() {
+        let mut cfg = StoreConfig::with_capacity(2 << 20);
+        cfg.evict_on_full = false;
+        let mut s = KvStore::new(cfg);
+        let value = vec![0u8; 512 << 10];
+        let mut result = Ok(());
+        for i in 0..10 {
+            if let Err(e) = s.set(format!("k{i}").as_bytes(), value.clone(), None, 0) {
+                result = Err(e);
+                break;
+            }
+        }
+        assert_eq!(result, Err(StoreError::OutOfMemory));
+    }
+
+    #[test]
+    fn get_recency_protects_from_eviction() {
+        let mut s = small();
+        let value = vec![3u8; 64 << 10];
+        // 20 items fit in the 2 MB arena without eviction.
+        for i in 0..20 {
+            let out = s
+                .set(format!("key{i:02}").as_bytes(), value.clone(), None, 0)
+                .unwrap();
+            assert_eq!(out.evicted, 0, "warmup insert {i} must not evict");
+        }
+        // Touch key00: it becomes the most recently used of the batch.
+        assert!(s.get(b"key00", 0).is_some());
+        // Force evictions; key01 (now the true LRU) must go before key00.
+        for j in 0..15 {
+            s.set(format!("extra{j}").as_bytes(), value.clone(), None, 0)
+                .unwrap();
+        }
+        assert!(s.stats().evictions > 0);
+        assert!(s.get(b"key00", 0).is_some(), "recently used key survives");
+        assert!(s.get(b"key01", 0).is_none(), "LRU key evicted");
+    }
+
+    #[test]
+    fn traces_have_distinct_regions() {
+        let mut s = small();
+        s.set(b"k", vec![1; 1000], None, 0).unwrap();
+        let hit = s.get(b"k", 0).unwrap();
+        let t = hit.trace();
+        assert!(t.bucket_offset < AccessTrace::SLAB_REGION_OFFSET);
+        for off in &t.chain_offsets {
+            assert!(*off >= AccessTrace::SLAB_REGION_OFFSET);
+        }
+        let (voff, vlen) = t.value.unwrap();
+        assert_eq!(vlen, 1000);
+        assert!(voff > AccessTrace::SLAB_REGION_OFFSET);
+        // Value sits after the header and key in the chunk.
+        assert_eq!(
+            voff - t.chain_offsets[0],
+            ITEM_HEADER_BYTES + 1
+        );
+    }
+
+    #[test]
+    fn flush_all_empties() {
+        let mut s = small();
+        for i in 0..50 {
+            s.set(format!("k{i}").as_bytes(), vec![0; 100], None, 0).unwrap();
+        }
+        s.flush_all();
+        assert!(s.is_empty());
+        assert_eq!(s.stats().bytes, 0);
+        for i in 0..50 {
+            assert!(s.get(format!("k{i}").as_bytes(), 0).is_none());
+        }
+    }
+
+    #[test]
+    fn stats_bytes_track_footprint() {
+        let mut s = small();
+        s.set(b"key", vec![0; 100], None, 0).unwrap();
+        assert_eq!(s.stats().bytes, ITEM_HEADER_BYTES + 3 + 100);
+        s.delete(b"key");
+        assert_eq!(s.stats().bytes, 0);
+    }
+
+    #[test]
+    fn add_only_when_absent() {
+        let mut s = small();
+        s.add(b"k", b"one".to_vec(), None, 0).unwrap();
+        assert_eq!(
+            s.add(b"k", b"two".to_vec(), None, 0),
+            Err(StoreError::Exists)
+        );
+        assert_eq!(s.get(b"k", 0).unwrap().value(), b"one");
+        // Expired items count as absent.
+        s.set(b"t", b"v".to_vec(), Some(5), 0).unwrap();
+        s.add(b"t", b"fresh".to_vec(), None, 10).unwrap();
+        assert_eq!(s.get(b"t", 10).unwrap().value(), b"fresh");
+    }
+
+    #[test]
+    fn replace_only_when_present() {
+        let mut s = small();
+        assert_eq!(
+            s.replace(b"k", b"x".to_vec(), None, 0),
+            Err(StoreError::NotFound)
+        );
+        s.set(b"k", b"one".to_vec(), None, 0).unwrap();
+        s.replace(b"k", b"two".to_vec(), None, 0).unwrap();
+        assert_eq!(s.get(b"k", 0).unwrap().value(), b"two");
+    }
+
+    #[test]
+    fn append_and_prepend() {
+        let mut s = small();
+        s.set_with_flags(b"k", b"mid".to_vec(), 7, None, 0).unwrap();
+        s.concat(b"k", b"-end", false, 0).unwrap();
+        s.concat(b"k", b"start-", true, 0).unwrap();
+        let hit = s.get(b"k", 0).unwrap();
+        assert_eq!(hit.value(), b"start-mid-end");
+        assert_eq!(hit.flags(), 7, "flags survive concat");
+        assert_eq!(
+            s.concat(b"missing", b"x", false, 0),
+            Err(StoreError::NotFound)
+        );
+    }
+
+    #[test]
+    fn incr_decr_semantics() {
+        let mut s = small();
+        s.set(b"n", b"10".to_vec(), None, 0).unwrap();
+        assert_eq!(s.incr_decr(b"n", 5, false, 0), Ok(15));
+        assert_eq!(s.incr_decr(b"n", 20, true, 0), Ok(0), "decr saturates");
+        assert_eq!(s.get(b"n", 0).unwrap().value(), b"0");
+        s.set(b"s", b"abc".to_vec(), None, 0).unwrap();
+        assert_eq!(
+            s.incr_decr(b"s", 1, false, 0),
+            Err(StoreError::NotNumeric)
+        );
+        assert_eq!(
+            s.incr_decr(b"missing", 1, false, 0),
+            Err(StoreError::NotFound)
+        );
+    }
+
+    #[test]
+    fn concat_preserves_remaining_ttl() {
+        let mut s = small();
+        s.set(b"k", b"a".to_vec(), Some(100), 0).unwrap();
+        s.concat(b"k", b"b", false, 40).unwrap();
+        assert!(s.get(b"k", 90).is_some(), "alive until the original expiry");
+        assert!(s.get(b"k", 110).is_none(), "expired at the original time");
+    }
+}

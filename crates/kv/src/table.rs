@@ -1,0 +1,303 @@
+//! A chained hash table with Memcached-style incremental expansion.
+//!
+//! Buckets hold chains of `(hash, slot)` pairs, where a *slot* is an index
+//! into the store's item arena. When the load factor passes 1.5 the table
+//! doubles, but — exactly like Memcached's `assoc` — migration happens a
+//! few buckets at a time on subsequent operations, so no single request
+//! ever pays a full-table rehash.
+
+/// Result of a lookup: the matching slot (if any) and the probe count,
+/// which the timing model turns into memory references.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FindResult {
+    /// The matching item slot.
+    pub slot: Option<u32>,
+    /// Chain entries examined (each is a dependent memory reference); at
+    /// least 1, for the bucket head itself.
+    pub probes: u32,
+    /// The bucket index examined (in the table that held the key).
+    pub bucket: u64,
+}
+
+/// Buckets migrated per operation while an expansion is in progress.
+const MIGRATE_PER_OP: usize = 4;
+
+/// Expansion threshold numerator/denominator: grow when
+/// `items > buckets * 3 / 2`.
+const GROW_NUM: u64 = 3;
+const GROW_DEN: u64 = 2;
+
+/// The chained hash table.
+///
+/// # Examples
+///
+/// ```
+/// use densekv_kv::table::HashTable;
+///
+/// let mut t = HashTable::new(4);
+/// t.insert(0xBEEF, 7);
+/// let found = t.find_with(0xBEEF, |slot| slot == 7);
+/// assert_eq!(found.slot, Some(7));
+/// assert!(t.remove(0xBEEF, 7));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct HashTable {
+    buckets: Vec<Vec<(u64, u32)>>,
+    /// Old table during incremental expansion.
+    old: Option<Vec<Vec<(u64, u32)>>>,
+    /// Next old-table bucket to migrate.
+    migrate_pos: usize,
+    items: u64,
+}
+
+impl HashTable {
+    /// Creates a table with `initial_buckets` (rounded up to a power of
+    /// two, minimum 4).
+    pub fn new(initial_buckets: u64) -> Self {
+        let n = initial_buckets.next_power_of_two().max(4);
+        HashTable {
+            buckets: vec![Vec::new(); n as usize],
+            old: None,
+            migrate_pos: 0,
+            items: 0,
+        }
+    }
+
+    /// Current bucket count (of the new table during expansion).
+    pub fn bucket_count(&self) -> u64 {
+        self.buckets.len() as u64
+    }
+
+    /// Number of items in the table.
+    pub fn len(&self) -> u64 {
+        self.items
+    }
+
+    /// True if the table holds no items.
+    pub fn is_empty(&self) -> bool {
+        self.items == 0
+    }
+
+    /// True while an incremental expansion is migrating buckets.
+    pub fn expanding(&self) -> bool {
+        self.old.is_some()
+    }
+
+    /// Which table and bucket currently hold `hash`.
+    fn bucket_of(&self, hash: u64) -> (bool, u64) {
+        // During expansion a key lives in the old table until its old
+        // bucket has been migrated.
+        if let Some(old) = &self.old {
+            let old_idx = hash % old.len() as u64;
+            if (old_idx as usize) >= self.migrate_pos {
+                return (true, old_idx);
+            }
+        }
+        (false, hash % self.buckets.len() as u64)
+    }
+
+    fn chain_mut(&mut self, in_old: bool, bucket: u64) -> &mut Vec<(u64, u32)> {
+        if in_old {
+            &mut self.old.as_mut().expect("in_old implies old table")[bucket as usize]
+        } else {
+            &mut self.buckets[bucket as usize]
+        }
+    }
+
+    /// Looks up `hash`, testing each same-hash chain entry with `matches`
+    /// (the caller compares keys). Also advances any in-progress
+    /// migration.
+    pub fn find_with(&mut self, hash: u64, mut matches: impl FnMut(u32) -> bool) -> FindResult {
+        self.migrate_some();
+        let (in_old, bucket) = self.bucket_of(hash);
+        let chain = if in_old {
+            &self.old.as_ref().expect("in_old implies old table")[bucket as usize]
+        } else {
+            &self.buckets[bucket as usize]
+        };
+        let mut probes = 0;
+        for &(entry_hash, slot) in chain {
+            probes += 1;
+            if entry_hash == hash && matches(slot) {
+                return FindResult {
+                    slot: Some(slot),
+                    probes,
+                    bucket,
+                };
+            }
+        }
+        FindResult {
+            slot: None,
+            probes: probes.max(1),
+            bucket,
+        }
+    }
+
+    /// Inserts `slot` under `hash`. The caller guarantees the key is not
+    /// already present (use [`HashTable::find_with`] first).
+    pub fn insert(&mut self, hash: u64, slot: u32) {
+        self.migrate_some();
+        let (in_old, bucket) = self.bucket_of(hash);
+        self.chain_mut(in_old, bucket).push((hash, slot));
+        self.items += 1;
+        self.maybe_grow();
+    }
+
+    /// Removes `slot` under `hash`; returns whether it was present.
+    pub fn remove(&mut self, hash: u64, slot: u32) -> bool {
+        self.migrate_some();
+        let (in_old, bucket) = self.bucket_of(hash);
+        let chain = self.chain_mut(in_old, bucket);
+        if let Some(pos) = chain.iter().position(|&(h, s)| h == hash && s == slot) {
+            chain.swap_remove(pos);
+            self.items -= 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Mean chain length over non-empty buckets (a health metric).
+    pub fn mean_chain_length(&self) -> f64 {
+        let tables = self.old.iter().chain(std::iter::once(&self.buckets));
+        let (mut chains, mut entries) = (0u64, 0u64);
+        for table in tables {
+            for chain in table {
+                if !chain.is_empty() {
+                    chains += 1;
+                    entries += chain.len() as u64;
+                }
+            }
+        }
+        if chains == 0 {
+            0.0
+        } else {
+            entries as f64 / chains as f64
+        }
+    }
+
+    /// Kicks off expansion if the load factor passed the threshold.
+    fn maybe_grow(&mut self) {
+        if self.old.is_some() || self.items * GROW_DEN <= self.bucket_count() * GROW_NUM {
+            return;
+        }
+        let new_size = self.buckets.len() * 2;
+        let old = std::mem::replace(&mut self.buckets, vec![Vec::new(); new_size]);
+        self.old = Some(old);
+        self.migrate_pos = 0;
+    }
+
+    /// Migrates a few old buckets into the new table.
+    fn migrate_some(&mut self) {
+        if self.old.is_none() {
+            return;
+        }
+        let new_len = self.buckets.len() as u64;
+        let (end, done) = {
+            let old = self.old.as_mut().expect("checked above");
+            let end = (self.migrate_pos + MIGRATE_PER_OP).min(old.len());
+            let mut moved: Vec<(u64, u32)> = Vec::new();
+            for bucket in old[self.migrate_pos..end].iter_mut() {
+                moved.append(bucket);
+            }
+            for (hash, slot) in moved {
+                self.buckets[(hash % new_len) as usize].push((hash, slot));
+            }
+            (end, end >= self.old.as_ref().expect("still present").len())
+        };
+        self.migrate_pos = end;
+        if done {
+            self.old = None;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_find_remove_roundtrip() {
+        let mut t = HashTable::new(8);
+        t.insert(42, 0);
+        assert_eq!(t.len(), 1);
+        let r = t.find_with(42, |s| s == 0);
+        assert_eq!(r.slot, Some(0));
+        assert!(r.probes >= 1);
+        assert!(t.remove(42, 0));
+        assert!(!t.remove(42, 0), "double remove fails");
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn missing_key_reports_probes() {
+        let mut t = HashTable::new(8);
+        let r = t.find_with(7, |_| true);
+        assert_eq!(r.slot, None);
+        assert_eq!(r.probes, 1, "empty bucket still costs one reference");
+    }
+
+    #[test]
+    fn colliding_hashes_chain() {
+        let mut t = HashTable::new(4);
+        // Same bucket, different slots; matches() distinguishes them.
+        t.insert(4, 1);
+        t.insert(4, 2);
+        let r = t.find_with(4, |s| s == 2);
+        assert_eq!(r.slot, Some(2));
+        assert_eq!(r.probes, 2);
+    }
+
+    #[test]
+    fn expansion_triggers_and_completes() {
+        let mut t = HashTable::new(4);
+        for i in 0..7 {
+            t.insert(i * 1_000_003, i as u32);
+        }
+        assert!(t.expanding(), "load factor 7/4 should trigger growth");
+        let before = t.bucket_count();
+        assert_eq!(before, 8);
+        // Operations drive migration to completion.
+        for i in 0..7 {
+            let r = t.find_with(i * 1_000_003, |s| s == i as u32);
+            assert_eq!(r.slot, Some(i as u32), "item {i} must stay findable");
+        }
+        assert!(!t.expanding(), "migration should finish");
+        // Everything still present afterwards.
+        for i in 0..7 {
+            assert_eq!(t.find_with(i * 1_000_003, |s| s == i as u32).slot, Some(i as u32));
+        }
+    }
+
+    #[test]
+    fn removal_during_expansion() {
+        let mut t = HashTable::new(4);
+        for i in 0..7u64 {
+            t.insert(i, i as u32);
+        }
+        assert!(t.expanding());
+        for i in 0..7u64 {
+            assert!(t.remove(i, i as u32), "remove {i} during migration");
+        }
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn stress_many_items_stay_findable() {
+        let mut t = HashTable::new(4);
+        let hash = |i: u64| i.wrapping_mul(0x9E3779B97F4A7C15);
+        for i in 0..10_000u64 {
+            t.insert(hash(i), i as u32);
+        }
+        assert_eq!(t.len(), 10_000);
+        assert!(t.bucket_count() >= 8_192);
+        for i in 0..10_000u64 {
+            assert_eq!(
+                t.find_with(hash(i), |s| s == i as u32).slot,
+                Some(i as u32),
+                "item {i}"
+            );
+        }
+        assert!(t.mean_chain_length() < 3.0);
+    }
+}

@@ -1,0 +1,116 @@
+//! Memory-device substrates for the Mercury and Iridium stack models.
+//!
+//! The paper's two architectures differ only in the memory technology
+//! bonded to the logic die:
+//!
+//! * **Mercury** uses an 8-layer Tezzaron-style 3D-stacked DRAM
+//!   ([`dram::DramStack`]) — 4 GB, 16 independent 128-bit ports at
+//!   6.25 GB/s each, 11 ns closed-page latency.
+//! * **Iridium** uses a monolithic 16-layer p-BiCS NAND flash
+//!   ([`flash::FlashArray`]) — 19.8 GB behind 16 controllers, 10–20 µs
+//!   reads and 200 µs programs, managed by a page-mapping FTL with
+//!   wear-leveling ([`ftl::Ftl`]).
+//!
+//! Both devices implement [`MemoryTiming`], the interface the CPU phase
+//! engine uses to price individual cache-line transfers, and both account
+//! bytes moved so the power model can convert achieved bandwidth into
+//! watts (Table 1: DRAM 210 mW/(GB/s), flash 6 mW/(GB/s)).
+//!
+//! [`technology`] reproduces the paper's Table 2 catalog of DRAM
+//! technologies.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dram;
+pub mod flash;
+pub mod ftl;
+pub mod sram;
+pub mod technology;
+
+use densekv_sim::Duration;
+
+/// Cache-line size used throughout the workspace (bytes).
+pub const LINE_BYTES: u64 = 64;
+
+/// Whether a memory access reads or writes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessKind {
+    /// A read (line fill).
+    Read,
+    /// A write (line writeback / store).
+    Write,
+}
+
+/// Row-buffer management policy.
+///
+/// The paper's memory model "assumes a closed-page latency for all
+/// requests" (§5.2) as a worst case; the open-page policy is provided for
+/// the row-buffer ablation bench.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum PagePolicy {
+    /// Every access pays the full array-access latency (paper default).
+    #[default]
+    Closed,
+    /// Accesses that hit the currently open row pay only the row-buffer
+    /// access time.
+    Open,
+}
+
+/// Timing interface a memory device exposes to the core model.
+///
+/// One call prices one cache-line (64 B) transfer. Implementations also
+/// accumulate the bytes moved so callers can derive sustained bandwidth
+/// and, from it, device power.
+pub trait MemoryTiming {
+    /// Latency to move one line at `line_addr` (a *line* index, not a byte
+    /// address) in the given direction.
+    fn line_access(&mut self, line_addr: u64, kind: AccessKind) -> Duration;
+
+    /// Total bytes moved since construction or the last
+    /// [`reset_counters`](MemoryTiming::reset_counters).
+    fn bytes_moved(&self) -> u64;
+
+    /// Resets the byte counter.
+    fn reset_counters(&mut self);
+
+    /// Active power (watts) when sustaining `gb_per_s` of bandwidth.
+    fn active_power_w(&self, gb_per_s: f64) -> f64;
+
+    /// Maximum outstanding-access overlap the device sustains for `kind`.
+    /// The core model uses the minimum of this and its own memory-level
+    /// parallelism. Defaults to unlimited (the core is the constraint);
+    /// flash caps it at 1 (one command in flight per request stream, the
+    /// paper's simple memory model).
+    fn max_overlap(&self, _kind: AccessKind) -> f64 {
+        f64::MAX
+    }
+}
+
+/// Splits a byte count into the number of whole cache lines that cover it.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(densekv_mem::lines_for_bytes(1), 1);
+/// assert_eq!(densekv_mem::lines_for_bytes(64), 1);
+/// assert_eq!(densekv_mem::lines_for_bytes(65), 2);
+/// assert_eq!(densekv_mem::lines_for_bytes(0), 0);
+/// ```
+pub const fn lines_for_bytes(bytes: u64) -> u64 {
+    bytes.div_ceil(LINE_BYTES)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lines_for_bytes_boundaries() {
+        assert_eq!(lines_for_bytes(0), 0);
+        assert_eq!(lines_for_bytes(63), 1);
+        assert_eq!(lines_for_bytes(64), 1);
+        assert_eq!(lines_for_bytes(128), 2);
+        assert_eq!(lines_for_bytes(1 << 20), 16_384);
+    }
+}

@@ -1,0 +1,156 @@
+//! The integrated NIC MAC on the stack's logic die.
+//!
+//! Per §4.1.4, the design forgoes a server-level router: each physical
+//! 10 GbE port is tied to one stack, and the on-stack MAC (based on the
+//! Niagara-2 integrated NIC) buffers each packet and forwards it to the
+//! correct core. Cores on a stack run independent Memcached instances on
+//! distinct TCP ports, so routing is a port-number lookup.
+
+use densekv_sim::Duration;
+
+/// Errors returned by MAC routing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RouteError {
+    /// No core is registered for the TCP port.
+    UnknownTcpPort(u16),
+}
+
+impl core::fmt::Display for RouteError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            RouteError::UnknownTcpPort(p) => write!(f, "no core listening on TCP port {p}"),
+        }
+    }
+}
+
+impl std::error::Error for RouteError {}
+
+/// The on-stack NIC MAC: per-frame store-and-forward latency, TCP-port to
+/// core routing, and Table 1 power/area constants.
+///
+/// # Examples
+///
+/// ```
+/// use densekv_net::NicMac;
+///
+/// let mac = NicMac::for_cores(4);
+/// assert_eq!(mac.route(NicMac::BASE_TCP_PORT + 2)?, 2);
+/// # Ok::<(), densekv_net::nic::RouteError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct NicMac {
+    cores: u32,
+    per_frame_latency: Duration,
+}
+
+impl NicMac {
+    /// First TCP port; core `i` listens on `BASE_TCP_PORT + i`.
+    pub const BASE_TCP_PORT: u16 = 11211;
+
+    /// MAC power from Table 1, milliwatts.
+    pub const POWER_MW: f64 = 120.0;
+
+    /// MAC + buffer area from Table 1, mm² (28 nm).
+    pub const AREA_MM2: f64 = 0.43;
+
+    /// Creates a MAC serving `cores` cores on one stack.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cores` is zero.
+    pub fn for_cores(cores: u32) -> Self {
+        assert!(cores > 0, "a stack needs at least one core");
+        NicMac {
+            cores,
+            // Store-and-forward of one frame through the MAC buffers.
+            per_frame_latency: Duration::from_nanos(500),
+        }
+    }
+
+    /// Number of cores this MAC routes to.
+    pub fn cores(&self) -> u32 {
+        self.cores
+    }
+
+    /// Per-frame store-and-forward latency through the MAC buffers.
+    pub fn per_frame_latency(&self) -> Duration {
+        self.per_frame_latency
+    }
+
+    /// Latency the MAC adds to a message of `frames` frames. Buffering is
+    /// cut-through after the first frame, so only one store-and-forward
+    /// delay applies per message.
+    pub fn message_latency(&self, frames: u64) -> Duration {
+        debug_assert!(frames > 0);
+        self.per_frame_latency
+    }
+
+    /// Routes a TCP destination port to a core index.
+    ///
+    /// # Errors
+    ///
+    /// [`RouteError::UnknownTcpPort`] if the port is outside the range
+    /// this stack's cores listen on.
+    pub fn route(&self, tcp_port: u16) -> Result<u32, RouteError> {
+        let base = Self::BASE_TCP_PORT;
+        if tcp_port < base || u32::from(tcp_port - base) >= self.cores {
+            return Err(RouteError::UnknownTcpPort(tcp_port));
+        }
+        Ok(u32::from(tcp_port - base))
+    }
+
+    /// The TCP port core `core` listens on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    pub fn tcp_port_of(&self, core: u32) -> u16 {
+        assert!(core < self.cores, "core index out of range");
+        Self::BASE_TCP_PORT + core as u16
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn routing_roundtrip() {
+        let mac = NicMac::for_cores(32);
+        for core in 0..32 {
+            assert_eq!(mac.route(mac.tcp_port_of(core)), Ok(core));
+        }
+    }
+
+    #[test]
+    fn unknown_ports_rejected() {
+        let mac = NicMac::for_cores(2);
+        assert_eq!(
+            mac.route(NicMac::BASE_TCP_PORT + 2),
+            Err(RouteError::UnknownTcpPort(NicMac::BASE_TCP_PORT + 2))
+        );
+        assert_eq!(
+            mac.route(80),
+            Err(RouteError::UnknownTcpPort(80))
+        );
+    }
+
+    #[test]
+    fn message_latency_is_one_store_and_forward() {
+        let mac = NicMac::for_cores(1);
+        assert_eq!(mac.message_latency(1), mac.per_frame_latency());
+        assert_eq!(mac.message_latency(700), mac.per_frame_latency());
+    }
+
+    #[test]
+    fn table1_constants() {
+        assert_eq!(NicMac::POWER_MW, 120.0);
+        assert_eq!(NicMac::AREA_MM2, 0.43);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one core")]
+    fn zero_cores_panics() {
+        let _ = NicMac::for_cores(0);
+    }
+}

@@ -1,0 +1,103 @@
+//! The 10 GbE wire: serialization and propagation.
+
+use densekv_sim::Duration;
+
+use crate::frame::wire_bytes_for_payload;
+
+/// A point-to-point Ethernet link.
+///
+/// Each Mercury/Iridium stack is tied directly to one physical 10 GbE
+/// port (no server-level router, §4.1.4), so the link model is a plain
+/// serialization + propagation pipe.
+///
+/// # Examples
+///
+/// ```
+/// use densekv_net::Wire;
+/// use densekv_sim::Duration;
+///
+/// let wire = Wire::ten_gbe();
+/// // 1250 bytes at 10 Gb/s = 1 us of serialization.
+/// assert_eq!(wire.serialization_time(1250), Duration::from_micros(1));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Wire {
+    /// Link rate in gigabits per second.
+    pub gbps: f64,
+    /// One-way propagation + switching delay (client to server inside a
+    /// data center row).
+    pub propagation: Duration,
+}
+
+impl Wire {
+    /// A 10 GbE link with 2 µs one-way in-row latency (ToR switch hop and
+    /// client NIC included).
+    pub fn ten_gbe() -> Self {
+        Wire {
+            gbps: 10.0,
+            propagation: Duration::from_micros(2),
+        }
+    }
+
+    /// Time to clock `bytes` onto the wire.
+    pub fn serialization_time(&self, bytes: u64) -> Duration {
+        Duration::from_nanos_f64(bytes as f64 * 8.0 / self.gbps)
+    }
+
+    /// One-way latency for a message of `payload` bytes: serialization of
+    /// payload plus framing overhead, plus propagation.
+    pub fn one_way(&self, payload: u64) -> Duration {
+        self.serialization_time(wire_bytes_for_payload(payload)) + self.propagation
+    }
+
+    /// Peak payload bandwidth in bytes per second (line rate minus frame
+    /// overhead at MSS-sized segments).
+    pub fn payload_bandwidth_bps(&self) -> f64 {
+        let mss = crate::frame::MSS_BYTES as f64;
+        let per_frame = mss + crate::frame::PER_FRAME_OVERHEAD_BYTES as f64;
+        self.gbps * 1e9 / 8.0 * (mss / per_frame)
+    }
+}
+
+impl Default for Wire {
+    fn default() -> Self {
+        Wire::ten_gbe()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_rate_math() {
+        let w = Wire::ten_gbe();
+        // 10 Gb/s = 1.25 GB/s: 1.25 MB takes 1 ms.
+        assert_eq!(
+            w.serialization_time(1_250_000),
+            Duration::from_millis(1)
+        );
+    }
+
+    #[test]
+    fn one_way_includes_propagation_and_overhead() {
+        let w = Wire::ten_gbe();
+        let t = w.one_way(0);
+        // 90 overhead bytes = 72 ns, plus 2 us propagation.
+        assert_eq!(t, Duration::from_nanos(2072));
+    }
+
+    #[test]
+    fn payload_bandwidth_below_line_rate() {
+        let w = Wire::ten_gbe();
+        let bw = w.payload_bandwidth_bps();
+        assert!(bw < 1.25e9);
+        assert!(bw > 1.1e9, "framing overhead should cost < 10%: {bw}");
+    }
+
+    #[test]
+    fn larger_payloads_take_longer() {
+        let w = Wire::ten_gbe();
+        assert!(w.one_way(1 << 20) > w.one_way(64));
+    }
+}

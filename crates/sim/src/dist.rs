@@ -1,0 +1,194 @@
+//! Random distributions used by the workload generators.
+
+use crate::rng::SplitMix64;
+
+/// A discrete Zipf(α) distribution over ranks `0..n`.
+///
+/// Rank `k` is drawn with probability proportional to `1/(k+1)^α`. Used to
+/// model key popularity in Memcached-style workloads (Atikoglu et al.,
+/// SIGMETRICS '12 report highly skewed key popularity).
+///
+/// Sampling uses a precomputed CDF with binary search: O(n) memory,
+/// O(log n) per sample, exact.
+///
+/// # Examples
+///
+/// ```
+/// use densekv_sim::dist::Zipf;
+/// use densekv_sim::SplitMix64;
+///
+/// let zipf = Zipf::new(1000, 0.99);
+/// let mut rng = SplitMix64::new(1);
+/// let rank = zipf.sample(&mut rng);
+/// assert!(rank < 1000);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Creates a Zipf distribution over `n` ranks with exponent `alpha`.
+    ///
+    /// `alpha == 0` degenerates to the uniform distribution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero or `alpha` is negative or non-finite.
+    pub fn new(n: usize, alpha: f64) -> Self {
+        assert!(n > 0, "Zipf needs at least one rank");
+        assert!(alpha.is_finite() && alpha >= 0.0, "alpha must be >= 0");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 0..n {
+            acc += 1.0 / ((k + 1) as f64).powf(alpha);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for p in &mut cdf {
+            *p /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// True if there is exactly one rank (always sampled).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Draws a rank in `0..len()`.
+    pub fn sample(&self, rng: &mut SplitMix64) -> usize {
+        let u = rng.next_f64();
+        match self
+            .cdf
+            .binary_search_by(|p| p.partial_cmp(&u).expect("cdf is finite"))
+        {
+            Ok(i) => (i + 1).min(self.cdf.len() - 1),
+            Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+
+    /// The probability of rank `k`.
+    pub fn pmf(&self, k: usize) -> f64 {
+        if k >= self.cdf.len() {
+            return 0.0;
+        }
+        if k == 0 {
+            self.cdf[0]
+        } else {
+            self.cdf[k] - self.cdf[k - 1]
+        }
+    }
+}
+
+/// An exponential distribution with the given rate (events per second).
+///
+/// Used for Poisson (open-loop) request arrival processes.
+///
+/// # Examples
+///
+/// ```
+/// use densekv_sim::dist::Exponential;
+/// use densekv_sim::SplitMix64;
+///
+/// let exp = Exponential::from_rate_per_sec(1_000_000.0); // 1 M req/s
+/// let mut rng = SplitMix64::new(2);
+/// let gap = exp.sample(&mut rng);
+/// assert!(gap.as_ps() > 0 || gap.is_zero());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Exponential {
+    mean_secs: f64,
+}
+
+impl Exponential {
+    /// Creates a distribution with mean inter-arrival `1/rate` seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is not strictly positive and finite.
+    pub fn from_rate_per_sec(rate: f64) -> Self {
+        assert!(rate.is_finite() && rate > 0.0, "rate must be positive");
+        Exponential {
+            mean_secs: 1.0 / rate,
+        }
+    }
+
+    /// Draws an inter-arrival gap.
+    pub fn sample(&self, rng: &mut SplitMix64) -> crate::time::Duration {
+        // Inverse-CDF; guard the log against u == 0.
+        let u = rng.next_f64().max(f64::MIN_POSITIVE);
+        crate::time::Duration::from_secs_f64(-self.mean_secs * u.ln())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zipf_uniform_when_alpha_zero() {
+        let zipf = Zipf::new(4, 0.0);
+        for k in 0..4 {
+            assert!((zipf.pmf(k) - 0.25).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn zipf_is_skewed() {
+        let zipf = Zipf::new(100, 1.0);
+        assert!(zipf.pmf(0) > zipf.pmf(1));
+        assert!(zipf.pmf(1) > zipf.pmf(50));
+        // Harmonic series: P(rank 0) = 1/H_100 ~= 0.1928.
+        assert!((zipf.pmf(0) - 0.1928).abs() < 0.001);
+    }
+
+    #[test]
+    fn zipf_pmf_sums_to_one() {
+        let zipf = Zipf::new(257, 0.8);
+        let sum: f64 = (0..257).map(|k| zipf.pmf(k)).sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+        assert_eq!(zipf.pmf(257), 0.0);
+    }
+
+    #[test]
+    fn zipf_samples_match_pmf() {
+        let zipf = Zipf::new(10, 1.0);
+        let mut rng = SplitMix64::new(4);
+        let n = 200_000;
+        let mut counts = [0usize; 10];
+        for _ in 0..n {
+            counts[zipf.sample(&mut rng)] += 1;
+        }
+        for (k, &count) in counts.iter().enumerate() {
+            let observed = count as f64 / n as f64;
+            let expected = zipf.pmf(k);
+            assert!(
+                (observed - expected).abs() < 0.01,
+                "rank {k}: observed {observed}, expected {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn exponential_mean_is_close() {
+        let rate = 2_000_000.0; // 2 M/s => mean 500 ns
+        let exp = Exponential::from_rate_per_sec(rate);
+        let mut rng = SplitMix64::new(8);
+        let n = 100_000;
+        let total: f64 = (0..n).map(|_| exp.sample(&mut rng).as_nanos_f64()).sum();
+        let mean = total / n as f64;
+        assert!((mean - 500.0).abs() < 10.0, "mean {mean} ns");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn zipf_rejects_empty() {
+        let _ = Zipf::new(0, 1.0);
+    }
+}

@@ -1,0 +1,253 @@
+//! Deterministic discrete-event queue and scheduler.
+//!
+//! Events are ordered by time, with ties broken by insertion sequence so
+//! the simulation is fully deterministic regardless of heap internals.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::{Duration, SimTime};
+
+/// An entry in the event queue: payload `E` due at a time.
+#[derive(Debug, Clone)]
+struct Entry<E> {
+    time: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+
+impl<E> Eq for Entry<E> {}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest event pops first.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A time-ordered queue of events.
+///
+/// Ties at the same timestamp pop in insertion order (FIFO), which keeps
+/// multi-component simulations deterministic.
+///
+/// # Examples
+///
+/// ```
+/// use densekv_sim::{EventQueue, SimTime};
+///
+/// let mut q = EventQueue::new();
+/// q.push(SimTime::from_ps(20), "late");
+/// q.push(SimTime::from_ps(10), "early");
+/// assert_eq!(q.pop().map(|(_, e)| e), Some("early"));
+/// assert_eq!(q.pop().map(|(_, e)| e), Some("late"));
+/// assert!(q.pop().is_none());
+/// ```
+#[derive(Debug, Clone)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    next_seq: u64,
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Schedules `event` at absolute time `time`.
+    pub fn push(&mut self, time: SimTime, event: E) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { time, seq, event });
+    }
+
+    /// Removes and returns the earliest event, if any.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        self.heap.pop().map(|e| (e.time, e.event))
+    }
+
+    /// The timestamp of the earliest pending event.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Drops all pending events.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        EventQueue::new()
+    }
+}
+
+/// An [`EventQueue`] paired with a running clock.
+///
+/// [`Scheduler::pop`] advances the clock to the popped event's timestamp;
+/// [`Scheduler::schedule_in`] schedules relative to the current clock.
+///
+/// # Examples
+///
+/// ```
+/// use densekv_sim::{Duration, Scheduler};
+///
+/// let mut sched = Scheduler::new();
+/// sched.schedule_in(Duration::from_nanos(100), "a");
+/// sched.schedule_in(Duration::from_nanos(50), "b");
+/// let order: Vec<_> = std::iter::from_fn(|| sched.pop().map(|(_, e)| e)).collect();
+/// assert_eq!(order, vec!["b", "a"]);
+/// assert_eq!(sched.now().elapsed_since(densekv_sim::SimTime::ZERO),
+///            Duration::from_nanos(100));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Scheduler<E> {
+    queue: EventQueue<E>,
+    now: SimTime,
+}
+
+impl<E> Scheduler<E> {
+    /// Creates a scheduler at the epoch with no pending events.
+    pub fn new() -> Self {
+        Scheduler {
+            queue: EventQueue::new(),
+            now: SimTime::ZERO,
+        }
+    }
+
+    /// The current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedules `event` at absolute time `time`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` is in the past (before [`Scheduler::now`]).
+    pub fn schedule_at(&mut self, time: SimTime, event: E) {
+        assert!(time >= self.now, "cannot schedule into the past");
+        self.queue.push(time, event);
+    }
+
+    /// Schedules `event` `delay` after the current time.
+    pub fn schedule_in(&mut self, delay: Duration, event: E) {
+        self.queue.push(self.now + delay, event);
+    }
+
+    /// Pops the earliest event and advances the clock to its timestamp.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let (time, event) = self.queue.pop()?;
+        self.now = time;
+        Some((time, event))
+    }
+
+    /// Number of pending events.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// True if no events are pending.
+    pub fn is_idle(&self) -> bool {
+        self.queue.is_empty()
+    }
+}
+
+impl<E> Default for Scheduler<E> {
+    fn default() -> Self {
+        Scheduler::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_ps(30), 3);
+        q.push(SimTime::from_ps(10), 1);
+        q.push(SimTime::from_ps(20), 2);
+        let order: Vec<_> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn ties_pop_fifo() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_ps(5);
+        for i in 0..100 {
+            q.push(t, i);
+        }
+        let order: Vec<_> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn peek_does_not_remove() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_ps(7), ());
+        assert_eq!(q.peek_time(), Some(SimTime::from_ps(7)));
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+        q.clear();
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn scheduler_advances_clock() {
+        let mut s = Scheduler::new();
+        s.schedule_in(Duration::from_nanos(10), "x");
+        s.schedule_in(Duration::from_nanos(20), "y");
+        assert_eq!(s.pending(), 2);
+        let (t, e) = s.pop().unwrap();
+        assert_eq!(e, "x");
+        assert_eq!(t, s.now());
+        // Relative scheduling now uses the advanced clock.
+        s.schedule_in(Duration::from_nanos(5), "z");
+        let (_, e) = s.pop().unwrap();
+        assert_eq!(e, "z");
+        let (_, e) = s.pop().unwrap();
+        assert_eq!(e, "y");
+        assert!(s.is_idle());
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot schedule into the past")]
+    fn scheduling_into_the_past_panics() {
+        let mut s = Scheduler::new();
+        s.schedule_in(Duration::from_nanos(10), ());
+        s.pop();
+        s.schedule_at(SimTime::from_ps(1), ());
+    }
+}

@@ -1,0 +1,325 @@
+//! Measurement helpers: counters, running means, and latency
+//! distributions.
+
+use core::fmt;
+
+use crate::time::Duration;
+
+/// A running mean/min/max accumulator over `f64` samples.
+///
+/// # Examples
+///
+/// ```
+/// use densekv_sim::stats::Summary;
+///
+/// let mut s = Summary::new();
+/// for x in [1.0, 2.0, 3.0] {
+///     s.record(x);
+/// }
+/// assert_eq!(s.mean(), 2.0);
+/// assert_eq!(s.min(), Some(1.0));
+/// assert_eq!(s.max(), Some(3.0));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Summary {
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Summary {
+    /// Creates an empty summary.
+    pub fn new() -> Self {
+        Summary {
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, x: f64) {
+        self.count += 1;
+        self.sum += x;
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Mean of the samples; `0.0` when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Smallest sample, if any were recorded.
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest sample, if any were recorded.
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Merges another summary into this one.
+    pub fn merge(&mut self, other: &Summary) {
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// A latency distribution with exact percentile and SLA queries.
+///
+/// Samples are stored exactly (simulation runs in this workspace record
+/// hundreds to tens of thousands of latencies, where exactness is worth
+/// more than constant memory) and sorted lazily on query.
+///
+/// # Examples
+///
+/// ```
+/// use densekv_sim::stats::LatencyHistogram;
+/// use densekv_sim::Duration;
+///
+/// let mut h = LatencyHistogram::new();
+/// for us in 1..=100u64 {
+///     h.record(Duration::from_micros(us));
+/// }
+/// assert_eq!(h.percentile(0.50), Some(Duration::from_micros(50)));
+/// assert_eq!(h.fraction_within(Duration::from_micros(80)), 0.80);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct LatencyHistogram {
+    /// Samples in picoseconds; sorted iff `sorted`.
+    samples: Vec<u64>,
+    sorted: bool,
+    sum_ps: u128,
+}
+
+impl LatencyHistogram {
+    /// Creates an empty distribution.
+    pub fn new() -> Self {
+        LatencyHistogram {
+            samples: Vec::new(),
+            sorted: true,
+            sum_ps: 0,
+        }
+    }
+
+    /// Records one latency sample.
+    pub fn record(&mut self, d: Duration) {
+        let ps = d.as_ps();
+        if self.sorted && self.samples.last().is_some_and(|&last| ps < last) {
+            self.sorted = false;
+        }
+        self.samples.push(ps);
+        self.sum_ps += ps as u128;
+    }
+
+    fn sorted_samples(&mut self) -> &[u64] {
+        if !self.sorted {
+            self.samples.sort_unstable();
+            self.sorted = true;
+        }
+        &self.samples
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.samples.len() as u64
+    }
+
+    /// Mean latency; zero when empty.
+    pub fn mean(&self) -> Duration {
+        if self.samples.is_empty() {
+            Duration::ZERO
+        } else {
+            Duration::from_ps((self.sum_ps / self.samples.len() as u128) as u64)
+        }
+    }
+
+    /// Largest recorded sample; zero when empty.
+    pub fn max(&self) -> Duration {
+        Duration::from_ps(self.samples.iter().copied().max().unwrap_or(0))
+    }
+
+    /// The latency at quantile `q` in `[0, 1]` (nearest-rank), or `None`
+    /// when empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn percentile(&self, q: f64) -> Option<Duration> {
+        assert!((0.0..=1.0).contains(&q), "quantile out of range");
+        if self.samples.is_empty() {
+            return None;
+        }
+        let rank = ((q * self.samples.len() as f64).ceil() as usize).clamp(1, self.samples.len());
+        if self.sorted {
+            return Some(Duration::from_ps(self.samples[rank - 1]));
+        }
+        // Rare path: queried before recording finished; sort a copy
+        // rather than demanding &mut self.
+        let mut copy = self.clone();
+        Some(Duration::from_ps(copy.sorted_samples()[rank - 1]))
+    }
+
+    /// Exact fraction of samples at or below `bound`; `1.0` when empty.
+    pub fn fraction_within(&self, bound: Duration) -> f64 {
+        if self.samples.is_empty() {
+            return 1.0;
+        }
+        let within = self
+            .samples
+            .iter()
+            .filter(|&&ps| ps <= bound.as_ps())
+            .count();
+        within as f64 / self.samples.len() as f64
+    }
+
+    /// Merges another distribution into this one.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        self.samples.extend_from_slice(&other.samples);
+        self.sorted = false;
+        self.sum_ps += other.sum_ps;
+    }
+}
+
+impl fmt::Display for LatencyHistogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} mean={} p50={} p99={} max={}",
+            self.count(),
+            self.mean(),
+            self.percentile(0.50).unwrap_or(Duration::ZERO),
+            self.percentile(0.99).unwrap_or(Duration::ZERO),
+            self.max()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_tracks_min_max_mean() {
+        let mut s = Summary::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.min(), None);
+        for x in [4.0, -2.0, 10.0] {
+            s.record(x);
+        }
+        assert_eq!(s.count(), 3);
+        assert_eq!(s.sum(), 12.0);
+        assert_eq!(s.mean(), 4.0);
+        assert_eq!(s.min(), Some(-2.0));
+        assert_eq!(s.max(), Some(10.0));
+    }
+
+    #[test]
+    fn summary_merge() {
+        let mut a = Summary::new();
+        a.record(1.0);
+        let mut b = Summary::new();
+        b.record(3.0);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.mean(), 2.0);
+    }
+
+    #[test]
+    fn histogram_mean_exact() {
+        let mut h = LatencyHistogram::new();
+        h.record(Duration::from_nanos(100));
+        h.record(Duration::from_nanos(300));
+        assert_eq!(h.mean(), Duration::from_nanos(200));
+        assert_eq!(h.max(), Duration::from_nanos(300));
+        assert_eq!(h.count(), 2);
+    }
+
+    #[test]
+    fn percentiles_are_exact_nearest_rank() {
+        let mut h = LatencyHistogram::new();
+        // Insert out of order to exercise the lazy sort.
+        for us in (1..=1000u64).rev() {
+            h.record(Duration::from_micros(us));
+        }
+        assert_eq!(h.percentile(0.0), Some(Duration::from_micros(1)));
+        assert_eq!(h.percentile(0.5), Some(Duration::from_micros(500)));
+        assert_eq!(h.percentile(0.99), Some(Duration::from_micros(990)));
+        assert_eq!(h.percentile(1.0), Some(Duration::from_micros(1000)));
+    }
+
+    #[test]
+    fn percentile_of_empty_is_none() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.percentile(0.5), None);
+        assert_eq!(h.fraction_within(Duration::from_millis(1)), 1.0);
+    }
+
+    #[test]
+    fn fraction_within_is_exact() {
+        let mut h = LatencyHistogram::new();
+        for _ in 0..90 {
+            h.record(Duration::from_micros(568)); // just under 1 ms
+        }
+        for _ in 0..10 {
+            h.record(Duration::from_millis(10));
+        }
+        assert_eq!(h.fraction_within(Duration::from_millis(1)), 0.9);
+        assert_eq!(h.fraction_within(Duration::from_micros(568)), 0.9);
+        assert_eq!(h.fraction_within(Duration::from_micros(567)), 0.0);
+    }
+
+    #[test]
+    fn zero_samples_allowed() {
+        let mut h = LatencyHistogram::new();
+        h.record(Duration::ZERO);
+        assert_eq!(h.percentile(0.5), Some(Duration::ZERO));
+    }
+
+    #[test]
+    fn merge_combines() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        a.record(Duration::from_nanos(1000));
+        b.record(Duration::from_nanos(10));
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.max(), Duration::from_nanos(1000));
+        assert_eq!(a.percentile(0.0), Some(Duration::from_nanos(10)));
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let mut h = LatencyHistogram::new();
+        h.record(Duration::from_micros(7));
+        assert!(h.to_string().contains("n=1"));
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile out of range")]
+    fn bad_quantile_panics() {
+        let mut h = LatencyHistogram::new();
+        h.record(Duration::ZERO);
+        let _ = h.percentile(1.5);
+    }
+}

@@ -1,0 +1,24 @@
+//! The Mercury and Iridium 3D-stack models — the paper's contribution.
+//!
+//! A stack is a logic die (cores + NIC MAC + memory peripheral logic)
+//! bonded under either 8 DRAM dies (**Mercury**, 4 GB) or a monolithic
+//! p-BiCS NAND flash layer (**Iridium**, 19.8 GB), packaged in a 400-pin
+//! 21 mm × 21 mm BGA and tied to one 10 GbE port.
+//!
+//! * [`config`] — stack configuration (`Mercury-n` / `Iridium-n`), port
+//!   allocation and address-space partitioning (§4.1.2),
+//! * [`components`] — Table 1's component power/area catalog,
+//! * [`power`] — per-stack power as a function of achieved memory
+//!   bandwidth (§5.4),
+//! * [`area`] — package/board-area accounting and the logic-die budget
+//!   (§5.5), plus the §6.5 thermal check.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod area;
+pub mod components;
+pub mod config;
+pub mod power;
+
+pub use config::{MemoryKind, StackConfig};

@@ -1,0 +1,351 @@
+//! Workload generation: the request streams the experiments replay.
+//!
+//! The paper's sweeps use fixed-size GET/PUT requests from 64 B to 1 MB
+//! (doubling, §5.2); its motivation leans on Facebook-style traffic
+//! (Atikoglu et al.: GET-dominated, highly skewed key popularity, small
+//! values). Both shapes are generated here, deterministically.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod trace;
+
+use densekv_sim::dist::Zipf;
+use densekv_sim::SplitMix64;
+
+/// The two operations the paper measures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Op {
+    /// A read (`get`).
+    Get,
+    /// A write (`set`); the paper calls these PUTs.
+    Put,
+}
+
+/// One request to replay against a store.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Operation.
+    pub op: Op,
+    /// Key bytes.
+    pub key: Vec<u8>,
+    /// Value size in bytes (the paper's "request size").
+    pub value_bytes: u64,
+}
+
+/// A deterministic stream of requests.
+pub trait RequestGenerator {
+    /// Produces the next request.
+    fn next_request(&mut self) -> Request;
+    /// Human-readable description for reports.
+    fn describe(&self) -> String;
+}
+
+/// The paper's sweep points: 64 B to 1 MB, doubling (15 sizes).
+///
+/// # Examples
+///
+/// ```
+/// let sizes = densekv_workload::paper_size_sweep();
+/// assert_eq!(sizes.len(), 15);
+/// assert_eq!(sizes[0], 64);
+/// assert_eq!(sizes[14], 1 << 20);
+/// ```
+pub fn paper_size_sweep() -> Vec<u64> {
+    (0..15).map(|i| 64u64 << i).collect()
+}
+
+/// Fixed-size requests over a rotating key set — the §5.2 sweep at one
+/// size point.
+///
+/// Keys rotate through a bounded population so a measurement pass can
+/// pre-load them and GETs always hit (the paper measures hit latency).
+///
+/// # Examples
+///
+/// ```
+/// use densekv_workload::{FixedSizeWorkload, Op, RequestGenerator};
+///
+/// let mut gen = FixedSizeWorkload::new(Op::Get, 4096, 100, 7);
+/// let r = gen.next_request();
+/// assert_eq!(r.op, Op::Get);
+/// assert_eq!(r.value_bytes, 4096);
+/// ```
+#[derive(Debug, Clone)]
+pub struct FixedSizeWorkload {
+    op: Op,
+    value_bytes: u64,
+    population: u64,
+    next_key: u64,
+    rng: SplitMix64,
+}
+
+impl FixedSizeWorkload {
+    /// Creates a generator for `op` at `value_bytes`, drawing keys
+    /// uniformly from a population of `population` keys.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `population` is zero.
+    pub fn new(op: Op, value_bytes: u64, population: u64, seed: u64) -> Self {
+        assert!(population > 0, "population must be positive");
+        FixedSizeWorkload {
+            op,
+            value_bytes,
+            population,
+            next_key: 0,
+            rng: SplitMix64::new(seed),
+        }
+    }
+
+    /// The keys this workload draws from, for pre-loading a store.
+    pub fn all_keys(&self) -> impl Iterator<Item = Vec<u8>> + '_ {
+        (0..self.population).map(key_bytes)
+    }
+}
+
+/// Renders key `id` as the 16-byte key the workloads use.
+pub fn key_bytes(id: u64) -> Vec<u8> {
+    format!("key:{id:011}").into_bytes()
+}
+
+impl RequestGenerator for FixedSizeWorkload {
+    fn next_request(&mut self) -> Request {
+        let id = match self.op {
+            // GETs sample uniformly; PUTs rotate so the store's footprint
+            // stays bounded at `population` items.
+            Op::Get => self.rng.next_below(self.population),
+            Op::Put => {
+                let id = self.next_key;
+                self.next_key = (self.next_key + 1) % self.population;
+                id
+            }
+        };
+        Request {
+            op: self.op,
+            key: key_bytes(id),
+            value_bytes: self.value_bytes,
+        }
+    }
+
+    fn describe(&self) -> String {
+        format!("{:?} @{}B over {} keys", self.op, self.value_bytes, self.population)
+    }
+}
+
+/// An ETC-like mixed workload (Atikoglu et al., SIGMETRICS '12): GET-heavy
+/// with Zipf-popular keys and a small-value-biased size distribution.
+///
+/// # Examples
+///
+/// ```
+/// use densekv_workload::{MixedWorkload, Op, RequestGenerator};
+///
+/// let mut gen = MixedWorkload::etc_like(10_000, 42);
+/// let gets = (0..1000)
+///     .filter(|_| gen.next_request().op == Op::Get)
+///     .count();
+/// assert!(gets > 900, "ETC is ~95% GETs, saw {gets}");
+/// ```
+#[derive(Debug, Clone)]
+pub struct MixedWorkload {
+    get_fraction: f64,
+    popularity: Zipf,
+    /// `(value_bytes, cumulative_probability)` size mixture.
+    size_cdf: Vec<(u64, f64)>,
+    rng: SplitMix64,
+    label: String,
+}
+
+impl MixedWorkload {
+    /// Builds a workload with explicit parameters.
+    ///
+    /// `size_mix` is a list of `(value_bytes, weight)`; weights are
+    /// normalized internally.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `keys` is zero, `size_mix` is empty, or weights are
+    /// non-positive.
+    pub fn new(
+        keys: usize,
+        zipf_alpha: f64,
+        get_fraction: f64,
+        size_mix: &[(u64, f64)],
+        seed: u64,
+        label: &str,
+    ) -> Self {
+        assert!(!size_mix.is_empty(), "need at least one size");
+        let total: f64 = size_mix.iter().map(|(_, w)| *w).sum();
+        assert!(total > 0.0, "weights must be positive");
+        let mut acc = 0.0;
+        let size_cdf = size_mix
+            .iter()
+            .map(|&(size, w)| {
+                acc += w / total;
+                (size, acc)
+            })
+            .collect();
+        MixedWorkload {
+            get_fraction: get_fraction.clamp(0.0, 1.0),
+            popularity: Zipf::new(keys, zipf_alpha),
+            size_cdf,
+            rng: SplitMix64::new(seed),
+            label: label.to_owned(),
+        }
+    }
+
+    /// The ETC-like preset: 95 % GETs, Zipf(0.99) popularity, values
+    /// biased toward a few hundred bytes.
+    pub fn etc_like(keys: usize, seed: u64) -> Self {
+        MixedWorkload::new(
+            keys,
+            0.99,
+            0.95,
+            &[(64, 0.3), (256, 0.35), (1024, 0.25), (4096, 0.08), (65_536, 0.02)],
+            seed,
+            "ETC-like",
+        )
+    }
+
+    /// A McDipper-style photo workload: large values, GET-dominated, low
+    /// key skew (photos are accessed more uniformly than cache keys).
+    pub fn photo_like(keys: usize, seed: u64) -> Self {
+        MixedWorkload::new(
+            keys,
+            0.6,
+            0.99,
+            &[(16 << 10, 0.3), (64 << 10, 0.5), (256 << 10, 0.2)],
+            seed,
+            "photo-like",
+        )
+    }
+
+    /// Number of distinct keys.
+    pub fn key_count(&self) -> usize {
+        self.popularity.len()
+    }
+}
+
+impl RequestGenerator for MixedWorkload {
+    fn next_request(&mut self) -> Request {
+        let op = if self.rng.next_bool(self.get_fraction) {
+            Op::Get
+        } else {
+            Op::Put
+        };
+        let key_id = self.popularity.sample(&mut self.rng) as u64;
+        let u = self.rng.next_f64();
+        let value_bytes = self
+            .size_cdf
+            .iter()
+            .find(|(_, cum)| u <= *cum)
+            .map(|(size, _)| *size)
+            .unwrap_or(self.size_cdf.last().expect("nonempty").0);
+        Request {
+            op,
+            key: key_bytes(key_id),
+            value_bytes,
+        }
+    }
+
+    fn describe(&self) -> String {
+        format!("{} over {} keys", self.label, self.key_count())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_matches_paper() {
+        let sizes = paper_size_sweep();
+        assert_eq!(sizes.first(), Some(&64));
+        assert_eq!(sizes.last(), Some(&(1 << 20)));
+        for w in sizes.windows(2) {
+            assert_eq!(w[1], w[0] * 2, "sizes double");
+        }
+    }
+
+    #[test]
+    fn fixed_size_put_rotates_keys() {
+        let mut gen = FixedSizeWorkload::new(Op::Put, 64, 3, 1);
+        let keys: Vec<_> = (0..6).map(|_| gen.next_request().key).collect();
+        assert_eq!(keys[0], keys[3]);
+        assert_eq!(keys[1], keys[4]);
+        assert_ne!(keys[0], keys[1]);
+    }
+
+    #[test]
+    fn fixed_size_get_stays_in_population() {
+        let mut gen = FixedSizeWorkload::new(Op::Get, 64, 10, 2);
+        let keys: std::collections::HashSet<_> =
+            gen.all_keys().collect();
+        for _ in 0..100 {
+            assert!(keys.contains(&gen.next_request().key));
+        }
+    }
+
+    #[test]
+    fn deterministic_with_same_seed() {
+        let mut a = MixedWorkload::etc_like(1000, 9);
+        let mut b = MixedWorkload::etc_like(1000, 9);
+        for _ in 0..100 {
+            assert_eq!(a.next_request(), b.next_request());
+        }
+    }
+
+    #[test]
+    fn etc_mix_shape() {
+        let mut gen = MixedWorkload::etc_like(10_000, 3);
+        let mut gets = 0;
+        let mut small = 0;
+        let n = 5000;
+        for _ in 0..n {
+            let r = gen.next_request();
+            if r.op == Op::Get {
+                gets += 1;
+            }
+            if r.value_bytes <= 1024 {
+                small += 1;
+            }
+        }
+        assert!((gets as f64 / n as f64 - 0.95).abs() < 0.02);
+        assert!(small as f64 / n as f64 > 0.85, "values skew small");
+    }
+
+    #[test]
+    fn zipf_popularity_is_skewed() {
+        let mut gen = MixedWorkload::etc_like(1000, 4);
+        let mut counts = std::collections::HashMap::new();
+        for _ in 0..20_000 {
+            *counts.entry(gen.next_request().key).or_insert(0usize) += 1;
+        }
+        let hottest = counts.values().copied().max().unwrap();
+        assert!(
+            hottest > 20_000 / 50,
+            "hot key should take >2% of traffic: {hottest}"
+        );
+    }
+
+    #[test]
+    fn photo_workload_is_large_valued() {
+        let mut gen = MixedWorkload::photo_like(500, 5);
+        for _ in 0..100 {
+            assert!(gen.next_request().value_bytes >= 16 << 10);
+        }
+    }
+
+    #[test]
+    fn key_bytes_are_fixed_width() {
+        assert_eq!(key_bytes(0).len(), key_bytes(u32::MAX as u64).len());
+    }
+
+    #[test]
+    fn describe_is_informative() {
+        let gen = FixedSizeWorkload::new(Op::Get, 64, 10, 2);
+        assert!(gen.describe().contains("64"));
+        assert!(MixedWorkload::etc_like(10, 1).describe().contains("ETC"));
+    }
+}

@@ -1,0 +1,87 @@
+//! The McDipper scenario (paper §3.5 / §4.2): Facebook moved
+//! low-request-rate, high-footprint Memcached tiers onto flash. This
+//! example serves two object classes from Mercury and Iridium cores:
+//!
+//! * cache-line-class objects (the ETC-like bulk: 64 B – 1 KB), where the
+//!   paper claims both architectures hold a sub-millisecond SLA, and
+//! * photo-class objects (64 KB), where flash is throughput-bound and
+//!   wins on density, not latency — exactly Fig. 6's story.
+//!
+//! Run with: `cargo run --release --example photo_cache`
+
+use densekv::sim::{CoreSim, CoreSimConfig};
+use densekv_sim::stats::LatencyHistogram;
+use densekv_sim::Duration;
+use densekv_workload::{key_bytes, MixedWorkload, Op, Request, RequestGenerator};
+
+/// Replays a workload and reports the latency distribution.
+fn serve(core: &mut CoreSim, workload: &mut dyn RequestGenerator, requests: u32) -> LatencyHistogram {
+    let mut latency = LatencyHistogram::new();
+    for _ in 0..requests {
+        let request = workload.next_request();
+        latency.record(core.execute(&request).rtt);
+    }
+    latency
+}
+
+fn report(label: &str, latency: &LatencyHistogram) {
+    println!(
+        "  {label:<28} p50 {:>12}  p99 {:>12}  under 1 ms {:>5.1}%",
+        latency.percentile(0.50).expect("samples"),
+        latency.percentile(0.99).expect("samples"),
+        latency.fraction_within(Duration::from_millis(1)) * 100.0
+    );
+}
+
+fn main() {
+    println!("McDipper-style tiering: cache-line objects vs photo blobs\n");
+
+    for (label, config) in [
+        ("Mercury A7 core (DRAM)", CoreSimConfig::mercury_a7()),
+        ("Iridium A7 core (flash)", CoreSimConfig::iridium_a7()),
+    ] {
+        let mut core = CoreSim::new(config).expect("valid config");
+        println!("{label}");
+
+        // Tier 1: the ETC-like small-object bulk (the SLA claim).
+        let mut small = MixedWorkload::new(
+            256,
+            0.99,
+            1.0,
+            &[(64, 0.5), (256, 0.3), (1024, 0.2)],
+            42,
+            "small objects",
+        );
+        for id in 0..256u64 {
+            core.preload_one(&key_bytes(id), 1024).expect("fits");
+        }
+        // Warm caches before measuring.
+        serve(&mut core, &mut small, 300);
+        let small_latency = serve(&mut core, &mut small, 300);
+        report("small objects (64B-1KB)", &small_latency);
+
+        // Tier 2: photo blobs.
+        let photo = 64 << 10;
+        for id in 300..364u64 {
+            core.preload_one(&key_bytes(id), photo).expect("fits");
+        }
+        let mut photo_latency = LatencyHistogram::new();
+        for i in 0..50u64 {
+            let timing = core.execute(&Request {
+                op: Op::Get,
+                key: key_bytes(300 + i % 64),
+                value_bytes: photo,
+            });
+            photo_latency.record(timing.rtt);
+        }
+        report("photo blobs (64KB)", &photo_latency);
+        println!();
+    }
+
+    println!(
+        "The paper's positioning, reproduced: for the small-object bulk both\n\
+         architectures sit comfortably under 1 ms (Fig. 5/6); for photo-class\n\
+         blobs flash is tens of ms per object — Iridium's case is 4.9x the\n\
+         bytes per stack at moderate-to-low request rates (§4.2), not latency."
+    );
+}

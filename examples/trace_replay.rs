@@ -1,0 +1,64 @@
+//! Trace replay: feed a captured request trace (the format production
+//! Memcached studies use) through a simulated core.
+//!
+//! Usage: `cargo run --release --example trace_replay [trace_file]`
+//! Without a file, a small built-in trace is replayed.
+
+use densekv::sim::{CoreSim, CoreSimConfig};
+use densekv_sim::stats::LatencyHistogram;
+use densekv_workload::trace::TraceReplay;
+use densekv_workload::{Op, RequestGenerator};
+
+const BUILTIN: &str = "\
+# built-in demo trace: a session of writes then skewed reads
+put session:1 512
+put session:2 512
+put profile:1 2048
+get session:1
+get session:1
+get profile:1
+get session:2
+get session:1
+put session:1 512
+get session:1
+";
+
+fn main() {
+    let text = std::env::args()
+        .nth(1)
+        .map(|path| std::fs::read_to_string(&path).expect("readable trace file"))
+        .unwrap_or_else(|| BUILTIN.to_owned());
+    let mut replay = TraceReplay::from_text(&text).expect("valid trace");
+    println!("Replaying {} on a Mercury A7 core\n", replay.describe());
+
+    let mut core = CoreSim::new(CoreSimConfig::mercury_a7()).expect("valid config");
+    let mut get_latency = LatencyHistogram::new();
+    let mut put_latency = LatencyHistogram::new();
+    let mut misses = 0u64;
+    let passes = 50; // loop the trace for steady-state caches
+    for _ in 0..passes * replay.len() {
+        let request = replay.next_request();
+        let timing = core.execute(&request);
+        match request.op {
+            Op::Get => {
+                get_latency.record(timing.rtt);
+                if !timing.hit {
+                    misses += 1;
+                }
+            }
+            Op::Put => put_latency.record(timing.rtt),
+        }
+    }
+
+    println!("GETs: {get_latency}");
+    println!("PUTs: {put_latency}");
+    let stats = core.store_stats();
+    println!(
+        "\nstore: {} items, {} B, {} hits / {} misses ({} cold misses seen by the client)",
+        stats.items, stats.bytes, stats.get_hits, stats.get_misses, misses
+    );
+    println!(
+        "\nPoint your own capture at this binary: one request per line,\n\
+         `get <key>` or `put <key> <value_bytes>` (# comments allowed)."
+    );
+}

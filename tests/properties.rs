@@ -1,0 +1,526 @@
+//! Property-based tests (proptest) over the core data structures and
+//! invariants the simulation depends on.
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+
+use densekv_dht::ConsistentHashRing;
+use densekv_kv::lru::{BagLru, EvictionPolicy, StrictLru};
+use densekv_kv::slab::{SlabAllocator, SlabError};
+use densekv_kv::store::{KvStore, StoreConfig};
+use densekv_kv::table::HashTable;
+use densekv_mem::flash::FlashConfig;
+use densekv_mem::ftl::Ftl;
+use densekv_sim::stats::LatencyHistogram;
+use densekv_sim::{Duration, SplitMix64};
+
+// ---------------------------------------------------------------------
+// Store vs. a HashMap reference model
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum StoreOp {
+    Set(u8, u16),
+    Get(u8),
+    Delete(u8),
+}
+
+fn store_op() -> impl Strategy<Value = StoreOp> {
+    prop_oneof![
+        (any::<u8>(), 1u16..2048).prop_map(|(k, len)| StoreOp::Set(k, len)),
+        any::<u8>().prop_map(StoreOp::Get),
+        any::<u8>().prop_map(StoreOp::Delete),
+    ]
+}
+
+proptest! {
+    /// With ample memory (no evictions), the store behaves exactly like a
+    /// map from keys to (value, length).
+    #[test]
+    fn store_matches_hashmap_model(ops in proptest::collection::vec(store_op(), 1..200)) {
+        let mut store = KvStore::new(StoreConfig::with_capacity(64 << 20));
+        let mut model: HashMap<u8, u16> = HashMap::new();
+        for op in ops {
+            match op {
+                StoreOp::Set(k, len) => {
+                    let key = [b'k', k];
+                    store.set(&key, vec![k; len as usize], None, 0).unwrap();
+                    model.insert(k, len);
+                }
+                StoreOp::Get(k) => {
+                    let key = [b'k', k];
+                    let got = store.get(&key, 0);
+                    match model.get(&k) {
+                        Some(&len) => {
+                            let hit = got.expect("model says present");
+                            prop_assert_eq!(hit.value().len(), len as usize);
+                            prop_assert!(hit.value().iter().all(|&b| b == k));
+                        }
+                        None => prop_assert!(got.is_none()),
+                    }
+                }
+                StoreOp::Delete(k) => {
+                    let key = [b'k', k];
+                    let existed = store.delete(&key).is_some();
+                    prop_assert_eq!(existed, model.remove(&k).is_some());
+                }
+            }
+            prop_assert_eq!(store.len(), model.len() as u64);
+        }
+    }
+
+    /// Store byte accounting equals the sum of live item footprints.
+    #[test]
+    fn store_bytes_accounting(ops in proptest::collection::vec(store_op(), 1..100)) {
+        let mut store = KvStore::new(StoreConfig::with_capacity(64 << 20));
+        let mut model: HashMap<u8, u16> = HashMap::new();
+        for op in ops {
+            match op {
+                StoreOp::Set(k, len) => {
+                    store.set(&[b'k', k], vec![0; len as usize], None, 0).unwrap();
+                    model.insert(k, len);
+                }
+                StoreOp::Delete(k) => {
+                    store.delete(&[b'k', k]);
+                    model.remove(&k);
+                }
+                StoreOp::Get(_) => {}
+            }
+        }
+        let expected: u64 = model
+            .values()
+            .map(|&len| densekv_kv::store::ITEM_HEADER_BYTES + 2 + u64::from(len))
+            .sum();
+        prop_assert_eq!(store.stats().bytes, expected);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Slab allocator
+// ---------------------------------------------------------------------
+
+proptest! {
+    /// Live chunks never alias: every live allocation owns a disjoint
+    /// byte range.
+    #[test]
+    fn slab_live_chunks_are_disjoint(
+        sizes in proptest::collection::vec(1u64..32_768, 1..60),
+        free_mask in proptest::collection::vec(any::<bool>(), 60)
+    ) {
+        let mut slab = SlabAllocator::new(16 << 20);
+        let mut live: Vec<(u64, u64)> = Vec::new(); // (offset, len)
+        let mut addrs = Vec::new();
+        for (i, &size) in sizes.iter().enumerate() {
+            match slab.allocate(size) {
+                Ok(addr) => {
+                    let off = slab.byte_offset(addr);
+                    let chunk = slab.chunk_bytes(addr.class);
+                    prop_assert!(chunk >= size);
+                    for &(o, l) in &live {
+                        prop_assert!(off + chunk <= o || o + l <= off,
+                            "chunk [{off}, {}) overlaps [{o}, {})", off + chunk, o + l);
+                    }
+                    live.push((off, chunk));
+                    addrs.push(Some((addr, off, chunk)));
+                }
+                Err(SlabError::OutOfMemory) => addrs.push(None),
+                Err(e) => prop_assert!(false, "unexpected error {e}"),
+            }
+            // Occasionally free an earlier allocation.
+            if free_mask[i % free_mask.len()] {
+                if let Some(slot) = addrs.iter().position(|a| a.is_some()) {
+                    let (addr, off, chunk) = addrs[slot].take().expect("checked");
+                    slab.free(addr);
+                    live.retain(|&(o, _)| o != off || chunk == 0);
+                }
+            }
+        }
+    }
+
+    /// allocated_bytes is exactly the sum of live chunk sizes.
+    #[test]
+    fn slab_accounting_balances(sizes in proptest::collection::vec(1u64..100_000, 1..40)) {
+        let mut slab = SlabAllocator::new(16 << 20);
+        let mut allocated = Vec::new();
+        for size in sizes {
+            if let Ok(addr) = slab.allocate(size) {
+                allocated.push(addr);
+            }
+        }
+        let expected: u64 = allocated.iter().map(|a| slab.chunk_bytes(a.class)).sum();
+        prop_assert_eq!(slab.allocated_bytes(), expected);
+        for addr in allocated.drain(..) {
+            slab.free(addr);
+        }
+        prop_assert_eq!(slab.allocated_bytes(), 0);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Hash table vs. a reference model
+// ---------------------------------------------------------------------
+
+proptest! {
+    /// The incremental-resize table agrees with a simple map of
+    /// (hash, slot) pairs through arbitrary operation sequences.
+    #[test]
+    fn table_matches_model(ops in proptest::collection::vec(
+        (any::<u16>(), 0u32..64, any::<bool>()), 1..300))
+    {
+        let mut table = HashTable::new(4);
+        let mut model: Vec<(u64, u32)> = Vec::new();
+        for (hash16, slot, insert) in ops {
+            let hash = u64::from(hash16);
+            let present = model.iter().any(|&(h, s)| h == hash && s == slot);
+            if insert && !present {
+                table.insert(hash, slot);
+                model.push((hash, slot));
+            } else if !insert && present {
+                prop_assert!(table.remove(hash, slot));
+                model.retain(|&(h, s)| !(h == hash && s == slot));
+            }
+            prop_assert_eq!(table.len(), model.len() as u64);
+        }
+        // Every modeled entry findable at the end (through any pending
+        // migration).
+        for &(hash, slot) in &model {
+            let found = table.find_with(hash, |s| s == slot);
+            prop_assert_eq!(found.slot, Some(slot), "entry ({}, {}) lost", hash, slot);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Eviction policies
+// ---------------------------------------------------------------------
+
+fn policy_drains_exactly_live(policy: &mut dyn EvictionPolicy, ops: &[(u8, u8)]) -> bool {
+    use std::collections::HashSet;
+    let mut live: HashSet<u32> = HashSet::new();
+    for &(slot8, action) in ops {
+        let slot = u32::from(slot8 % 32);
+        match action % 3 {
+            0 => {
+                if !live.contains(&slot) {
+                    policy.on_insert(slot);
+                    live.insert(slot);
+                }
+            }
+            1 => policy.on_access(slot),
+            _ => {
+                if live.remove(&slot) {
+                    policy.on_remove(slot);
+                }
+            }
+        }
+    }
+    let mut drained = HashSet::new();
+    while let Some(v) = policy.pop_victim() {
+        if !drained.insert(v) {
+            return false; // duplicate victim
+        }
+    }
+    drained == live
+}
+
+proptest! {
+    /// Both policies evict each live slot exactly once, and nothing else.
+    #[test]
+    fn lru_policies_drain_exactly_live(ops in proptest::collection::vec(
+        (any::<u8>(), any::<u8>()), 1..200))
+    {
+        let mut strict = StrictLru::new();
+        prop_assert!(policy_drains_exactly_live(&mut strict, &ops), "StrictLru");
+        let mut bags = BagLru::new(8);
+        prop_assert!(policy_drains_exactly_live(&mut bags, &ops), "BagLru");
+    }
+}
+
+// ---------------------------------------------------------------------
+// FTL
+// ---------------------------------------------------------------------
+
+proptest! {
+    /// Arbitrary write patterns: every written page reads back from the
+    /// location the FTL reports, amplification is >= 1, and no two live
+    /// logical pages share a physical page.
+    #[test]
+    fn ftl_mapping_stays_consistent(writes in proptest::collection::vec(0u64..48, 1..600)) {
+        let config = FlashConfig {
+            planes: 2,
+            page_bytes: 8 << 10,
+            pages_per_block: 4,
+            blocks_per_plane: 16,
+            read_latency: Duration::from_micros(10),
+            program_latency: Duration::from_micros(200),
+            erase_latency: Duration::from_millis(2),
+            controller_overhead: Duration::ZERO,
+            active_mw_per_gbps: 6.0,
+        };
+        let mut ftl = Ftl::new(config, 0.25);
+        let mut written = std::collections::HashSet::new();
+        for lpn in writes {
+            let lpn = lpn % ftl.exported_pages();
+            ftl.write(lpn).expect("within capacity");
+            written.insert(lpn);
+        }
+        prop_assert!(ftl.write_amplification() >= 1.0);
+        let mut locations = std::collections::HashSet::new();
+        for &lpn in &written {
+            let (loc, _) = ftl.read(lpn).expect("written page readable");
+            prop_assert!(locations.insert(loc), "physical page shared: {loc:?}");
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// DHT ring
+// ---------------------------------------------------------------------
+
+proptest! {
+    /// Removing a node only remaps keys that node owned; everyone else's
+    /// assignment is untouched.
+    #[test]
+    fn ring_removal_is_minimal(nodes in 2u32..20, victim_seed in any::<u64>(),
+                               keys in proptest::collection::vec(any::<u64>(), 50))
+    {
+        let mut before = ConsistentHashRing::new(8);
+        for n in 0..nodes {
+            before.add_node(n);
+        }
+        let victim = (victim_seed % u64::from(nodes)) as u32;
+        let mut after = before.clone();
+        after.remove_node(victim);
+        for key in keys {
+            let kb = key.to_le_bytes();
+            let owner_before = before.node_for(&kb).expect("nonempty");
+            let owner_after = after.node_for(&kb).expect("nonempty");
+            if owner_before != victim {
+                prop_assert_eq!(owner_before, owner_after, "non-victim key moved");
+            } else {
+                prop_assert_ne!(owner_after, victim);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Statistics
+// ---------------------------------------------------------------------
+
+proptest! {
+    /// Percentiles are monotone in q and bounded by the recorded range.
+    #[test]
+    fn histogram_percentiles_are_sane(samples in proptest::collection::vec(1u64..10_000_000, 1..300)) {
+        let mut h = LatencyHistogram::new();
+        let max = *samples.iter().max().expect("nonempty");
+        for &ns in &samples {
+            h.record(Duration::from_nanos(ns));
+        }
+        let mut last = Duration::ZERO;
+        for q in [0.0, 0.1, 0.5, 0.9, 0.99, 1.0] {
+            let p = h.percentile(q).expect("nonempty");
+            prop_assert!(p >= last, "percentile not monotone at q={q}");
+            prop_assert!(p <= Duration::from_nanos(max));
+            last = p;
+        }
+        prop_assert_eq!(h.count(), samples.len() as u64);
+    }
+
+    /// SplitMix64 sequences are reproducible and `next_below` respects
+    /// its bound for arbitrary seeds/bounds.
+    #[test]
+    fn rng_bound_and_reproducibility(seed in any::<u64>(), bound in 1u64..u64::MAX) {
+        let mut a = SplitMix64::new(seed);
+        let mut b = SplitMix64::new(seed);
+        for _ in 0..50 {
+            let x = a.next_below(bound);
+            prop_assert!(x < bound);
+            prop_assert_eq!(x, b.next_below(bound));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Cache simulator vs. a reference LRU model
+// ---------------------------------------------------------------------
+
+/// A trivially correct set-associative LRU cache: per-set Vec, linear
+/// scan, explicit recency ordering.
+struct ReferenceCache {
+    sets: Vec<Vec<u64>>,
+    ways: usize,
+}
+
+impl ReferenceCache {
+    fn new(sets: usize, ways: usize) -> Self {
+        ReferenceCache {
+            sets: vec![Vec::new(); sets],
+            ways,
+        }
+    }
+
+    fn access(&mut self, line: u64) -> bool {
+        let nsets = self.sets.len() as u64;
+        let set = &mut self.sets[(line % nsets) as usize];
+        if let Some(pos) = set.iter().position(|&l| l == line) {
+            let l = set.remove(pos);
+            set.insert(0, l);
+            true
+        } else {
+            if set.len() == self.ways {
+                set.pop();
+            }
+            set.insert(0, line);
+            false
+        }
+    }
+}
+
+proptest! {
+    /// The production cache simulator agrees with the reference model on
+    /// every access of arbitrary traces, across geometries.
+    #[test]
+    fn cache_matches_reference_lru(
+        trace in proptest::collection::vec(0u64..512, 1..600),
+        ways in 1u32..8,
+        sets_pow in 0u32..5,
+    ) {
+        let sets = 1usize << sets_pow;
+        let config = densekv_cpu::cache::CacheConfig {
+            size_bytes: 64 * ways as u64 * sets as u64,
+            line_bytes: 64,
+            ways,
+            latency: Duration::from_nanos(1),
+        };
+        let mut cache = densekv_cpu::cache::Cache::new(config);
+        let mut reference = ReferenceCache::new(sets, ways as usize);
+        for (i, &line) in trace.iter().enumerate() {
+            let got = cache.access(line);
+            let want = reference.access(line);
+            prop_assert_eq!(got, want, "access {} (line {}) diverged", i, line);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Protocol robustness
+// ---------------------------------------------------------------------
+
+proptest! {
+    /// The command parser never panics on arbitrary bytes — it returns
+    /// Complete, Incomplete, or a protocol error.
+    #[test]
+    fn protocol_parser_never_panics(input in proptest::collection::vec(any::<u8>(), 0..400)) {
+        let mut buf = bytes::BytesMut::from(&input[..]);
+        // Drain as far as the parser will go; bounded by input length.
+        for _ in 0..64 {
+            match densekv_kv::protocol::parse_command(&mut buf) {
+                Ok(densekv_kv::protocol::Parsed::Complete(_)) => {}
+                Ok(densekv_kv::protocol::Parsed::Incomplete) | Err(_) => break,
+            }
+        }
+    }
+
+    /// The client reply parser never panics on arbitrary bytes.
+    #[test]
+    fn reply_parser_never_panics(input in proptest::collection::vec(any::<u8>(), 0..400)) {
+        let mut buf = bytes::BytesMut::from(&input[..]);
+        for _ in 0..64 {
+            match densekv_kv::client::parse_reply(&mut buf) {
+                Ok(Some(_)) => {}
+                Ok(None) | Err(_) => break,
+            }
+        }
+    }
+
+    /// The full server loop survives arbitrary input bytes and always
+    /// produces ASCII-framed responses.
+    #[test]
+    fn server_loop_survives_fuzz(input in proptest::collection::vec(any::<u8>(), 0..300)) {
+        let mut store = KvStore::new(StoreConfig::with_capacity(4 << 20));
+        let out = densekv_kv::server::serve_buffer(&mut store, &input, 0);
+        // Any output is CRLF-framed lines (possibly with binary VALUE
+        // payloads, which this fuzz can't elicit without valid sets).
+        if !out.is_empty() {
+            prop_assert!(out.ends_with(b"\r\n"));
+        }
+    }
+
+    /// Client-built requests always round-trip the server loop: the
+    /// number of replies equals the number of replied-to commands.
+    #[test]
+    fn builder_requests_always_parse(
+        ops in proptest::collection::vec((any::<u8>(), proptest::collection::vec(any::<u8>(), 0..40)), 1..20)
+    ) {
+        use densekv_kv::client::{parse_reply, RequestBuilder};
+        let mut store = KvStore::new(StoreConfig::with_capacity(8 << 20));
+        let mut builder = RequestBuilder::new();
+        for (selector, data) in &ops {
+            let key = [b'k', selector % 16];
+            match selector % 5 {
+                0 => {
+                    builder.set(&key, data, 0, 0);
+                }
+                1 => {
+                    builder.add(&key, data, 0, 0);
+                }
+                2 => {
+                    builder.get(&key);
+                }
+                3 => {
+                    builder.delete(&key);
+                }
+                _ => {
+                    builder.incr_decr(&key, u64::from(*selector), false);
+                }
+            }
+        }
+        let out = densekv_kv::server::serve_buffer(&mut store, &builder.take(), 0);
+        let mut buf = bytes::BytesMut::from(&out[..]);
+        let mut replies = 0;
+        while let Some(_reply) = parse_reply(&mut buf).expect("server output is well-formed") {
+            replies += 1;
+        }
+        prop_assert_eq!(replies, ops.len());
+        prop_assert!(buf.is_empty(), "no trailing bytes");
+    }
+}
+
+proptest! {
+    /// The binary-protocol decoder and server loop never panic on
+    /// arbitrary bytes.
+    #[test]
+    fn binary_protocol_never_panics(input in proptest::collection::vec(any::<u8>(), 0..200)) {
+        let mut store = KvStore::new(StoreConfig::with_capacity(4 << 20));
+        let _ = densekv_kv::binary::serve_binary(&mut store, &input, 0);
+        let mut buf = bytes::BytesMut::from(&input[..]);
+        let _ = densekv_kv::binary::decode_response(&mut buf);
+    }
+
+    /// Binary frames round-trip encode → decode for arbitrary contents.
+    #[test]
+    fn binary_frame_roundtrip(
+        key in proptest::collection::vec(any::<u8>(), 0..64),
+        value in proptest::collection::vec(any::<u8>(), 0..256),
+        extras in proptest::collection::vec(any::<u8>(), 0..20),
+        opaque in any::<u32>(),
+        cas in any::<u64>(),
+    ) {
+        use densekv_kv::binary::{decode_request, encode_request, Frame, Opcode};
+        let frame = Frame {
+            opcode: Opcode::Set,
+            extras,
+            key,
+            value,
+            opaque,
+            cas,
+        };
+        let mut wire = bytes::BytesMut::new();
+        encode_request(&frame, &mut wire);
+        let decoded = decode_request(&mut wire).expect("well-formed").expect("complete");
+        prop_assert_eq!(decoded, frame);
+        prop_assert!(wire.is_empty());
+    }
+}

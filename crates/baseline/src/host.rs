@@ -27,7 +27,11 @@ pub enum Variant {
 
 impl Variant {
     /// All variants, contention-heaviest first.
-    pub const ALL: [Variant; 3] = [Variant::GlobalLock, Variant::StripedGlobalLru, Variant::Bags];
+    pub const ALL: [Variant; 3] = [
+        Variant::GlobalLock,
+        Variant::StripedGlobalLru,
+        Variant::Bags,
+    ];
 
     /// Display name matching the paper's rows.
     pub fn label(self) -> &'static str {
@@ -41,9 +45,9 @@ impl Variant {
     /// Instantiates the store for this variant.
     pub fn build(self, memory_bytes: u64, shards: usize) -> Arc<dyn SharedStore> {
         match self {
-            Variant::GlobalLock => {
-                Arc::new(GlobalLockStore::new(StoreConfig::with_capacity(memory_bytes)))
-            }
+            Variant::GlobalLock => Arc::new(GlobalLockStore::new(StoreConfig::with_capacity(
+                memory_bytes,
+            ))),
             Variant::StripedGlobalLru => Arc::new(StripedStore::memcached_16(memory_bytes, shards)),
             Variant::Bags => Arc::new(StripedStore::bags(memory_bytes, shards)),
         }
@@ -72,7 +76,11 @@ pub fn measure(variant: Variant, threads: u32, duration: StdDuration) -> Scaling
     // Pre-load.
     for id in 0..KEYS {
         store
-            .set(densekv_workload::key_bytes(id).as_slice(), vec![7u8; 100], 0)
+            .set(
+                densekv_workload::key_bytes(id).as_slice(),
+                vec![7u8; 100],
+                0,
+            )
             .expect("preload fits");
     }
 
@@ -121,7 +129,11 @@ pub fn measure(variant: Variant, threads: u32, duration: StdDuration) -> Scaling
 }
 
 /// Sweeps thread counts for one variant.
-pub fn scaling_curve(variant: Variant, thread_counts: &[u32], duration: StdDuration) -> Vec<ScalingPoint> {
+pub fn scaling_curve(
+    variant: Variant,
+    thread_counts: &[u32],
+    duration: StdDuration,
+) -> Vec<ScalingPoint> {
     thread_counts
         .iter()
         .map(|&t| measure(variant, t, duration))
@@ -142,8 +154,7 @@ mod tests {
 
     #[test]
     fn labels_are_distinct() {
-        let labels: std::collections::HashSet<_> =
-            Variant::ALL.iter().map(|v| v.label()).collect();
+        let labels: std::collections::HashSet<_> = Variant::ALL.iter().map(|v| v.label()).collect();
         assert_eq!(labels.len(), 3);
     }
 
@@ -151,7 +162,9 @@ mod tests {
     /// tolerant (CI machines vary); the bench produces the full curve.
     #[test]
     fn bags_scales_at_least_as_well_as_global_lock() {
-        let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(2) as u32;
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(2) as u32;
         if cores < 4 {
             return; // contention is invisible without parallelism
         }

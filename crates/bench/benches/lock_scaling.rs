@@ -29,7 +29,11 @@ fn bench_lock_scaling(c: &mut Criterion) {
                 format!("{t}T={:.0}K", p.ops_per_sec / 1000.0)
             })
             .collect();
-        eprintln!("[lock_scaling] {:<28} {}", variant.label(), curve.join("  "));
+        eprintln!(
+            "[lock_scaling] {:<28} {}",
+            variant.label(),
+            curve.join("  ")
+        );
     }
 
     // Criterion-tracked: throughput at the host's natural width.

@@ -72,8 +72,7 @@ fn bench_l2_ablation(c: &mut Criterion) {
         ("l2_on_100ns", true, 100),
         ("l2_off_100ns", false, 100),
     ] {
-        let config =
-            CoreSimConfig::mercury(CoreConfig::a7_1ghz(), l2, Duration::from_nanos(ns));
+        let config = CoreSimConfig::mercury(CoreConfig::a7_1ghz(), l2, Duration::from_nanos(ns));
         let point = measure_point(&config, 64, SweepEffort::quick());
         eprintln!("[ablation_l2] {label}: {:.1} KTPS", point.get.tps / 1000.0);
         group.bench_function(label, |b| {
@@ -92,11 +91,8 @@ fn bench_rowbuffer_ablation(c: &mut Criterion) {
         ("closed_page", PagePolicy::Closed),
         ("open_page", PagePolicy::Open),
     ] {
-        let mut config = CoreSimConfig::mercury(
-            CoreConfig::a7_1ghz(),
-            true,
-            Duration::from_nanos(50),
-        );
+        let mut config =
+            CoreSimConfig::mercury(CoreConfig::a7_1ghz(), true, Duration::from_nanos(50));
         if let MemoryKind::Mercury(dram) = &mut config.memory {
             dram.page_policy = policy;
         }
@@ -122,7 +118,8 @@ fn bench_ddr3_ablation(c: &mut Criterion) {
         ("3d_stack_10ns", densekv_mem::dram::DramConfig::default()),
         ("ddr3_dimm_60ns", densekv_mem::dram::DramConfig::ddr3_like()),
     ] {
-        let mut config = CoreSimConfig::mercury(CoreConfig::a7_1ghz(), false, Duration::from_nanos(10));
+        let mut config =
+            CoreSimConfig::mercury(CoreConfig::a7_1ghz(), false, Duration::from_nanos(10));
         config.memory = MemoryKind::Mercury(dram);
         let small = measure_point(&config, 64, SweepEffort::quick());
         let large = measure_point(&config, 64 << 10, SweepEffort::quick());

@@ -52,22 +52,20 @@ fn main() {
     densekv_bench::emit("thermal", &thermal::table(&rows));
 
     // Paper-vs-measured digest for EXPERIMENTS.md.
-    let mut digest = TextTable::new(vec![
-        "quantity".into(),
-        "paper".into(),
-        "measured".into(),
-    ])
-    .with_title("Paper vs. measured digest");
+    let mut digest = TextTable::new(vec!["quantity".into(), "paper".into(), "measured".into()])
+        .with_title("Paper vs. measured digest");
     let row = |t: &mut TextTable, what: &str, paper: String, measured: String| {
         t.row(vec![what.into(), paper, measured]);
     };
-    for (name, paper) in [
-        ("Mercury-32 TPS (M)", 32.70),
-        ("Iridium-32 TPS (M)", 16.49),
-    ] {
+    for (name, paper) in [("Mercury-32 TPS (M)", 32.70), ("Iridium-32 TPS (M)", 16.49)] {
         let sys = name.split(' ').next().expect("name");
         if let Some(r) = t4.row(sys) {
-            row(&mut digest, name, format!("{paper:.2}"), format!("{:.2}", r.mtps));
+            row(
+                &mut digest,
+                name,
+                format!("{paper:.2}"),
+                format!("{:.2}", r.mtps),
+            );
         }
     }
     if let (Some(m), Some(i)) = (t4.row("Mercury-32"), t4.row("Iridium-32")) {

@@ -1,0 +1,9 @@
+//! Extension experiment: stack-failure remap transient.
+
+fn main() {
+    let outcome = densekv::experiments::cluster::cluster_failover(densekv_bench::effort());
+    densekv_bench::emit(
+        "cluster_failover",
+        &densekv::experiments::cluster::failover_table(&outcome),
+    );
+}

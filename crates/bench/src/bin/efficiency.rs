@@ -2,5 +2,8 @@
 
 fn main() {
     let points = densekv::experiments::efficiency::run(densekv_bench::effort());
-    densekv_bench::emit("efficiency", &densekv::experiments::efficiency::table(&points));
+    densekv_bench::emit(
+        "efficiency",
+        &densekv::experiments::efficiency::table(&points),
+    );
 }

@@ -3,7 +3,10 @@
 
 fn main() {
     let evals = densekv::experiments::evaluate_all(densekv_bench::effort());
-    for (i, table) in densekv::experiments::tables::table3(&evals).iter().enumerate() {
+    for (i, table) in densekv::experiments::tables::table3(&evals)
+        .iter()
+        .enumerate()
+    {
         densekv_bench::emit(&format!("table3_{i}"), table);
     }
 }

@@ -1,0 +1,218 @@
+//! Configuration of a cluster-scale run: the cluster's shape, the
+//! per-core service model, the client population, and an optional
+//! fault-injection plan.
+
+use densekv_sim::{Duration, SimTime};
+
+/// Per-core service timings, calibrated externally (the `densekv` core
+/// crate derives them from its execution-driven [`CoreSim`]; tests use
+/// [`ServiceProfile::synthetic`]).
+///
+/// [`CoreSim`]: https://docs.rs/densekv
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServiceProfile {
+    /// Design label (shows up in experiment tables).
+    pub label: String,
+    /// Server-side service time of a GET that hits.
+    pub hit_service: Duration,
+    /// Server-side service time of a GET that misses (no value copy).
+    pub miss_service: Duration,
+    /// Extra core-busy time to backfill a cold-missed key (read-through
+    /// fill); charged to the core *after* the miss response leaves, so it
+    /// delays later requests without inflating the miss's own latency.
+    pub fill_service: Duration,
+    /// Serialization of one shard request on the stack's shared ingress
+    /// port.
+    pub req_wire: Duration,
+    /// Serialization of one shard response on the stack's shared egress
+    /// port.
+    pub resp_wire: Duration,
+    /// One-way propagation + MAC latency between client and stack.
+    pub link_delay: Duration,
+    /// Client-side processing per logical request.
+    pub client_overhead: Duration,
+}
+
+impl ServiceProfile {
+    /// A round-number profile for unit tests: 10 µs hits, 2 µs misses,
+    /// 8 µs fills, ~50 ns wire times, 2.5 µs link delay.
+    pub fn synthetic() -> Self {
+        ServiceProfile {
+            label: "synthetic".to_owned(),
+            hit_service: Duration::from_micros(10),
+            miss_service: Duration::from_micros(2),
+            fill_service: Duration::from_micros(8),
+            req_wire: Duration::from_nanos(50),
+            resp_wire: Duration::from_nanos(120),
+            link_delay: Duration::from_micros(2) + Duration::from_nanos(500),
+            client_overhead: Duration::from_micros(1),
+        }
+    }
+}
+
+/// The cluster's physical shape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClusterTopology {
+    /// 3D stacks (each with its own 10 GbE port).
+    pub stacks: u32,
+    /// Independent Memcached cores per stack — each is one DHT node,
+    /// the paper's §3.8 deployment model.
+    pub cores_per_stack: u32,
+    /// Virtual nodes per core on the consistent-hash ring.
+    pub vnodes: u32,
+}
+
+impl ClusterTopology {
+    /// Total DHT nodes (`stacks × cores_per_stack`).
+    #[must_use]
+    pub fn nodes(&self) -> u32 {
+        self.stacks * self.cores_per_stack
+    }
+
+    /// The ring node id of `core` on `stack`.
+    #[must_use]
+    pub fn node_id(&self, stack: u32, core: u32) -> u32 {
+        stack * self.cores_per_stack + core
+    }
+
+    /// The stack owning ring node `node`.
+    #[must_use]
+    pub fn stack_of(&self, node: u32) -> u32 {
+        node / self.cores_per_stack
+    }
+}
+
+/// The open-loop client population.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterWorkload {
+    /// Aggregate offered load across the cluster, logical requests per
+    /// second (each logical request fans out to `multiget_batch` shard
+    /// requests).
+    pub rate_per_sec: f64,
+    /// Distinct keys, ranked by popularity.
+    pub key_population: u64,
+    /// Zipf exponent of key popularity (0 = uniform; Memcached traces
+    /// are near 1, Atikoglu et al. SIGMETRICS '12).
+    pub zipf_alpha: f64,
+    /// Keys per logical request. 1 models plain GETs; >1 models
+    /// client-side multiget fan-out, where the logical request completes
+    /// only when its *slowest* shard replies.
+    pub multiget_batch: u32,
+}
+
+impl ClusterWorkload {
+    /// Single-GET traffic at `rate_per_sec` over 100 k keys, Zipf(0.99).
+    pub fn gets(rate_per_sec: f64) -> Self {
+        ClusterWorkload {
+            rate_per_sec,
+            key_population: 100_000,
+            zipf_alpha: 0.99,
+            multiget_batch: 1,
+        }
+    }
+
+    /// Multiget traffic: like [`ClusterWorkload::gets`] but each logical
+    /// request carries `batch` keys.
+    pub fn multigets(rate_per_sec: f64, batch: u32) -> Self {
+        ClusterWorkload {
+            multiget_batch: batch,
+            ..ClusterWorkload::gets(rate_per_sec)
+        }
+    }
+}
+
+/// Kill a set of stacks at a scheduled simulated time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// When the stacks die, measured from simulation start.
+    pub at: SimTime,
+    /// The stacks to kill (all their cores leave the ring at once).
+    pub kill_stacks: Vec<u32>,
+}
+
+/// A full cluster-run configuration.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Cluster shape.
+    pub topology: ClusterTopology,
+    /// Per-core service model.
+    pub profile: ServiceProfile,
+    /// Client population.
+    pub workload: ClusterWorkload,
+    /// Logical requests measured (after warmup).
+    pub requests: u32,
+    /// Warmup logical requests (queues and the warm-key map reach steady
+    /// state; not recorded).
+    pub warmup: u32,
+    /// RNG seed for arrivals and key popularity.
+    pub seed: u64,
+    /// Optional fault injection.
+    pub fault: Option<FaultPlan>,
+    /// Width of the recovery-timeline buckets.
+    pub timeline_bucket: Duration,
+}
+
+impl ClusterConfig {
+    /// A small default cluster over `profile`: 8 stacks × 8 cores,
+    /// 4 vnodes, single-GET Zipf traffic at `rate_per_sec`.
+    pub fn new(profile: ServiceProfile, rate_per_sec: f64) -> Self {
+        ClusterConfig {
+            topology: ClusterTopology {
+                stacks: 8,
+                cores_per_stack: 8,
+                vnodes: 4,
+            },
+            profile,
+            workload: ClusterWorkload::gets(rate_per_sec),
+            requests: 4_000,
+            warmup: 1_000,
+            seed: 0xC1_05_7E_12,
+            fault: None,
+            timeline_bucket: Duration::from_millis(5),
+        }
+    }
+
+    /// Aggregate service capacity in logical requests/second, assuming
+    /// every shard access hits: `nodes / hit_service`. The open-loop
+    /// load axis of the tail experiments is expressed against this.
+    #[must_use]
+    pub fn hit_capacity(&self) -> f64 {
+        let per_core = 1.0 / self.profile.hit_service.as_secs_f64();
+        let shards_per_request = f64::from(self.workload.multiget_batch.max(1));
+        f64::from(self.topology.nodes()) * per_core / shards_per_request
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_ids_are_dense_and_invertible() {
+        let t = ClusterTopology {
+            stacks: 4,
+            cores_per_stack: 8,
+            vnodes: 2,
+        };
+        assert_eq!(t.nodes(), 32);
+        let mut seen = std::collections::HashSet::new();
+        for s in 0..t.stacks {
+            for c in 0..t.cores_per_stack {
+                let id = t.node_id(s, c);
+                assert!(seen.insert(id), "duplicate node id {id}");
+                assert_eq!(t.stack_of(id), s);
+            }
+        }
+        assert_eq!(seen.len(), 32);
+    }
+
+    #[test]
+    fn hit_capacity_scales_with_nodes_and_batch() {
+        let mut config = ClusterConfig::new(ServiceProfile::synthetic(), 1000.0);
+        let base = config.hit_capacity();
+        // 64 cores at 10 µs each = 6.4 M shard/s.
+        assert!((base - 6_400_000.0).abs() < 1.0, "{base}");
+        config.workload.multiget_batch = 8;
+        assert!((config.hit_capacity() - base / 8.0).abs() < 1.0);
+    }
+}

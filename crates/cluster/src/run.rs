@@ -1,0 +1,590 @@
+//! The cluster-scale discrete-event engine.
+//!
+//! N stacks × M cores sit on a [`ConsistentHashRing`] (one DHT node per
+//! core, the paper's §3.8 deployment model). An open-loop Poisson client
+//! population issues logical requests whose keys follow a Zipf
+//! popularity law; every key routes through the ring to its owning
+//! core's FIFO queue, and each stack's cores share one full-duplex
+//! 10 GbE port whose serialization contends exactly as in the
+//! single-stack simulator. A logical multiget completes only when its
+//! *slowest* shard replies — the tail-at-scale amplification the paper's
+//! §5.3 per-stack analysis does not model.
+//!
+//! Fault injection: at a scheduled simulated time the configured stacks
+//! die, their ring arcs remap via `remove_node`, and remapped keys
+//! cold-miss on their new owners until a read-through fill re-warms
+//! them — producing a timed miss-rate/latency recovery curve instead of
+//! a static blast-radius number.
+
+use densekv_dht::ConsistentHashRing;
+use densekv_sim::dist::{Exponential, Zipf};
+use densekv_sim::stats::LatencyHistogram;
+use densekv_sim::{Duration, Scheduler, SimTime, SplitMix64};
+
+use crate::config::ClusterConfig;
+
+/// Sentinel for "this key is not warm anywhere".
+const NOWHERE: u32 = u32::MAX;
+
+/// Events driving the cluster simulation.
+#[derive(Debug, Clone, Copy)]
+enum Event {
+    /// The `seq`-th logical request leaves its client.
+    Arrival { seq: u32 },
+    /// The configured stacks die.
+    Fail,
+}
+
+/// One bucket of the recovery timeline.
+#[derive(Debug, Clone)]
+pub struct TimelineBucket {
+    /// Bucket start, in simulated time.
+    pub start: SimTime,
+    /// Logical-request latencies completing in this bucket.
+    pub latency: LatencyHistogram,
+    /// Shard GETs that hit.
+    pub shard_hits: u64,
+    /// Shard GETs that cold-missed.
+    pub shard_misses: u64,
+}
+
+impl TimelineBucket {
+    /// Logical requests completed in this bucket.
+    #[must_use]
+    pub fn completed(&self) -> u64 {
+        self.latency.count()
+    }
+
+    /// Shard-level hit rate in this bucket (1.0 when idle).
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.shard_hits + self.shard_misses;
+        if total == 0 {
+            1.0
+        } else {
+            self.shard_hits as f64 / total as f64
+        }
+    }
+}
+
+/// What the injected fault did to the ring.
+#[derive(Debug, Clone)]
+pub struct RemapEvent {
+    /// When the stacks died.
+    pub at: SimTime,
+    /// The stacks killed.
+    pub killed: Vec<u32>,
+    /// Ring nodes removed (killed stacks × cores per stack).
+    pub nodes_removed: u32,
+    /// Exact fraction of the key population whose owner changed —
+    /// computed over every key, so tests can compare it against the
+    /// sampled [`densekv_dht::remapped_fraction`].
+    pub key_fraction_remapped: f64,
+}
+
+/// Result of a cluster run.
+#[derive(Debug, Clone)]
+pub struct ClusterResult {
+    /// Logical-request (fan-out-complete) latency distribution.
+    pub latency: LatencyHistogram,
+    /// Per-shard latency distribution.
+    pub shard_latency: LatencyHistogram,
+    /// Shard GETs served from a warm key.
+    pub shard_hits: u64,
+    /// Shard GETs that cold-missed (unwarmed or remapped keys).
+    pub shard_misses: u64,
+    /// Logical requests dropped because the ring was empty.
+    pub dropped: u64,
+    /// Logical requests measured.
+    pub measured: u64,
+    /// Offered load, logical requests/second.
+    pub offered_rate: f64,
+    /// Completed logical requests ÷ measurement span.
+    pub throughput_tps: f64,
+    /// Busiest core's busy-time share of the simulated span.
+    pub peak_core_utilization: f64,
+    /// Completion timeline (bucket width from the configuration).
+    pub timeline: Vec<TimelineBucket>,
+    /// Fault outcome, when a [`FaultPlan`](crate::FaultPlan) ran.
+    pub remap: Option<RemapEvent>,
+}
+
+impl ClusterResult {
+    /// Overall shard-level hit rate.
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.shard_hits + self.shard_misses;
+        if total == 0 {
+            1.0
+        } else {
+            self.shard_hits as f64 / total as f64
+        }
+    }
+}
+
+/// Builds the configured ring: one node per core of every stack.
+fn build_ring(config: &ClusterConfig) -> ConsistentHashRing {
+    let topo = config.topology;
+    let mut ring = ConsistentHashRing::new(topo.vnodes);
+    for stack in 0..topo.stacks {
+        for core in 0..topo.cores_per_stack {
+            ring.add_node(topo.node_id(stack, core));
+        }
+    }
+    ring
+}
+
+/// Expected per-shard traffic share of the *busiest* core: each key's
+/// Zipf probability mass, summed over the core that owns it.
+///
+/// With skewed popularity this is far above the fair share `1/nodes` —
+/// the hottest rank alone carries `~1/H(n)` of all traffic and lands on
+/// a single core, so a partitioned cluster saturates long before its
+/// aggregate capacity.
+#[must_use]
+pub fn hot_core_share(config: &ClusterConfig) -> f64 {
+    let ring = build_ring(config);
+    let zipf = Zipf::new(
+        config.workload.key_population as usize,
+        config.workload.zipf_alpha,
+    );
+    let mut share = vec![0.0f64; config.topology.nodes() as usize];
+    for key in 0..config.workload.key_population {
+        if let Some(owner) = ring.node_for(&key.to_le_bytes()) {
+            share[owner as usize] += zipf.pmf(key as usize);
+        }
+    }
+    share.iter().copied().fold(0.0f64, f64::max)
+}
+
+/// The offered load (logical requests/second) at which the hottest core
+/// saturates, assuming every access hits. This — not
+/// [`ClusterConfig::hit_capacity`] — is the meaningful upper bound of
+/// the load axis: beyond it the hot core's queue diverges while the
+/// rest of the cluster idles.
+#[must_use]
+pub fn effective_capacity(config: &ClusterConfig) -> f64 {
+    let batch = f64::from(config.workload.multiget_batch.max(1));
+    1.0 / (config.profile.hit_service.as_secs_f64() * hot_core_share(config) * batch)
+}
+
+/// Per-run mutable state of the cluster's shared resources.
+struct ClusterState {
+    ring: ConsistentHashRing,
+    /// When each core's FIFO queue drains.
+    core_free: Vec<SimTime>,
+    /// Accumulated busy time per core.
+    core_busy: Vec<Duration>,
+    /// When each stack's shared ingress port frees.
+    stack_in_free: Vec<SimTime>,
+    /// When each stack's shared egress port frees.
+    stack_out_free: Vec<SimTime>,
+    /// Core id on which each key is currently warm ([`NOWHERE`] if none).
+    warm: Vec<u32>,
+}
+
+/// Runs the cluster simulation.
+///
+/// Deterministic: two runs with the same configuration (including seed)
+/// produce identical results.
+///
+/// # Panics
+///
+/// Panics on invalid configurations: zero stacks/cores/keys, a
+/// non-positive rate, or a fault plan naming a stack outside the
+/// topology.
+pub fn run(config: &ClusterConfig) -> ClusterResult {
+    let topo = config.topology;
+    assert!(topo.stacks >= 1, "need at least one stack");
+    assert!(
+        topo.cores_per_stack >= 1,
+        "need at least one core per stack"
+    );
+    assert!(config.workload.rate_per_sec > 0.0, "rate must be positive");
+    assert!(config.workload.key_population > 0, "need at least one key");
+    assert!(config.workload.multiget_batch >= 1, "batch must be >= 1");
+    if let Some(fault) = &config.fault {
+        for &s in &fault.kill_stacks {
+            assert!(s < topo.stacks, "fault plan kills unknown stack {s}");
+        }
+    }
+
+    let ring = build_ring(config);
+
+    // Preload: every key starts warm on its initial owner, mirroring the
+    // closed-loop simulators' untimed preload.
+    let population = config.workload.key_population;
+    let mut warm = vec![NOWHERE; population as usize];
+    for key in 0..population {
+        if let Some(owner) = ring.node_for(&key.to_le_bytes()) {
+            warm[key as usize] = owner;
+        }
+    }
+
+    let nodes = topo.nodes() as usize;
+    let mut state = ClusterState {
+        ring,
+        core_free: vec![SimTime::ZERO; nodes],
+        core_busy: vec![Duration::ZERO; nodes],
+        stack_in_free: vec![SimTime::ZERO; topo.stacks as usize],
+        stack_out_free: vec![SimTime::ZERO; topo.stacks as usize],
+        warm,
+    };
+
+    let arrivals = Exponential::from_rate_per_sec(config.workload.rate_per_sec);
+    let zipf = Zipf::new(population as usize, config.workload.zipf_alpha);
+    let mut rng = SplitMix64::new(config.seed);
+
+    let total_requests = config.warmup + config.requests;
+    let mut sched: Scheduler<Event> = Scheduler::new();
+    sched.schedule_in(arrivals.sample(&mut rng), Event::Arrival { seq: 0 });
+    if let Some(fault) = &config.fault {
+        sched.schedule_at(fault.at, Event::Fail);
+    }
+
+    let profile = &config.profile;
+    let mut latency = LatencyHistogram::new();
+    let mut shard_latency = LatencyHistogram::new();
+    let mut shard_hits = 0u64;
+    let mut shard_misses = 0u64;
+    let mut dropped = 0u64;
+    let mut measured = 0u64;
+    let mut measure_start: Option<SimTime> = None;
+    let mut measure_end = SimTime::ZERO;
+    let mut sim_end = SimTime::ZERO;
+    let mut timeline: Vec<TimelineBucket> = Vec::new();
+    let bucket_ps = config.timeline_bucket.as_ps().max(1);
+    let mut remap: Option<RemapEvent> = None;
+    let mut shard_keys: Vec<u64> = Vec::new();
+
+    while let Some((now, event)) = sched.pop() {
+        match event {
+            Event::Fail => {
+                let fault = config.fault.as_ref().expect("Fail implies a plan");
+                let before = state.ring.clone();
+                let mut nodes_removed = 0;
+                for &stack in &fault.kill_stacks {
+                    for core in 0..topo.cores_per_stack {
+                        state.ring.remove_node(topo.node_id(stack, core));
+                        nodes_removed += 1;
+                    }
+                }
+                // Exact blast radius over the whole key population.
+                let mut moved = 0u64;
+                for key in 0..population {
+                    let kb = key.to_le_bytes();
+                    if before.node_for(&kb) != state.ring.node_for(&kb) {
+                        moved += 1;
+                    }
+                }
+                remap = Some(RemapEvent {
+                    at: now,
+                    killed: fault.kill_stacks.clone(),
+                    nodes_removed,
+                    key_fraction_remapped: moved as f64 / population as f64,
+                });
+            }
+            Event::Arrival { seq } => {
+                if seq + 1 < total_requests {
+                    sched.schedule_in(arrivals.sample(&mut rng), Event::Arrival { seq: seq + 1 });
+                }
+                // Draw the batch up front so the RNG stream is identical
+                // whether or not any shard is routable.
+                shard_keys.clear();
+                for _ in 0..config.workload.multiget_batch {
+                    shard_keys.push(zipf.sample(&mut rng) as u64);
+                }
+
+                let in_measurement = seq >= config.warmup;
+                let mut slowest: Option<SimTime> = None;
+                let mut batch_hits = 0u64;
+                let mut batch_misses = 0u64;
+                for &key in &shard_keys {
+                    let Some(owner) = state.ring.node_for(&key.to_le_bytes()) else {
+                        continue;
+                    };
+                    let stack = topo.stack_of(owner) as usize;
+
+                    // Ingress: the stack's shared port serializes
+                    // requests one at a time.
+                    let in_start = now.max(state.stack_in_free[stack]);
+                    state.stack_in_free[stack] = in_start + profile.req_wire;
+                    let at_server = state.stack_in_free[stack] + profile.link_delay;
+
+                    // The owning core's FIFO queue.
+                    let hit = state.warm[key as usize] == owner;
+                    let service = if hit {
+                        profile.hit_service
+                    } else {
+                        profile.miss_service
+                    };
+                    let svc_start = at_server.max(state.core_free[owner as usize]);
+                    let svc_end = svc_start + service;
+                    // A cold miss triggers a read-through fill: the core
+                    // stays busy re-warming the key after the miss reply
+                    // leaves, delaying *later* requests.
+                    let busy_until = if hit {
+                        svc_end
+                    } else {
+                        state.warm[key as usize] = owner;
+                        svc_end + profile.fill_service
+                    };
+                    state.core_busy[owner as usize] += busy_until.elapsed_since(svc_start);
+                    state.core_free[owner as usize] = busy_until;
+
+                    // Egress: responses contend for the stack's port.
+                    let out_start = svc_end.max(state.stack_out_free[stack]);
+                    state.stack_out_free[stack] = out_start + profile.resp_wire;
+                    let at_client = state.stack_out_free[stack] + profile.link_delay;
+
+                    slowest = Some(slowest.map_or(at_client, |s| s.max(at_client)));
+                    if in_measurement {
+                        if hit {
+                            batch_hits += 1;
+                        } else {
+                            batch_misses += 1;
+                        }
+                        shard_latency.record(at_client.elapsed_since(now));
+                    }
+                }
+
+                let Some(last_shard) = slowest else {
+                    // Ring empty (every stack dead): the request is lost.
+                    if in_measurement {
+                        dropped += 1;
+                    }
+                    continue;
+                };
+                let complete = last_shard + profile.client_overhead;
+                sim_end = sim_end.max(complete);
+                if in_measurement {
+                    shard_hits += batch_hits;
+                    shard_misses += batch_misses;
+                    let response = complete.elapsed_since(now);
+                    latency.record(response);
+                    measured += 1;
+                    measure_start.get_or_insert(now);
+                    measure_end = measure_end.max(complete);
+
+                    // Shard hits/misses are attributed to the logical
+                    // request's completion bucket; at realistic widths
+                    // that differs from the shard's own bucket by at
+                    // most one.
+                    let bucket = (complete.as_ps() / bucket_ps) as usize;
+                    while timeline.len() <= bucket {
+                        timeline.push(TimelineBucket {
+                            start: SimTime::from_ps(timeline.len() as u64 * bucket_ps),
+                            latency: LatencyHistogram::new(),
+                            shard_hits: 0,
+                            shard_misses: 0,
+                        });
+                    }
+                    let slot = &mut timeline[bucket];
+                    slot.latency.record(response);
+                    slot.shard_hits += batch_hits;
+                    slot.shard_misses += batch_misses;
+                }
+            }
+        }
+    }
+
+    let span = measure_end
+        .elapsed_since(measure_start.unwrap_or(SimTime::ZERO))
+        .as_secs_f64()
+        .max(f64::MIN_POSITIVE);
+    let full_span = sim_end
+        .elapsed_since(SimTime::ZERO)
+        .as_secs_f64()
+        .max(f64::MIN_POSITIVE);
+    let peak_core_utilization = state
+        .core_busy
+        .iter()
+        .map(|b| b.as_secs_f64() / full_span)
+        .fold(0.0f64, f64::max)
+        .min(1.0);
+
+    ClusterResult {
+        latency,
+        shard_latency,
+        shard_hits,
+        shard_misses,
+        dropped,
+        measured,
+        offered_rate: config.workload.rate_per_sec,
+        throughput_tps: measured as f64 / span,
+        peak_core_utilization,
+        timeline,
+        remap,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{ClusterWorkload, FaultPlan, ServiceProfile};
+
+    fn quick(rate_frac: f64) -> ClusterConfig {
+        let profile = ServiceProfile::synthetic();
+        let mut config = ClusterConfig::new(profile, 0.0);
+        config.workload.rate_per_sec = rate_frac * config.hit_capacity();
+        config.requests = 2_000;
+        config.warmup = 500;
+        config
+    }
+
+    #[test]
+    fn same_seed_same_result() {
+        let config = quick(0.5);
+        let a = run(&config);
+        let b = run(&config);
+        assert_eq!(a.measured, b.measured);
+        assert_eq!(a.shard_hits, b.shard_hits);
+        assert_eq!(a.shard_misses, b.shard_misses);
+        assert_eq!(a.latency.percentile(0.50), b.latency.percentile(0.50));
+        assert_eq!(a.latency.percentile(0.99), b.latency.percentile(0.99));
+        assert_eq!(a.timeline.len(), b.timeline.len());
+    }
+
+    #[test]
+    fn different_seed_different_arrivals() {
+        let config = quick(0.5);
+        let mut other = config.clone();
+        other.seed ^= 0xDEAD_BEEF;
+        let a = run(&config);
+        let b = run(&other);
+        // Percentiles jitter; identical p99s across independent Poisson
+        // processes would mean the seed is being ignored.
+        assert_ne!(a.latency.percentile(0.99), b.latency.percentile(0.99));
+    }
+
+    #[test]
+    fn latency_rises_with_load() {
+        let light = run(&quick(0.2));
+        let heavy = run(&quick(0.85));
+        let light_p99 = light.latency.percentile(0.99).unwrap();
+        let heavy_p99 = heavy.latency.percentile(0.99).unwrap();
+        assert!(
+            heavy_p99 > light_p99,
+            "queueing should inflate the tail: {light_p99} vs {heavy_p99}"
+        );
+        assert!(heavy.peak_core_utilization > light.peak_core_utilization);
+    }
+
+    #[test]
+    fn warm_population_mostly_hits() {
+        let result = run(&quick(0.3));
+        assert_eq!(result.dropped, 0);
+        assert_eq!(result.measured, 2_000);
+        // Preload warms every key, so a fault-free run never misses.
+        assert_eq!(result.shard_misses, 0);
+        assert!(result.remap.is_none());
+    }
+
+    #[test]
+    fn multiget_fans_out_and_amplifies_tail() {
+        let single = quick(0.4);
+        let mut multi = single.clone();
+        multi.workload = ClusterWorkload::multigets(0.0, 8);
+        // Match shard-level load: 1/8th the logical rate.
+        multi.workload.rate_per_sec = single.workload.rate_per_sec / 8.0;
+        let s = run(&single);
+        let m = run(&multi);
+        assert_eq!(m.shard_hits + m.shard_misses, 8 * m.measured);
+        // Fan-out completion is a max over 8 legs: the logical p99 must
+        // sit at or above the single-get p99 under the same shard load.
+        assert!(
+            m.latency.percentile(0.99).unwrap() >= s.latency.percentile(0.99).unwrap(),
+            "multiget p99 should dominate single-get p99"
+        );
+    }
+
+    fn failover_config() -> ClusterConfig {
+        let mut config = quick(0.3);
+        config.requests = 6_000;
+        config.warmup = 500;
+        config.workload.key_population = 20_000;
+        // Mid-run, after warmup traffic has passed.
+        config.fault = Some(FaultPlan {
+            at: SimTime::ZERO + Duration::from_millis(2),
+            kill_stacks: vec![0, 1],
+        });
+        config.timeline_bucket = Duration::from_micros(500);
+        config
+    }
+
+    #[test]
+    fn failover_remaps_and_recovers() {
+        let config = failover_config();
+        let result = run(&config);
+        let remap = result.remap.as_ref().expect("fault plan ran");
+        assert_eq!(remap.nodes_removed, 2 * config.topology.cores_per_stack);
+        // Two of eight stacks died; their arc share moves, give or take
+        // vnode placement variance.
+        assert!(
+            (0.10..=0.45).contains(&remap.key_fraction_remapped),
+            "remap fraction {}",
+            remap.key_fraction_remapped
+        );
+        // Survivors absorb everything: nothing is dropped, but the
+        // remapped keys cold-miss.
+        assert_eq!(result.dropped, 0);
+        assert!(result.shard_misses > 0);
+
+        // The miss transient decays: the bucket containing the fault has
+        // the worst hit rate, and the final bucket has recovered.
+        let fault_bucket = (remap.at.as_ps() / config.timeline_bucket.as_ps()) as usize;
+        let dip = result.timeline[fault_bucket..]
+            .iter()
+            .map(TimelineBucket::hit_rate)
+            .fold(1.0f64, f64::min);
+        let last = result.timeline.last().unwrap().hit_rate();
+        assert!(dip < 0.95, "fault should dent the hit rate, dip={dip}");
+        assert!(last > dip, "hit rate should recover: dip={dip} last={last}");
+        // Before the fault every access hits.
+        for bucket in &result.timeline[..fault_bucket] {
+            assert_eq!(bucket.shard_misses, 0);
+        }
+    }
+
+    #[test]
+    fn effective_capacity_is_bounded_by_hot_core() {
+        let config = quick(0.5);
+        let hot = hot_core_share(&config);
+        // Zipf(0.99) over 100 k keys: the top rank alone holds ~8% of
+        // the mass, so the hottest core dominates its 1/64 fair share.
+        assert!(hot > 1.0 / 64.0, "hot share {hot}");
+        assert!(hot < 0.5, "hot share {hot}");
+        let effective = effective_capacity(&config);
+        assert!(effective < config.hit_capacity());
+        // Uniform popularity spreads load: the hot share falls and the
+        // effective capacity rises.
+        let mut uniform = config.clone();
+        uniform.workload.zipf_alpha = 0.0;
+        assert!(hot_core_share(&uniform) < hot);
+        assert!(effective_capacity(&uniform) > effective);
+    }
+
+    #[test]
+    fn killing_every_stack_drops_requests() {
+        let mut config = quick(0.3);
+        config.fault = Some(FaultPlan {
+            at: SimTime::ZERO + Duration::from_micros(100),
+            kill_stacks: (0..config.topology.stacks).collect(),
+        });
+        let result = run(&config);
+        assert!(result.dropped > 0);
+        let remap = result.remap.unwrap();
+        assert!((remap.key_fraction_remapped - 1.0).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown stack")]
+    fn fault_plan_validates_stack_ids() {
+        let mut config = quick(0.3);
+        config.fault = Some(FaultPlan {
+            at: SimTime::ZERO,
+            kill_stacks: vec![99],
+        });
+        run(&config);
+    }
+}

@@ -3,7 +3,9 @@
 //! Tables 3–4 and Figures 7–8 cover.
 
 use densekv_cpu::CoreConfig;
-use densekv_server::{evaluate_server, plan_server, PerCorePerf, ServerConstraints, ServerPlan, ServerReport};
+use densekv_server::{
+    evaluate_server, plan_server, PerCorePerf, ServerConstraints, ServerPlan, ServerReport,
+};
 use densekv_sim::Duration;
 use densekv_stack::{MemoryKind, StackConfig};
 

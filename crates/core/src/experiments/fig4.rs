@@ -107,7 +107,11 @@ mod tests {
 
         // Large GETs: nearly all network.
         let large = fig.get.last().expect("1 MB bar");
-        assert!(large.network > 0.95, "1 MB network share {:.2}", large.network);
+        assert!(
+            large.network > 0.95,
+            "1 MB network share {:.2}",
+            large.network
+        );
 
         // PUTs: Memcached work is a visibly larger share than for GETs.
         let put_small = &fig.put[0];

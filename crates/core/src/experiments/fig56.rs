@@ -69,7 +69,11 @@ impl LatencyFigure {
             .map(|(cpu, l2)| {
                 let series = self.panel(&cpu, l2);
                 let mut header = vec!["size".to_string()];
-                header.extend(series.iter().map(|s| format!("{} {} (KTPS)", s.latency, s.op)));
+                header.extend(
+                    series
+                        .iter()
+                        .map(|s| format!("{} {} (KTPS)", s.latency, s.op)),
+                );
                 let mut t = TextTable::new(header).with_title(&format!(
                     "{} — {} {} L2",
                     self.name,
@@ -155,7 +159,10 @@ pub fn fig5(effort: SweepEffort) -> LatencyFigure {
 
 /// Figure 6: Iridium-1 across flash read latencies 10/20 µs.
 pub fn fig6(effort: SweepEffort) -> LatencyFigure {
-    let latencies: Vec<Duration> = [10, 20].iter().map(|&us| Duration::from_micros(us)).collect();
+    let latencies: Vec<Duration> = [10, 20]
+        .iter()
+        .map(|&us| Duration::from_micros(us))
+        .collect();
     run_figure(
         "Fig. 6 (Iridium-1)",
         &latencies,

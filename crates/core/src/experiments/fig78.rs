@@ -78,16 +78,32 @@ fn collect(evals: &[ConfigEval], family: Family, name: &str) -> TradeoffFigure {
 /// Figure 7: density vs. TPS (panels a = Mercury, b = Iridium).
 pub fn fig7(evals: &[ConfigEval]) -> (TradeoffFigure, TradeoffFigure) {
     (
-        collect(evals, Family::Mercury, "Fig. 7a — Mercury density vs. TPS @64B"),
-        collect(evals, Family::Iridium, "Fig. 7b — Iridium density vs. TPS @64B"),
+        collect(
+            evals,
+            Family::Mercury,
+            "Fig. 7a — Mercury density vs. TPS @64B",
+        ),
+        collect(
+            evals,
+            Family::Iridium,
+            "Fig. 7b — Iridium density vs. TPS @64B",
+        ),
     )
 }
 
 /// Figure 8: power vs. TPS (panels a = Mercury, b = Iridium).
 pub fn fig8(evals: &[ConfigEval]) -> (TradeoffFigure, TradeoffFigure) {
     (
-        collect(evals, Family::Mercury, "Fig. 8a — Mercury power vs. TPS @64B"),
-        collect(evals, Family::Iridium, "Fig. 8b — Iridium power vs. TPS @64B"),
+        collect(
+            evals,
+            Family::Mercury,
+            "Fig. 8a — Mercury power vs. TPS @64B",
+        ),
+        collect(
+            evals,
+            Family::Iridium,
+            "Fig. 8b — Iridium power vs. TPS @64B",
+        ),
     )
 }
 

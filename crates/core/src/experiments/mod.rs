@@ -17,11 +17,14 @@
 //! | [`scaling::run`] | extension: event-driven check of §5.3 scaling |
 //! | [`efficiency::run`] | extension: TPS/W across the full size sweep |
 //! | [`multiget::run`] | extension: multi-GET batching amortization |
+//! | [`cluster::cluster_tail`] | extension: cluster-wide tail latency vs. load |
+//! | [`cluster::cluster_failover`] | extension: stack-failure remap transient |
 //!
 //! Each runner returns structured data plus ready-to-print
 //! [`TextTable`](crate::report::TextTable)s; the `densekv-bench` binaries
 //! are thin wrappers over these.
 
+pub mod cluster;
 pub mod efficiency;
 pub mod evaluation;
 pub mod fig4;

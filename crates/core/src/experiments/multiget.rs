@@ -49,8 +49,7 @@ pub fn run() -> Vec<MultigetPoint> {
                 assert_eq!(hits, batch, "preloaded keys must hit");
                 total += timing.rtt;
             }
-            let per_key =
-                total.as_secs_f64() / f64::from(measured) / f64::from(batch);
+            let per_key = total.as_secs_f64() / f64::from(measured) / f64::from(batch);
             let keys_per_sec = 1.0 / per_key;
             if batch == 1 {
                 baseline = keys_per_sec;
@@ -123,8 +122,16 @@ mod tests {
                 .expect("nonempty")
                 .speedup
         };
-        assert!(last("Mercury A7") > 2.5, "Mercury: {:.2}", last("Mercury A7"));
-        assert!(last("Iridium A7") > 1.5, "Iridium: {:.2}", last("Iridium A7"));
+        assert!(
+            last("Mercury A7") > 2.5,
+            "Mercury: {:.2}",
+            last("Mercury A7")
+        );
+        assert!(
+            last("Iridium A7") > 1.5,
+            "Iridium: {:.2}",
+            last("Iridium A7")
+        );
         assert!(
             last("Mercury A7") > last("Iridium A7"),
             "flash bounds Iridium's batching gains"

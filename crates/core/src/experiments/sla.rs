@@ -96,7 +96,9 @@ mod tests {
         for system in ["Mercury A7", "Iridium A7"] {
             let series: Vec<_> = points.iter().filter(|p| p.system == system).collect();
             assert!(series.windows(2).all(|w| w[1].p99 >= w[0].p99));
-            assert!(series.windows(2).all(|w| w[1].sla_1ms <= w[0].sla_1ms + 0.01));
+            assert!(series
+                .windows(2)
+                .all(|w| w[1].sla_1ms <= w[0].sla_1ms + 0.01));
             // At 30% load both architectures hold the paper's SLA.
             assert!(
                 series[0].sla_1ms > 0.95,

@@ -28,12 +28,8 @@ pub fn table1() -> TextTable {
 
 /// Table 2: comparison of 3D-stacked DRAM to DIMM packages.
 pub fn table2() -> TextTable {
-    let mut t = TextTable::new(vec![
-        "DRAM".into(),
-        "BW (GB/s)".into(),
-        "Capacity".into(),
-    ])
-    .with_title("Table 2 — Comparison of 3D-stacked DRAM to DIMM packages");
+    let mut t = TextTable::new(vec!["DRAM".into(), "BW (GB/s)".into(), "Capacity".into()])
+        .with_title("Table 2 — Comparison of 3D-stacked DRAM to DIMM packages");
     for tech in TABLE2 {
         let capacity = if tech.capacity_mb >= 1024 {
             format!("{}GB", tech.capacity_mb / 1024)
@@ -150,7 +146,9 @@ impl Table4 {
             "KTPS/GB".into(),
             "BW (GB/s)".into(),
         ])
-        .with_title("Table 4 — Comparison of A7-based Mercury and Iridium to prior art (64 B GETs)");
+        .with_title(
+            "Table 4 — Comparison of A7-based Mercury and Iridium to prior art (64 B GETs)",
+        );
         for r in &self.rows {
             t.row(vec![
                 r.name.clone(),
@@ -175,9 +173,10 @@ pub fn table4(evals: &[ConfigEval]) -> Table4 {
     let mut rows = Vec::new();
     for family in Family::ALL {
         for &n in &[8u32, 16, 32] {
-            if let Some(e) = evals.iter().find(|e| {
-                e.family == family && e.n == n && e.core_label.starts_with("A7")
-            }) {
+            if let Some(e) = evals
+                .iter()
+                .find(|e| e.family == family && e.n == n && e.core_label.starts_with("A7"))
+            {
                 let r = &e.at_64b;
                 rows.push(Table4Row {
                     name: format!("{}-{}", family.name(), n),
@@ -241,7 +240,10 @@ mod tests {
 
         let iridium32 = t4.row("Iridium-32").expect("row");
         assert!(iridium32.memory_gb > 10.0 * bags.memory_gb, "14x density");
-        assert!(iridium32.ktps_per_gb < bags.ktps_per_gb, "the 2.8x TPS/GB price");
+        assert!(
+            iridium32.ktps_per_gb < bags.ktps_per_gb,
+            "the 2.8x TPS/GB price"
+        );
 
         let rendered = t4.table().to_string();
         assert!(rendered.contains("TSSP"));

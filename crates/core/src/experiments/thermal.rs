@@ -77,7 +77,10 @@ mod tests {
     #[test]
     fn a7_headline_stacks_are_coolable() {
         let rows = run();
-        let mercury = rows.iter().find(|r| r.name.contains("Mercury-32 (A7")).unwrap();
+        let mercury = rows
+            .iter()
+            .find(|r| r.name.contains("Mercury-32 (A7"))
+            .unwrap();
         assert!(mercury.report.passively_coolable);
         // §6.5: ~6.2 W per stack.
         assert!((4.0..8.0).contains(&mercury.report.stack_tdp_w));
@@ -89,7 +92,10 @@ mod tests {
     #[test]
     fn hot_a15_stack_flagged() {
         let rows = run();
-        let hot = rows.iter().find(|r| r.name.contains("A15 @1.5GHz")).unwrap();
+        let hot = rows
+            .iter()
+            .find(|r| r.name.contains("A15 @1.5GHz"))
+            .unwrap();
         assert!(!hot.report.passively_coolable);
         let rendered = table(&rows).to_string();
         assert!(rendered.contains("exceeds limit"));

@@ -204,9 +204,21 @@ mod tests {
     fn iridium_sla_depends_on_rate() {
         // The paper's Iridium pitch: moderate-to-low request rates keep
         // flash within the SLA.
-        let low = run(&OpenLoopConfig::gets(CoreSimConfig::iridium_a7(), 64, 1_000.0));
-        assert!(low.sla_1ms > 0.95, "low-rate Iridium holds: {}", low.sla_1ms);
-        let high = run(&OpenLoopConfig::gets(CoreSimConfig::iridium_a7(), 64, 8_000.0));
+        let low = run(&OpenLoopConfig::gets(
+            CoreSimConfig::iridium_a7(),
+            64,
+            1_000.0,
+        ));
+        assert!(
+            low.sla_1ms > 0.95,
+            "low-rate Iridium holds: {}",
+            low.sla_1ms
+        );
+        let high = run(&OpenLoopConfig::gets(
+            CoreSimConfig::iridium_a7(),
+            64,
+            8_000.0,
+        ));
         assert!(
             high.sla_1ms < low.sla_1ms,
             "overdriving flash degrades the SLA"

@@ -192,12 +192,8 @@ mod tests {
     #[test]
     fn per_core_rates_match_table4() {
         let m = &TABLE4_MERCURY[2];
-        assert!(
-            (m.mtps * 1e3 / m.cores as f64 - A7_MERCURY_KTPS_PER_CORE).abs() < 0.1
-        );
+        assert!((m.mtps * 1e3 / m.cores as f64 - A7_MERCURY_KTPS_PER_CORE).abs() < 0.1);
         let i = &TABLE4_IRIDIUM[2];
-        assert!(
-            (i.mtps * 1e3 / i.cores as f64 - A7_IRIDIUM_KTPS_PER_CORE).abs() < 0.1
-        );
+        assert!((i.mtps * 1e3 / i.cores as f64 - A7_IRIDIUM_KTPS_PER_CORE).abs() < 0.1);
     }
 }

@@ -86,7 +86,14 @@ pub fn run(config: &StackSimConfig) -> StackSimResult {
         })
         .collect();
     let mut generators: Vec<FixedSizeWorkload> = (0..config.cores)
-        .map(|i| FixedSizeWorkload::new(Op::Get, config.value_bytes, population, 0xC0DE + u64::from(i)))
+        .map(|i| {
+            FixedSizeWorkload::new(
+                Op::Get,
+                config.value_bytes,
+                population,
+                0xC0DE + u64::from(i),
+            )
+        })
         .collect();
 
     let wire = config.per_core.wire;
@@ -98,7 +105,10 @@ pub fn run(config: &StackSimConfig) -> StackSimResult {
     let mut sched: Scheduler<Departure> = Scheduler::new();
     for core in 0..config.cores as usize {
         // Stagger initial departures slightly so cold starts don't pile.
-        sched.schedule_in(Duration::from_nanos(core as u64 * 200), Departure { core, seq: 0 });
+        sched.schedule_in(
+            Duration::from_nanos(core as u64 * 200),
+            Departure { core, seq: 0 },
+        );
     }
 
     let mut wire_in_free = SimTime::ZERO;
@@ -134,10 +144,13 @@ pub fn run(config: &StackSimConfig) -> StackSimResult {
         }
         if event.seq + 1 < total_per_core {
             let next = at_client + config.per_core.client_overhead;
-            sched.schedule_at(next.max(sched.now()), Departure {
-                core: event.core,
-                seq: event.seq + 1,
-            });
+            sched.schedule_at(
+                next.max(sched.now()),
+                Departure {
+                    core: event.core,
+                    seq: event.seq + 1,
+                },
+            );
         }
     }
 
@@ -167,7 +180,10 @@ mod tests {
             (6.8..9.2).contains(&ratio),
             "8 cores should give ~8x at 64 B: {ratio:.2}"
         );
-        assert!(eight.wire_out_utilization < 0.1, "64 B leaves the wire idle");
+        assert!(
+            eight.wire_out_utilization < 0.1,
+            "64 B leaves the wire idle"
+        );
     }
 
     #[test]

@@ -237,7 +237,10 @@ mod tests {
     #[test]
     fn latency_histogram_populated() {
         let p = measure_point(&CoreSimConfig::mercury_a7(), 64, SweepEffort::quick());
-        assert_eq!(p.get.latency.count(), u64::from(SweepEffort::quick().measured));
+        assert_eq!(
+            p.get.latency.count(),
+            u64::from(SweepEffort::quick().measured)
+        );
         // Sub-millisecond SLA holds for small Mercury GETs.
         assert!(p.get.latency.fraction_within(Duration::from_millis(1)) > 0.99);
     }

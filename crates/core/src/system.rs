@@ -138,12 +138,12 @@ impl SystemBuilder {
     /// [`BuildError::Stack`] for invalid core counts.
     pub fn build(self) -> Result<System, BuildError> {
         let memory = match self.family {
-            FamilyChoice::Mercury => MemoryKind::Mercury(
-                densekv_mem::dram::DramConfig::mercury(self.memory_latency),
-            ),
-            FamilyChoice::Iridium => MemoryKind::Iridium(
-                densekv_mem::flash::FlashConfig::iridium(self.memory_latency),
-            ),
+            FamilyChoice::Mercury => {
+                MemoryKind::Mercury(densekv_mem::dram::DramConfig::mercury(self.memory_latency))
+            }
+            FamilyChoice::Iridium => MemoryKind::Iridium(densekv_mem::flash::FlashConfig::iridium(
+                self.memory_latency,
+            )),
         };
         let stack = StackConfig::new(memory, self.core.clone(), self.cores_per_stack, self.l2)?;
         let sim_config = match self.family {
@@ -199,9 +199,7 @@ impl System {
         let sweep = sweep_sizes(&self.sim_config, self.effort);
         let peak = sweep
             .iter()
-            .map(|p| {
-                crate::experiments::evaluation::stack_mem_gbps(self.stack.cores, p.get.perf)
-            })
+            .map(|p| crate::experiments::evaluation::stack_mem_gbps(self.stack.cores, p.get.perf))
             .fold(0.0f64, f64::max);
         let plan = self.plan(peak);
         let at_64b = sweep

@@ -227,7 +227,7 @@ mod tests {
     #[test]
     fn working_set_beyond_capacity_thrashes() {
         let mut c = Cache::new(CacheConfig::l1_32k()); // 512 lines
-        // Cyclic sweep of 2x capacity with true LRU: every access misses.
+                                                       // Cyclic sweep of 2x capacity with true LRU: every access misses.
         for _ in 0..3 {
             for line in 0..1024u64 {
                 c.access(line);

@@ -236,12 +236,11 @@ impl PhaseEngine {
         mut stream_dev: Option<&mut dyn MemoryTiming>,
     ) -> PhaseResult {
         let mut result = PhaseResult::default();
-        let bytes_before =
-            mem.bytes_moved() + stream_dev.as_deref().map_or(0, |d| d.bytes_moved());
+        let bytes_before = mem.bytes_moved() + stream_dev.as_deref().map_or(0, |d| d.bytes_moved());
 
         // Compute: instruction commit plus MMIO (never overlapped).
-        result.busy =
-            self.core.instruction_time(spec.instructions) + self.uncached_latency * spec.uncached_ops;
+        result.busy = self.core.instruction_time(spec.instructions)
+            + self.uncached_latency * spec.uncached_ops;
 
         let l2_latency = self
             .l2
@@ -276,7 +275,11 @@ impl PhaseEngine {
                     }
                     Level::Memory => {
                         result.mem_refs += 1;
-                        let overlap = self.core.mlp.min(mem.max_overlap(AccessKind::Read)).max(1.0);
+                        let overlap = self
+                            .core
+                            .mlp
+                            .min(mem.max_overlap(AccessKind::Read))
+                            .max(1.0);
                         let lat = mem.line_access(line, AccessKind::Read);
                         result.stall += lat * (1.0 / overlap);
                     }
@@ -301,7 +304,11 @@ impl PhaseEngine {
                 }
                 Level::Memory => {
                     result.mem_refs += 1;
-                    let overlap = self.core.mlp.min(mem.max_overlap(AccessKind::Read)).max(1.0);
+                    let overlap = self
+                        .core
+                        .mlp
+                        .min(mem.max_overlap(AccessKind::Read))
+                        .max(1.0);
                     let lat = mem.line_access(line, AccessKind::Read);
                     result.stall += lat * (1.0 / overlap);
                 }
@@ -313,7 +320,11 @@ impl PhaseEngine {
         // capped by what the device sustains.
         for &line in &spec.store_refs {
             result.mem_refs += 1;
-            let overlap = self.core.mlp.min(mem.max_overlap(AccessKind::Read)).max(1.0);
+            let overlap = self
+                .core
+                .mlp
+                .min(mem.max_overlap(AccessKind::Read))
+                .max(1.0);
             let lat = mem.line_access(line, AccessKind::Read);
             result.stall += lat * (1.0 / overlap);
         }
@@ -325,7 +336,11 @@ impl PhaseEngine {
                 Some(d) => d,
                 None => mem,
             };
-            let overlap = self.core.stream_mlp.min(dev.max_overlap(stream.kind)).max(1.0);
+            let overlap = self
+                .core
+                .stream_mlp
+                .min(dev.max_overlap(stream.kind))
+                .max(1.0);
             for i in 0..stream.lines {
                 result.mem_refs += 1;
                 let lat = dev.line_access(stream.start_line + i, stream.kind);
@@ -333,8 +348,8 @@ impl PhaseEngine {
             }
         }
 
-        result.mem_bytes = mem.bytes_moved() + stream_dev.as_deref().map_or(0, |d| d.bytes_moved())
-            - bytes_before;
+        result.mem_bytes =
+            mem.bytes_moved() + stream_dev.as_deref().map_or(0, |d| d.bytes_moved()) - bytes_before;
         result.time = result.busy + result.stall;
         result
     }
@@ -442,8 +457,10 @@ mod tests {
         };
         // Paper §6.2: at 10 ns the L2 provides no benefit (may even
         // hinder); at 100 ns it significantly helps.
-        let slowdown_no_l2_100 = time_at(100, false).as_nanos_f64() / time_at(100, true).as_nanos_f64();
-        let slowdown_no_l2_10 = time_at(10, false).as_nanos_f64() / time_at(10, true).as_nanos_f64();
+        let slowdown_no_l2_100 =
+            time_at(100, false).as_nanos_f64() / time_at(100, true).as_nanos_f64();
+        let slowdown_no_l2_10 =
+            time_at(10, false).as_nanos_f64() / time_at(10, true).as_nanos_f64();
         assert!(slowdown_no_l2_100 > 1.3, "at 100 ns: {slowdown_no_l2_100}");
         assert!(slowdown_no_l2_10 < 1.1, "at 10 ns: {slowdown_no_l2_10}");
     }

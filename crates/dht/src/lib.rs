@@ -67,13 +67,30 @@ impl ConsistentHashRing {
     }
 
     /// Virtual nodes per physical node.
+    #[must_use]
     pub fn vnodes(&self) -> u32 {
         self.vnodes
     }
 
     /// Physical nodes currently on the ring.
+    #[must_use]
     pub fn node_count(&self) -> usize {
         self.nodes.len()
+    }
+
+    /// Whether the ring has no nodes.
+    ///
+    /// ```
+    /// use densekv_dht::ConsistentHashRing;
+    ///
+    /// let mut ring = ConsistentHashRing::new(4);
+    /// assert!(ring.is_empty());
+    /// ring.add_node(7);
+    /// assert!(!ring.is_empty());
+    /// ```
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
     }
 
     /// Adds a physical node (idempotent).
@@ -89,12 +106,28 @@ impl ConsistentHashRing {
     }
 
     /// Removes a physical node and all its virtual positions.
+    ///
+    /// Never panics: removing a node that was never added, or the last
+    /// node on the ring, is fine — lookups on the emptied ring return
+    /// `None`.
+    ///
+    /// ```
+    /// use densekv_dht::ConsistentHashRing;
+    ///
+    /// let mut ring = ConsistentHashRing::new(4);
+    /// ring.add_node(0);
+    /// ring.remove_node(99); // absent: no-op
+    /// ring.remove_node(0);  // last node: ring becomes empty
+    /// ring.remove_node(0);  // already gone: still a no-op
+    /// assert_eq!(ring.node_for(b"k"), None);
+    /// ```
     pub fn remove_node(&mut self, node: u32) {
         self.nodes.retain(|&n| n != node);
         self.ring.retain(|_, n| *n != node);
     }
 
-    /// The node owning `key`, or `None` on an empty ring.
+    /// The node owning `key`, or `None` on an empty ring (never panics).
+    #[must_use]
     pub fn node_for(&self, key: &[u8]) -> Option<u32> {
         if self.ring.is_empty() {
             return None;
@@ -108,6 +141,7 @@ impl ConsistentHashRing {
     }
 
     /// Fraction of the ring each node owns, by arc length.
+    #[must_use]
     pub fn arc_ownership(&self) -> Vec<(u32, f64)> {
         if self.ring.is_empty() {
             return Vec::new();
@@ -136,6 +170,13 @@ impl ConsistentHashRing {
 
     /// Simulates `samples` uniformly random keys and returns the load
     /// imbalance: `max node share / mean share` (1.0 = perfect).
+    ///
+    /// Deterministic for a fixed `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ring is empty.
+    #[must_use]
     pub fn load_imbalance(&self, samples: u64, seed: u64) -> f64 {
         assert!(!self.ring.is_empty(), "ring has no nodes");
         let mut rng = SplitMix64::new(seed);
@@ -154,12 +195,36 @@ impl ConsistentHashRing {
 /// Keys that move when a cluster grows from `before` to `after` nodes —
 /// consistent hashing's selling point is that this stays near
 /// `1/after` instead of rehashing everything.
+///
+/// Deterministic for a fixed `seed` (the same `samples` keys are drawn
+/// from a seeded [`SplitMix64`] stream). Empty rings are fine — keys map
+/// to `None` there, which counts as a move iff the other ring maps them
+/// to a node. Returns `0.0` when `samples` is zero.
+///
+/// ```
+/// use densekv_dht::{remapped_fraction, ConsistentHashRing};
+///
+/// let mut before = ConsistentHashRing::new(16);
+/// (0..8).for_each(|n| before.add_node(n));
+/// let mut after = before.clone();
+/// after.remove_node(3);
+///
+/// let moved = remapped_fraction(&before, &after, 10_000, 42);
+/// // Only node 3's arcs move: roughly 1/8th of the keys.
+/// assert!(moved > 0.0 && moved < 0.35);
+/// // Seeded: the exact value reproduces.
+/// assert_eq!(moved, remapped_fraction(&before, &after, 10_000, 42));
+/// ```
+#[must_use]
 pub fn remapped_fraction(
     before: &ConsistentHashRing,
     after: &ConsistentHashRing,
     samples: u64,
     seed: u64,
 ) -> f64 {
+    if samples == 0 {
+        return 0.0;
+    }
     let mut rng = SplitMix64::new(seed);
     let mut moved = 0;
     for _ in 0..samples {
@@ -208,7 +273,11 @@ mod tests {
         assert_eq!(ring.node_count(), 2);
         for i in 0..200 {
             let key = format!("k{i}");
-            assert_ne!(ring.node_for(key.as_bytes()), Some(1), "removed node owns nothing");
+            assert_ne!(
+                ring.node_for(key.as_bytes()),
+                Some(1),
+                "removed node owns nothing"
+            );
         }
     }
 
@@ -221,7 +290,10 @@ mod tests {
             fine < coarse,
             "64 vnodes ({fine:.3}) should balance better than 1 ({coarse:.3})"
         );
-        assert!(fine < 1.5, "fine-grained ring should be near-uniform: {fine:.3}");
+        assert!(
+            fine < 1.5,
+            "fine-grained ring should be near-uniform: {fine:.3}"
+        );
     }
 
     #[test]
@@ -248,6 +320,36 @@ mod tests {
         let ring = ring_with(10, 8);
         let total: f64 = ring.arc_ownership().iter().map(|(_, s)| s).sum();
         assert!((total - 1.0).abs() < 1e-9, "{total}");
+    }
+
+    #[test]
+    fn remove_of_absent_or_last_node_never_panics() {
+        let mut ring = ConsistentHashRing::new(4);
+        ring.remove_node(5); // empty ring, absent node
+        ring.add_node(0);
+        ring.remove_node(5); // absent node
+        assert_eq!(ring.node_count(), 1);
+        ring.remove_node(0); // last node
+        assert!(ring.is_empty());
+        assert_eq!(ring.node_for(b"anything"), None);
+        ring.remove_node(0); // double-remove
+        assert!(ring.is_empty());
+    }
+
+    #[test]
+    fn remapped_fraction_is_seeded_and_total_for_empty_after() {
+        let before = ring_with(4, 8);
+        let empty = ConsistentHashRing::new(8);
+        // Every key maps Some -> None: all move.
+        assert_eq!(remapped_fraction(&before, &empty, 1_000, 1), 1.0);
+        // None -> None: nothing moves, and zero samples is not a NaN.
+        assert_eq!(remapped_fraction(&empty, &empty, 1_000, 1), 0.0);
+        assert_eq!(remapped_fraction(&before, &empty, 0, 1), 0.0);
+        // Same seed, same answer; different seed may sample differently.
+        let shrunk = ring_with(3, 8);
+        let a = remapped_fraction(&before, &shrunk, 10_000, 9);
+        let b = remapped_fraction(&before, &shrunk, 10_000, 9);
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -256,7 +256,13 @@ pub fn encode_response(response: &Response, out: &mut BytesMut) {
         opaque: response.opaque,
         cas: response.cas,
     };
-    encode(MAGIC_RESPONSE, response.opcode as u8, response.status as u16, &frame, out);
+    encode(
+        MAGIC_RESPONSE,
+        response.opcode as u8,
+        response.status as u16,
+        &frame,
+        out,
+    );
 }
 
 fn encode(magic: u8, opcode: u8, status: u16, frame: &Frame, out: &mut BytesMut) {
@@ -343,7 +349,11 @@ pub fn execute_frame(store: &mut KvStore, frame: &Frame, now: u64) -> Option<Res
         },
         Opcode::Set | Opcode::Add | Opcode::Replace => {
             if frame.extras.len() != 8 {
-                return Some(Response::empty(frame.opcode, Status::InvalidArguments, opaque));
+                return Some(Response::empty(
+                    frame.opcode,
+                    Status::InvalidArguments,
+                    opaque,
+                ));
             }
             let flags = u32::from_be_bytes(frame.extras[0..4].try_into().expect("4 bytes"));
             let expiry = u32::from_be_bytes(frame.extras[4..8].try_into().expect("4 bytes"));
@@ -385,7 +395,11 @@ pub fn execute_frame(store: &mut KvStore, frame: &Frame, now: u64) -> Option<Res
         }
         Opcode::Increment | Opcode::Decrement => {
             if frame.extras.len() != 20 {
-                return Some(Response::empty(frame.opcode, Status::InvalidArguments, opaque));
+                return Some(Response::empty(
+                    frame.opcode,
+                    Status::InvalidArguments,
+                    opaque,
+                ));
             }
             let delta = u64::from_be_bytes(frame.extras[0..8].try_into().expect("8 bytes"));
             let decrement = frame.opcode == Opcode::Decrement;
@@ -546,8 +560,14 @@ mod tests {
         encode_request(&stale, &mut wire);
         let out = serve_binary(&mut s, &wire, 0);
         let mut buf = BytesMut::from(&out[..]);
-        assert_eq!(decode_response(&mut buf).unwrap().unwrap().1, Status::NoError);
-        assert_eq!(decode_response(&mut buf).unwrap().unwrap().1, Status::KeyExists);
+        assert_eq!(
+            decode_response(&mut buf).unwrap().unwrap().1,
+            Status::NoError
+        );
+        assert_eq!(
+            decode_response(&mut buf).unwrap().unwrap().1,
+            Status::KeyExists
+        );
     }
 
     #[test]
@@ -576,7 +596,10 @@ mod tests {
         let mut s = store();
         let mut add = set_frame(b"k", b"v");
         add.opcode = Opcode::Add;
-        assert_eq!(execute_frame(&mut s, &add, 0).unwrap().status, Status::NoError);
+        assert_eq!(
+            execute_frame(&mut s, &add, 0).unwrap().status,
+            Status::NoError
+        );
         assert_eq!(
             execute_frame(&mut s, &add, 0).unwrap().status,
             Status::KeyExists
@@ -591,7 +614,10 @@ mod tests {
             opcode: Opcode::Delete,
             ..get_frame(b"k")
         };
-        assert_eq!(execute_frame(&mut s, &del, 0).unwrap().status, Status::NoError);
+        assert_eq!(
+            execute_frame(&mut s, &del, 0).unwrap().status,
+            Status::NoError
+        );
         assert_eq!(
             execute_frame(&mut s, &del, 0).unwrap().status,
             Status::KeyNotFound
@@ -606,7 +632,10 @@ mod tests {
             opcode: Opcode::Noop,
             ..get_frame(b"")
         };
-        assert_eq!(execute_frame(&mut s, &noop, 0).unwrap().status, Status::NoError);
+        assert_eq!(
+            execute_frame(&mut s, &noop, 0).unwrap().status,
+            Status::NoError
+        );
         let version = Frame {
             opcode: Opcode::Version,
             ..get_frame(b"")

@@ -53,7 +53,14 @@ impl RequestBuilder {
     }
 
     /// Queues a `cas` with `token`.
-    pub fn cas(&mut self, key: &[u8], value: &[u8], flags: u32, exptime: u64, token: u64) -> &mut Self {
+    pub fn cas(
+        &mut self,
+        key: &[u8],
+        value: &[u8],
+        flags: u32,
+        exptime: u64,
+        token: u64,
+    ) -> &mut Self {
         self.buf.put_slice(b"cas ");
         self.buf.put_slice(key);
         self.buf
@@ -89,8 +96,11 @@ impl RequestBuilder {
 
     /// Queues an `incr` (or `decr` when `decrement`).
     pub fn incr_decr(&mut self, key: &[u8], delta: u64, decrement: bool) -> &mut Self {
-        self.buf
-            .put_slice(if decrement { b"decr ".as_slice() } else { b"incr ".as_slice() });
+        self.buf.put_slice(if decrement {
+            b"decr ".as_slice()
+        } else {
+            b"incr ".as_slice()
+        });
         self.buf.put_slice(key);
         self.buf.put_slice(format!(" {delta}\r\n").as_bytes());
         self
@@ -219,7 +229,11 @@ fn parse_value_block(buf: &mut BytesMut) -> Result<Option<Reply>, BadReply> {
         if words.next() != Some("VALUE") {
             return Err(BadReply(line));
         }
-        let key = words.next().ok_or_else(|| BadReply(line.clone()))?.as_bytes().to_vec();
+        let key = words
+            .next()
+            .ok_or_else(|| BadReply(line.clone()))?
+            .as_bytes()
+            .to_vec();
         let flags: u32 = words
             .next()
             .and_then(|w| w.parse().ok())
@@ -335,7 +349,9 @@ mod tests {
         use crate::store::{KvStore, StoreConfig};
         let mut store = KvStore::new(StoreConfig::with_capacity(8 << 20));
         let mut b = RequestBuilder::new();
-        b.set(b"k", b"hello", 1, 0).gets(b"k").incr_decr(b"k", 1, false);
+        b.set(b"k", b"hello", 1, 0)
+            .gets(b"k")
+            .incr_decr(b"k", 1, false);
         let out = serve_buffer(&mut store, &b.take(), 0);
         let replies = parse_all(BytesMut::from(&out[..]));
         assert_eq!(replies[0], Reply::Stored);
@@ -344,6 +360,9 @@ mod tests {
         };
         assert_eq!(values[0].data, b"hello");
         assert!(values[0].cas.is_some());
-        assert!(matches!(&replies[2], Reply::Error(_)), "incr on text errors");
+        assert!(
+            matches!(&replies[2], Reply::Error(_)),
+            "incr on text errors"
+        );
     }
 }

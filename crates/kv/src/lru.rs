@@ -236,7 +236,10 @@ impl EvictionPolicy for BagLru {
             self.bags.push_back(std::collections::VecDeque::new());
             self.inserts_in_current = 0;
         }
-        self.bags.back_mut().expect("always one bag").push_back(slot);
+        self.bags
+            .back_mut()
+            .expect("always one bag")
+            .push_back(slot);
         self.inserts_in_current += 1;
         self.count += 1;
     }
@@ -276,7 +279,10 @@ impl EvictionPolicy for BagLru {
             if self.accessed[slot as usize] {
                 // Second chance: demote to the newest bag, clear the flag.
                 self.accessed[slot as usize] = false;
-                self.bags.back_mut().expect("always one bag").push_back(slot);
+                self.bags
+                    .back_mut()
+                    .expect("always one bag")
+                    .push_back(slot);
                 continue;
             }
             self.present[slot as usize] = false;

@@ -170,9 +170,7 @@ pub fn parse_command(buf: &mut BytesMut) -> Result<Parsed, ProtocolError> {
 
     // Peek the line without consuming: `set` needs the data block too.
     let line: Vec<u8> = buf[..line_end].to_vec();
-    let mut parts = line
-        .split(|&b| b == b' ')
-        .filter(|token| !token.is_empty());
+    let mut parts = line.split(|&b| b == b' ').filter(|token| !token.is_empty());
     let verb = parts.next().unwrap_or(b"");
 
     match verb {
@@ -316,7 +314,9 @@ pub fn render_value(out: &mut BytesMut, key: &[u8], hit: &GetHit, with_cas: bool
     out.put_slice(b"VALUE ");
     out.put_slice(key);
     if with_cas {
-        out.put_slice(format!(" {} {} {}\r\n", hit.flags(), hit.value().len(), hit.cas()).as_bytes());
+        out.put_slice(
+            format!(" {} {} {}\r\n", hit.flags(), hit.value().len(), hit.cas()).as_bytes(),
+        );
     } else {
         out.put_slice(format!(" {} {}\r\n", hit.flags(), hit.value().len()).as_bytes());
     }
@@ -336,7 +336,11 @@ pub fn render_stored(out: &mut BytesMut) {
 
 /// Renders the reply to a delete.
 pub fn render_deleted(out: &mut BytesMut, existed: bool) {
-    out.put_slice(if existed { b"DELETED\r\n".as_slice() } else { b"NOT_FOUND\r\n".as_slice() });
+    out.put_slice(if existed {
+        b"DELETED\r\n".as_slice()
+    } else {
+        b"NOT_FOUND\r\n".as_slice()
+    });
 }
 
 /// Renders a store-side failure.
@@ -346,9 +350,9 @@ pub fn render_store_error(out: &mut BytesMut, err: &StoreError) {
         StoreError::CasMismatch => out.put_slice(b"EXISTS\r\n"),
         StoreError::NotFound => out.put_slice(b"NOT_FOUND\r\n"),
         StoreError::Exists => out.put_slice(b"NOT_STORED\r\n"),
-        StoreError::NotNumeric => out.put_slice(
-            b"CLIENT_ERROR cannot increment or decrement non-numeric value\r\n",
-        ),
+        StoreError::NotNumeric => {
+            out.put_slice(b"CLIENT_ERROR cannot increment or decrement non-numeric value\r\n")
+        }
         other => {
             out.put_slice(b"CLIENT_ERROR ");
             out.put_slice(other.to_string().as_bytes());
@@ -445,7 +449,10 @@ mod tests {
     #[test]
     fn incomplete_inputs_wait_for_more() {
         assert_eq!(parse_one(b"get a").unwrap(), Parsed::Incomplete);
-        assert_eq!(parse_one(b"set k 0 0 10\r\nhalf").unwrap(), Parsed::Incomplete);
+        assert_eq!(
+            parse_one(b"set k 0 0 10\r\nhalf").unwrap(),
+            Parsed::Incomplete
+        );
         // Incomplete parse leaves the buffer intact.
         let mut buf = BytesMut::from(&b"set k 0 0 4\r\nab"[..]);
         let before = buf.clone();
@@ -475,7 +482,10 @@ mod tests {
             parse_one(b"set k 0 0 3\r\nabcX\r"),
             Err(ProtocolError::BadDataChunk) | Ok(Parsed::Incomplete)
         ));
-        assert!(matches!(parse_one(b"get\r\n"), Err(ProtocolError::BadArguments(_))));
+        assert!(matches!(
+            parse_one(b"get\r\n"),
+            Err(ProtocolError::BadArguments(_))
+        ));
     }
 
     #[test]
@@ -505,7 +515,9 @@ mod tests {
     #[test]
     fn render_roundtrip_through_store() {
         let mut store = KvStore::new(StoreConfig::with_capacity(4 << 20));
-        store.set_with_flags(b"k", b"world".to_vec(), 9, None, 0).unwrap();
+        store
+            .set_with_flags(b"k", b"world".to_vec(), 9, None, 0)
+            .unwrap();
         let hit = store.get(b"k", 0).unwrap();
         let mut out = BytesMut::new();
         render_value(&mut out, b"k", &hit, false);

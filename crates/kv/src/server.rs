@@ -6,8 +6,8 @@
 use bytes::BytesMut;
 
 use crate::protocol::{
-    parse_command, render_deleted, render_end, render_error, render_number, render_stored,
-    render_store_error, render_value, Command, Parsed, ProtocolError, StoreVerb,
+    parse_command, render_deleted, render_end, render_error, render_number, render_store_error,
+    render_stored, render_value, Command, Parsed, ProtocolError, StoreVerb,
 };
 use crate::store::{KvStore, StoreError};
 
@@ -163,7 +163,10 @@ pub fn serve_buffer(store: &mut KvStore, input: &[u8], now: u64) -> Vec<u8> {
 /// Skips past the offending line after a protocol error; returns whether
 /// parsing can continue.
 fn resync(buf: &mut BytesMut, err: &ProtocolError) -> bool {
-    if matches!(err, ProtocolError::BadDataChunk | ProtocolError::LineTooLong) {
+    if matches!(
+        err,
+        ProtocolError::BadDataChunk | ProtocolError::LineTooLong
+    ) {
         // Framing is lost; a real server closes the connection.
         return false;
     }

@@ -261,7 +261,10 @@ mod tests {
         assert_eq!(c, 0);
         let c = slab.class_for(97).unwrap();
         assert_eq!(c, 1);
-        assert_eq!(slab.class_for(PAGE_BYTES).unwrap() as usize, slab.class_count() - 1);
+        assert_eq!(
+            slab.class_for(PAGE_BYTES).unwrap() as usize,
+            slab.class_count() - 1
+        );
         assert_eq!(slab.class_for(PAGE_BYTES + 1), None);
     }
 

@@ -671,7 +671,8 @@ mod tests {
     #[test]
     fn set_get_roundtrip_with_flags() {
         let mut s = small();
-        s.set_with_flags(b"k", b"hello".to_vec(), 99, None, 0).unwrap();
+        s.set_with_flags(b"k", b"hello".to_vec(), 99, None, 0)
+            .unwrap();
         let hit = s.get(b"k", 0).unwrap();
         assert_eq!(hit.value(), b"hello");
         assert_eq!(hit.flags(), 99);
@@ -835,17 +836,15 @@ mod tests {
         assert_eq!(vlen, 1000);
         assert!(voff > AccessTrace::SLAB_REGION_OFFSET);
         // Value sits after the header and key in the chunk.
-        assert_eq!(
-            voff - t.chain_offsets[0],
-            ITEM_HEADER_BYTES + 1
-        );
+        assert_eq!(voff - t.chain_offsets[0], ITEM_HEADER_BYTES + 1);
     }
 
     #[test]
     fn flush_all_empties() {
         let mut s = small();
         for i in 0..50 {
-            s.set(format!("k{i}").as_bytes(), vec![0; 100], None, 0).unwrap();
+            s.set(format!("k{i}").as_bytes(), vec![0; 100], None, 0)
+                .unwrap();
         }
         s.flush_all();
         assert!(s.is_empty());
@@ -914,10 +913,7 @@ mod tests {
         assert_eq!(s.incr_decr(b"n", 20, true, 0), Ok(0), "decr saturates");
         assert_eq!(s.get(b"n", 0).unwrap().value(), b"0");
         s.set(b"s", b"abc".to_vec(), None, 0).unwrap();
-        assert_eq!(
-            s.incr_decr(b"s", 1, false, 0),
-            Err(StoreError::NotNumeric)
-        );
+        assert_eq!(s.incr_decr(b"s", 1, false, 0), Err(StoreError::NotNumeric));
         assert_eq!(
             s.incr_decr(b"missing", 1, false, 0),
             Err(StoreError::NotFound)

@@ -265,7 +265,10 @@ mod tests {
         assert!(!t.expanding(), "migration should finish");
         // Everything still present afterwards.
         for i in 0..7 {
-            assert_eq!(t.find_with(i * 1_000_003, |s| s == i as u32).slot, Some(i as u32));
+            assert_eq!(
+                t.find_with(i * 1_000_003, |s| s == i as u32).slot,
+                Some(i as u32)
+            );
         }
     }
 

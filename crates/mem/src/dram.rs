@@ -369,8 +369,6 @@ mod tests {
         assert_eq!(dimm.capacity_gb(), stacked.capacity_gb());
         let mut a = DramStack::new(stacked);
         let mut b = DramStack::new(dimm);
-        assert!(
-            b.line_access(0, AccessKind::Read) > a.line_access(0, AccessKind::Read) * 2
-        );
+        assert!(b.line_access(0, AccessKind::Read) > a.line_access(0, AccessKind::Read) * 2);
     }
 }

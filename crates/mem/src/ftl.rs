@@ -411,7 +411,8 @@ impl Ftl {
             st.owner
                 .iter()
                 .enumerate()
-                .filter(|&(p, _o)| st.valid[p]).map(|(p, o)| (p as u32, o.expect("valid page has an owner")))
+                .filter(|&(p, _o)| st.valid[p])
+                .map(|(p, o)| (p as u32, o.expect("valid page has an owner")))
                 .collect()
         };
         let mut latency = Duration::ZERO;
@@ -551,10 +552,7 @@ mod tests {
         let mut ftl = Ftl::new(tiny(), 0.25);
         assert_eq!(ftl.read(3), Err(FtlError::Unmapped { lpn: 3 }));
         let oob = ftl.exported_pages();
-        assert!(matches!(
-            ftl.read(oob),
-            Err(FtlError::LpnOutOfRange { .. })
-        ));
+        assert!(matches!(ftl.read(oob), Err(FtlError::LpnOutOfRange { .. })));
         assert!(matches!(
             ftl.write(oob),
             Err(FtlError::LpnOutOfRange { .. })

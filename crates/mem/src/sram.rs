@@ -93,8 +93,6 @@ mod tests {
     fn much_faster_than_flash() {
         let mut s = SramBuffer::on_die();
         let mut f = crate::flash::FlashArray::new(crate::flash::FlashConfig::default());
-        assert!(
-            s.line_access(0, AccessKind::Write) * 100 < f.line_access(0, AccessKind::Write)
-        );
+        assert!(s.line_access(0, AccessKind::Write) * 100 < f.line_access(0, AccessKind::Write));
     }
 }

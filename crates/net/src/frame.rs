@@ -167,8 +167,10 @@ mod tests {
         assert!(batch.request_payload < 10 * single.request_payload);
         // Responses don't amortize (every value ships).
         assert_eq!(batch.response_payload, 10 * single.response_payload);
-        assert_eq!(MessageSizes::multiget(16, 256, 1).response_payload,
-                   single.response_payload);
+        assert_eq!(
+            MessageSizes::multiget(16, 256, 1).response_payload,
+            single.response_payload
+        );
     }
 
     #[test]

@@ -129,10 +129,7 @@ mod tests {
             mac.route(NicMac::BASE_TCP_PORT + 2),
             Err(RouteError::UnknownTcpPort(NicMac::BASE_TCP_PORT + 2))
         );
-        assert_eq!(
-            mac.route(80),
-            Err(RouteError::UnknownTcpPort(80))
-        );
+        assert_eq!(mac.route(80), Err(RouteError::UnknownTcpPort(80)));
     }
 
     #[test]

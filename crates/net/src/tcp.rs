@@ -101,7 +101,8 @@ impl TcpCostModel {
 
     /// Combined cost of a full request/response exchange.
     pub fn exchange_cost(&self, request_frames: u64, response_frames: u64) -> NetCost {
-        self.rx_cost(request_frames).plus(self.tx_cost(response_frames))
+        self.rx_cost(request_frames)
+            .plus(self.tx_cost(response_frames))
     }
 }
 

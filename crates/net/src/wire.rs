@@ -73,10 +73,7 @@ mod tests {
     fn line_rate_math() {
         let w = Wire::ten_gbe();
         // 10 Gb/s = 1.25 GB/s: 1.25 MB takes 1 ms.
-        assert_eq!(
-            w.serialization_time(1_250_000),
-            Duration::from_millis(1)
-        );
+        assert_eq!(w.serialization_time(1_250_000), Duration::from_millis(1));
     }
 
     #[test]

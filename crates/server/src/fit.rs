@@ -164,7 +164,11 @@ mod tests {
         let stack = StackConfig::iridium(CoreConfig::a7_1ghz(), 32).unwrap();
         let plan = plan_server(&constraints(), stack, 0.5);
         assert_eq!(plan.stacks, 96);
-        assert!((plan.density_gb() - 1901.0).abs() < 25.0, "{}", plan.density_gb());
+        assert!(
+            (plan.density_gb() - 1901.0).abs() < 25.0,
+            "{}",
+            plan.density_gb()
+        );
     }
 
     #[test]

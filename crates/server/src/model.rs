@@ -132,7 +132,10 @@ mod tests {
         };
         let r8 = evaluate_server(&a7_mercury(8), perf);
         let r16 = evaluate_server(&a7_mercury(16), perf);
-        assert!((r16.tps / r8.tps - 2.0).abs() < 0.01, "TPS doubles with cores");
+        assert!(
+            (r16.tps / r8.tps - 2.0).abs() < 0.01,
+            "TPS doubles with cores"
+        );
         // Table 4: Mercury-8 at 11 KTPS/core = 8.45 MTPS.
         assert!((r8.tps - 8.448e6).abs() < 1e4);
     }

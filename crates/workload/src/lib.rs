@@ -129,7 +129,10 @@ impl RequestGenerator for FixedSizeWorkload {
     }
 
     fn describe(&self) -> String {
-        format!("{:?} @{}B over {} keys", self.op, self.value_bytes, self.population)
+        format!(
+            "{:?} @{}B over {} keys",
+            self.op, self.value_bytes, self.population
+        )
     }
 }
 
@@ -202,7 +205,13 @@ impl MixedWorkload {
             keys,
             0.99,
             0.95,
-            &[(64, 0.3), (256, 0.35), (1024, 0.25), (4096, 0.08), (65_536, 0.02)],
+            &[
+                (64, 0.3),
+                (256, 0.35),
+                (1024, 0.25),
+                (4096, 0.08),
+                (65_536, 0.02),
+            ],
             seed,
             "ETC-like",
         )
@@ -280,8 +289,7 @@ mod tests {
     #[test]
     fn fixed_size_get_stays_in_population() {
         let mut gen = FixedSizeWorkload::new(Op::Get, 64, 10, 2);
-        let keys: std::collections::HashSet<_> =
-            gen.all_keys().collect();
+        let keys: std::collections::HashSet<_> = gen.all_keys().collect();
         for _ in 0..100 {
             assert!(keys.contains(&gen.next_request().key));
         }

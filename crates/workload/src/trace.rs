@@ -88,10 +88,7 @@ pub fn parse_trace(text: &str) -> Result<Vec<Request>, TraceError> {
             }
             Some("put") => {
                 let key = words.next().ok_or_else(bad)?;
-                let value_bytes = words
-                    .next()
-                    .and_then(|w| w.parse().ok())
-                    .ok_or_else(bad)?;
+                let value_bytes = words.next().and_then(|w| w.parse().ok()).ok_or_else(bad)?;
                 if words.next().is_some() {
                     return Err(bad());
                 }

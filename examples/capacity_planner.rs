@@ -23,11 +23,17 @@ fn main() {
     let mut candidates: Vec<(&str, ServerReport)> = vec![
         (
             "Mercury-32 (3D DRAM)",
-            SystemBuilder::mercury().build().expect("valid").evaluate_quick(64),
+            SystemBuilder::mercury()
+                .build()
+                .expect("valid")
+                .evaluate_quick(64),
         ),
         (
             "Iridium-32 (3D flash)",
-            SystemBuilder::iridium().build().expect("valid").evaluate_quick(64),
+            SystemBuilder::iridium()
+                .build()
+                .expect("valid")
+                .evaluate_quick(64),
         ),
     ];
     // The Xeon baseline as a pseudo-report from Table 4's Bags row.
@@ -58,7 +64,11 @@ fn main() {
             "{:<24} {:>10} {:>12} {:>9.1} {:>10.1}",
             name,
             fleet.servers,
-            if fleet.capacity_bound { "capacity" } else { "rate" },
+            if fleet.capacity_bound {
+                "capacity"
+            } else {
+                "rate"
+            },
             fleet.racks,
             fleet.total_kw
         );

@@ -1,11 +1,17 @@
-//! Cluster-level view (paper §3.8): a 1.5U Mercury server is 96 stacks ×
-//! 32 cores = 3,072 independent Memcached nodes on a consistent-hash
-//! ring. More physical nodes mean smaller arcs, better load spread, and
-//! tiny blast radius when a stack dies.
+//! Cluster-level view (paper §3.8): many stacks, each core an
+//! independent Memcached node on a consistent-hash ring, driven by an
+//! open-loop Zipfian client population through the `densekv-cluster`
+//! discrete-event simulator — so the output is *timed percentiles*, not
+//! just static arc statistics.
 //!
 //! Run with: `cargo run --release --example cluster_sim`
 
+use densekv::experiments::cluster::calibrate;
+use densekv::sim::CoreSimConfig;
+use densekv::sweep::SweepEffort;
+use densekv_cluster::{effective_capacity, run, ClusterConfig, FaultPlan};
 use densekv_dht::{remapped_fraction, ConsistentHashRing};
+use densekv_sim::{Duration, SimTime};
 
 fn build(nodes: u32, vnodes: u32) -> ConsistentHashRing {
     let mut ring = ConsistentHashRing::new(vnodes);
@@ -18,11 +24,11 @@ fn build(nodes: u32, vnodes: u32) -> ConsistentHashRing {
 fn main() {
     const SAMPLES: u64 = 200_000;
 
+    // -----------------------------------------------------------------
+    // Static view: arc ownership and blast radius (paper §3.8).
+    // -----------------------------------------------------------------
     println!("Load imbalance (max node load / mean) vs cluster shape:\n");
-    println!(
-        "{:<44} {:>8} {:>11}",
-        "cluster", "nodes", "imbalance"
-    );
+    println!("{:<44} {:>8} {:>11}", "cluster", "nodes", "imbalance");
     for (label, nodes, vnodes) in [
         ("6 Xeon servers, 1 vnode", 6u32, 1u32),
         ("6 Xeon servers, 64 vnodes", 6, 64),
@@ -35,7 +41,10 @@ fn main() {
     }
 
     println!("\nBlast radius — keys remapped when one node fails:\n");
-    for (label, nodes) in [("6-server Xeon cluster", 6u32), ("3072-core Mercury server", 3072)] {
+    for (label, nodes) in [
+        ("6-server Xeon cluster", 6u32),
+        ("3072-core Mercury server", 3072),
+    ] {
         let before = build(nodes, 16);
         let mut after = build(nodes, 16);
         after.remove_node(0);
@@ -43,12 +52,91 @@ fn main() {
         println!(
             "  {label:<28} {:>6.2}% of keys move (expected ~{:.2}%)",
             moved * 100.0,
-            100.0 / nodes as f64
+            100.0 / f64::from(nodes)
+        );
+    }
+
+    // -----------------------------------------------------------------
+    // Timed view: the same ring under an open-loop Poisson client
+    // population, with per-core service times calibrated from the
+    // execution-driven core simulator.
+    // -----------------------------------------------------------------
+    let profile = calibrate(
+        "Mercury A7",
+        &CoreSimConfig::mercury_a7(),
+        SweepEffort::quick(),
+    );
+    println!(
+        "\nTimed percentiles — 8 Mercury-A7 stacks x 8 cores, Zipf(0.99) GETs\n\
+         (hit service {}, shared 10 GbE per stack):\n",
+        profile.hit_service
+    );
+    println!(
+        "{:>6} {:>12} {:>12} {:>12} {:>12}",
+        "load", "rate (KTPS)", "p50", "p95", "p99"
+    );
+    for load in [0.25, 0.5, 0.75, 0.9] {
+        let mut config = ClusterConfig::new(profile.clone(), 1.0);
+        config.workload.rate_per_sec = load * effective_capacity(&config);
+        let result = run(&config);
+        println!(
+            "{:>5.0}% {:>12.0} {:>12} {:>12} {:>12}",
+            load * 100.0,
+            result.offered_rate / 1000.0,
+            result
+                .latency
+                .percentile(0.50)
+                .expect("samples")
+                .to_string(),
+            result
+                .latency
+                .percentile(0.95)
+                .expect("samples")
+                .to_string(),
+            result
+                .latency
+                .percentile(0.99)
+                .expect("samples")
+                .to_string(),
+        );
+    }
+
+    // -----------------------------------------------------------------
+    // Failure injection: kill a stack mid-run and watch the hit-rate
+    // transient as remapped keys cold-miss and re-warm.
+    // -----------------------------------------------------------------
+    let mut config = ClusterConfig::new(profile, 1.0);
+    config.requests = 8_000;
+    config.warmup = 1_000;
+    config.workload.key_population = 20_000;
+    config.workload.rate_per_sec = 0.5 * effective_capacity(&config);
+    let span = f64::from(config.requests + config.warmup) / config.workload.rate_per_sec;
+    config.fault = Some(FaultPlan {
+        at: SimTime::ZERO + Duration::from_secs_f64(0.3 * span),
+        kill_stacks: vec![0],
+    });
+    config.timeline_bucket = Duration::from_secs_f64(span / 16.0);
+    let result = run(&config);
+    let remap = result.remap.as_ref().expect("fault ran");
+    println!(
+        "\nKilling stack 0 at {} remaps {:.1}% of keys; hit-rate timeline:\n",
+        remap.at.elapsed_since(SimTime::ZERO),
+        remap.key_fraction_remapped * 100.0
+    );
+    for bucket in result.timeline.iter().filter(|b| b.completed() > 0) {
+        let bar = "#".repeat((bucket.hit_rate() * 40.0).round() as usize);
+        println!(
+            "  {:>10}  {:>7.2}%  {bar}",
+            bucket.start.elapsed_since(SimTime::ZERO).to_string(),
+            bucket.hit_rate() * 100.0
         );
     }
 
     println!(
-        "\nThe paper's §3.8 argument, quantified: multiplying physical nodes\n\
-         both evens out arc ownership and shrinks per-failure data loss."
+        "\nThe paper's §3.8 argument, quantified end to end: multiplying\n\
+         physical nodes evens out arc ownership, shrinks per-failure data\n\
+         loss, and the cluster simulator shows the client-visible cost —\n\
+         queueing tails under load and a brief cold-miss transient, not an\n\
+         outage, when a stack dies."
     );
 }

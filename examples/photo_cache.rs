@@ -15,7 +15,11 @@ use densekv_sim::Duration;
 use densekv_workload::{key_bytes, MixedWorkload, Op, Request, RequestGenerator};
 
 /// Replays a workload and reports the latency distribution.
-fn serve(core: &mut CoreSim, workload: &mut dyn RequestGenerator, requests: u32) -> LatencyHistogram {
+fn serve(
+    core: &mut CoreSim,
+    workload: &mut dyn RequestGenerator,
+    requests: u32,
+) -> LatencyHistogram {
     let mut latency = LatencyHistogram::new();
     for _ in 0..requests {
         let request = workload.next_request();

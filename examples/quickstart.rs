@@ -35,8 +35,14 @@ fn main() {
 
     // --- 3. Project to a full 1.5U server (Table 4's headline). --------
     for (label, system) in [
-        ("Mercury-32", SystemBuilder::mercury().build().expect("valid")),
-        ("Iridium-32", SystemBuilder::iridium().build().expect("valid")),
+        (
+            "Mercury-32",
+            SystemBuilder::mercury().build().expect("valid"),
+        ),
+        (
+            "Iridium-32",
+            SystemBuilder::iridium().build().expect("valid"),
+        ),
     ] {
         let report = system.evaluate_quick(64);
         println!(
@@ -50,5 +56,7 @@ fn main() {
             report.ktps_per_gb
         );
     }
-    println!("\n(Compare Table 4: Mercury-32 32.7 MTPS / 54.8 KTPS/W; Iridium-32 16.5 MTPS, 1.9 TB.)");
+    println!(
+        "\n(Compare Table 4: Mercury-32 32.7 MTPS / 54.8 KTPS/W; Iridium-32 16.5 MTPS, 1.9 TB.)"
+    );
 }

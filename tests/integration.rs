@@ -175,8 +175,11 @@ fn sla_holds_for_small_mercury_but_degrades_for_large_iridium() {
         mercury.get.latency.fraction_within(sla) > 0.99,
         "Mercury small GETs are sub-ms"
     );
-    let iridium_large =
-        measure_point(&CoreSimConfig::iridium_a7(), 256 << 10, SweepEffort::quick());
+    let iridium_large = measure_point(
+        &CoreSimConfig::iridium_a7(),
+        256 << 10,
+        SweepEffort::quick(),
+    );
     assert!(
         iridium_large.get.latency.fraction_within(sla) < 0.5,
         "large flash reads blow the SLA (the Iridium trade-off)"
@@ -217,9 +220,7 @@ fn simulations_are_bit_reproducible() {
     assert_eq!(x.latency.percentile(0.99), y.latency.percentile(0.99));
     assert_eq!(x.utilization.to_bits(), y.utilization.to_bits());
 
-    let stack = |_| {
-        densekv::stack_sim::run(&densekv::stack_sim::StackSimConfig::mercury_a7(4, 64))
-    };
+    let stack = |_| densekv::stack_sim::run(&densekv::stack_sim::StackSimConfig::mercury_a7(4, 64));
     let (s, t) = (stack(()), stack(()));
     assert_eq!(s.aggregate_tps.to_bits(), t.aggregate_tps.to_bits());
 }
@@ -235,7 +236,8 @@ fn binary_and_text_protocols_agree_on_state() {
         serve_buffer(&mut store, input, 0);
         store
     };
-    let mut text_store = run_text(b"set k 7 0 5\r\nhello\r\nset n 0 0 2\r\n10\r\nincr n 5\r\ndelete missing\r\n");
+    let mut text_store =
+        run_text(b"set k 7 0 5\r\nhello\r\nset n 0 0 2\r\n10\r\nincr n 5\r\ndelete missing\r\n");
 
     let mut wire = BytesMut::new();
     let mut extras = Vec::new();

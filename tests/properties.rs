@@ -306,6 +306,96 @@ proptest! {
 }
 
 // ---------------------------------------------------------------------
+// Cluster simulator
+// ---------------------------------------------------------------------
+
+use densekv_cluster::{
+    run as run_cluster, ClusterConfig, ClusterWorkload, FaultPlan, ServiceProfile,
+};
+use densekv_sim::SimTime;
+
+/// A small, fast cluster run for the property tests.
+fn cluster_base(seed: u64) -> ClusterConfig {
+    let mut config = ClusterConfig::new(ServiceProfile::synthetic(), 1.0);
+    config.topology.stacks = 4;
+    config.topology.cores_per_stack = 4;
+    config.requests = 800;
+    config.warmup = 200;
+    config.seed = seed;
+    config.workload.key_population = 10_000;
+    // Stay below the Zipf-hottest core's saturation point so queues are
+    // stable regardless of the sampled seed.
+    config.workload.rate_per_sec = 0.4 * densekv_cluster::effective_capacity(&config);
+    config
+}
+
+proptest! {
+    /// Cluster runs are exactly reproducible: any seed, same percentiles.
+    #[test]
+    fn cluster_same_seed_reproduces_percentiles(seed in any::<u64>()) {
+        let config = cluster_base(seed);
+        let a = run_cluster(&config);
+        let b = run_cluster(&config);
+        prop_assert_eq!(a.latency.percentile(0.50), b.latency.percentile(0.50));
+        prop_assert_eq!(a.latency.percentile(0.95), b.latency.percentile(0.95));
+        prop_assert_eq!(a.latency.percentile(0.99), b.latency.percentile(0.99));
+        prop_assert_eq!(a.shard_hits, b.shard_hits);
+        prop_assert_eq!(a.shard_misses, b.shard_misses);
+    }
+
+    /// Multiget fan-out amplifies the tail: at matched shard-level load,
+    /// the logical p99 (a max over batch legs) dominates single-GET p99.
+    #[test]
+    fn multiget_p99_dominates_single_get(seed in any::<u64>(), batch in 2u32..6) {
+        let single = cluster_base(seed);
+        let mut multi = single.clone();
+        multi.workload = ClusterWorkload {
+            multiget_batch: batch,
+            rate_per_sec: single.workload.rate_per_sec / f64::from(batch),
+            ..single.workload.clone()
+        };
+        let s = run_cluster(&single);
+        let m = run_cluster(&multi);
+        prop_assert_eq!(m.shard_hits + m.shard_misses, u64::from(batch) * m.measured);
+        prop_assert!(
+            m.latency.percentile(0.99).expect("samples")
+                >= s.latency.percentile(0.99).expect("samples"),
+            "batch {} p99 below single-get p99", batch
+        );
+    }
+
+    /// The engine's exact per-key remap fraction after a stack failure
+    /// agrees with the DHT's sampled `remapped_fraction` estimate.
+    #[test]
+    fn failover_remap_matches_dht_estimate(seed in any::<u64>(), kill in 0u32..4) {
+        let mut config = cluster_base(seed);
+        config.fault = Some(FaultPlan {
+            at: SimTime::ZERO + Duration::from_micros(200),
+            kill_stacks: vec![kill],
+        });
+        let result = run_cluster(&config);
+        let remap = result.remap.expect("fault ran");
+
+        let topo = config.topology;
+        let mut before = ConsistentHashRing::new(topo.vnodes);
+        for stack in 0..topo.stacks {
+            for core in 0..topo.cores_per_stack {
+                before.add_node(topo.node_id(stack, core));
+            }
+        }
+        let mut after = before.clone();
+        for core in 0..topo.cores_per_stack {
+            after.remove_node(topo.node_id(kill, core));
+        }
+        let estimate = densekv_dht::remapped_fraction(&before, &after, 100_000, seed);
+        prop_assert!(
+            (estimate - remap.key_fraction_remapped).abs() < 0.02,
+            "sampled {:.4} vs exact {:.4}", estimate, remap.key_fraction_remapped
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
 // Statistics
 // ---------------------------------------------------------------------
 

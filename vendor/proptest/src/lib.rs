@@ -1,0 +1,461 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment for this repository has no access to a cargo
+//! registry, so the workspace vendors the API subset its property tests
+//! use: the [`Strategy`] trait, `any`, ranges, tuples, `prop_map`,
+//! [`collection::vec`], `prop_oneof!`, and the `proptest!` /
+//! `prop_assert*` macros.
+//!
+//! Differences from real proptest, on purpose:
+//!
+//! * Inputs are drawn from a seeded SplitMix64 stream keyed on the test
+//!   name, so every run of every machine sees the same cases.
+//! * There is no shrinking — a failing case panics with the case index,
+//!   which is enough to reproduce it deterministically.
+//! * The case count defaults to 48 per test (override with the
+//!   `PROPTEST_CASES` environment variable).
+
+#![forbid(unsafe_code)]
+
+/// The deterministic generator behind every strategy (SplitMix64).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        TestRng { state: seed }
+    }
+
+    /// Returns the next 64 uniformly distributed bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Returns a uniform integer in `[0, bound)`.
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "bound must be positive");
+        // Multiply-shift; the tiny modulo bias is irrelevant for test
+        // input generation.
+        ((u128::from(self.next_u64()) * u128::from(bound)) >> 64) as u64
+    }
+}
+
+/// Derives the per-(test, case) RNG. Public for the `proptest!` macro.
+#[doc(hidden)]
+pub fn rng_for(test_name: &str, case: u64) -> TestRng {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in test_name.as_bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    TestRng::new(h ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+/// Number of cases each `proptest!` test runs. Public for the macro.
+#[doc(hidden)]
+pub fn case_count() -> u64 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(48)
+}
+
+/// A recipe for generating random values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Erases the concrete strategy type.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// Object-safe sampling, so `prop_oneof!` can mix strategy types.
+#[doc(hidden)]
+pub trait DynStrategy<V> {
+    /// Draws one value.
+    fn sample_dyn(&self, rng: &mut TestRng) -> V;
+}
+
+impl<S: Strategy> DynStrategy<S::Value> for S {
+    fn sample_dyn(&self, rng: &mut TestRng) -> S::Value {
+        self.sample(rng)
+    }
+}
+
+/// A type-erased strategy.
+pub type BoxedStrategy<V> = Box<dyn DynStrategy<V>>;
+
+impl<V> Strategy for BoxedStrategy<V> {
+    type Value = V;
+
+    fn sample(&self, rng: &mut TestRng) -> V {
+        self.as_ref().sample_dyn(rng)
+    }
+}
+
+/// The [`Strategy::prop_map`] combinator.
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, U> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+
+    fn sample(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// Uniform choice between boxed strategies (built by `prop_oneof!`).
+pub struct Union<V> {
+    options: Vec<BoxedStrategy<V>>,
+}
+
+impl<V> Union<V> {
+    /// Creates a union over `options`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `options` is empty.
+    pub fn new(options: Vec<BoxedStrategy<V>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+        Union { options }
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+
+    fn sample(&self, rng: &mut TestRng) -> V {
+        let i = rng.next_below(self.options.len() as u64) as usize;
+        self.options[i].sample_dyn(rng)
+    }
+}
+
+/// Marker for types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized {
+    /// Draws an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_uint {
+    ($($t:ty),+) => {
+        $(impl Arbitrary for $t {
+            #[allow(clippy::cast_possible_truncation)]
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        })+
+    };
+}
+
+impl_arbitrary_uint!(u8, u16, u32, u64, usize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for i32 {
+    #[allow(clippy::cast_possible_wrap, clippy::cast_possible_truncation)]
+    fn arbitrary(rng: &mut TestRng) -> i32 {
+        rng.next_u64() as i32
+    }
+}
+
+impl Arbitrary for i64 {
+    #[allow(clippy::cast_possible_wrap)]
+    fn arbitrary(rng: &mut TestRng) -> i64 {
+        rng.next_u64() as i64
+    }
+}
+
+/// The strategy returned by [`any`].
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<fn() -> T>,
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Any value of `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),+) => {
+        $(impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+
+            #[allow(clippy::cast_possible_truncation)]
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = u64::from(self.end - self.start);
+                self.start + rng.next_below(span) as $t
+            }
+        }
+
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+
+            #[allow(clippy::cast_possible_truncation)]
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                if lo == 0 && hi == <$t>::MAX {
+                    return <$t as Arbitrary>::arbitrary(rng);
+                }
+                let span = u64::from(hi - lo) + 1;
+                lo + rng.next_below(span) as $t
+            }
+        })+
+    };
+}
+
+impl_range_strategy!(u8, u16, u32, u64);
+
+impl Strategy for std::ops::Range<usize> {
+    type Value = usize;
+
+    #[allow(clippy::cast_possible_truncation)]
+    fn sample(&self, rng: &mut TestRng) -> usize {
+        assert!(self.start < self.end, "empty range strategy");
+        let span = (self.end - self.start) as u64;
+        self.start + rng.next_below(span) as usize
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident $idx:tt),+))+) => {
+        $(impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        })+
+    };
+}
+
+impl_tuple_strategy! {
+    (A 0, B 1)
+    (A 0, B 1, C 2)
+    (A 0, B 1, C 2, D 3)
+    (A 0, B 1, C 2, D 3, E 4)
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::{Strategy, TestRng};
+
+    /// A length constraint for [`vec`]: an exact size or a half-open
+    /// range, as in real proptest.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // exclusive
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end() + 1,
+            }
+        }
+    }
+
+    /// The strategy returned by [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        #[allow(clippy::cast_possible_truncation)]
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.hi - self.size.lo) as u64;
+            let len = self.size.lo + rng.next_below(span.max(1)) as usize;
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    /// A `Vec` of values from `element`, sized within `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+/// Everything the property tests import.
+pub mod prelude {
+    pub use crate::{any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+    pub use crate::{BoxedStrategy, Strategy};
+}
+
+/// Uniform choice among strategy arms producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($arm)),+])
+    };
+}
+
+/// Asserts a condition inside a property test.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond);
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        assert!($cond, $($fmt)+);
+    };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {
+        assert_eq!($a, $b);
+    };
+    ($a:expr, $b:expr, $($fmt:tt)+) => {
+        assert_eq!($a, $b, $($fmt)+);
+    };
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {
+        assert_ne!($a, $b);
+    };
+    ($a:expr, $b:expr, $($fmt:tt)+) => {
+        assert_ne!($a, $b, $($fmt)+);
+    };
+}
+
+/// Declares property tests: each `name in strategy` argument is drawn
+/// fresh for every case, and the body runs once per case.
+#[macro_export]
+macro_rules! proptest {
+    ($(
+        $(#[$attr:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+    )+) => {
+        $(
+            $(#[$attr])*
+            fn $name() {
+                let cases = $crate::case_count();
+                for case in 0..cases {
+                    let mut proptest_rng = $crate::rng_for(
+                        concat!(module_path!(), "::", stringify!($name)),
+                        case,
+                    );
+                    $(let $arg = $crate::Strategy::sample(&($strat), &mut proptest_rng);)+
+                    let run = move || $body;
+                    run();
+                }
+            }
+        )+
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = TestRng::new(1);
+        for _ in 0..1000 {
+            let x = (10u32..20).sample(&mut rng);
+            assert!((10..20).contains(&x));
+        }
+    }
+
+    #[test]
+    fn same_seed_same_stream() {
+        let strat = collection::vec(any::<u64>(), 0..10);
+        let a = strat.sample(&mut rng_for("t", 3));
+        let b = strat.sample(&mut rng_for("t", 3));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn oneof_hits_every_arm() {
+        let strat = prop_oneof![(0u8..1).prop_map(|_| 1u8), (0u8..1).prop_map(|_| 2u8)];
+        let mut rng = TestRng::new(9);
+        let mut seen = [false; 3];
+        for _ in 0..100 {
+            seen[strat.sample(&mut rng) as usize] = true;
+        }
+        assert!(seen[1] && seen[2]);
+    }
+
+    proptest! {
+        #[test]
+        fn macro_draws_arguments(x in 1u64..100, v in collection::vec(any::<bool>(), 2..5)) {
+            prop_assert!((1..100).contains(&x));
+            prop_assert!((2..5).contains(&v.len()));
+        }
+    }
+}

@@ -21,6 +21,7 @@ pub const RESULTS_DIR: &str = "results";
 /// # Panics
 ///
 /// Panics if the directory cannot be created.
+#[must_use]
 pub fn results_dir() -> PathBuf {
     // The binaries run from the workspace root (`cargo run -p ...`), but
     // fall back to the manifest's parent if invoked elsewhere.
@@ -46,8 +47,21 @@ pub fn emit(name: &str, table: &TextTable) {
     eprintln!("[densekv-bench] wrote {}", path.display());
 }
 
+/// Writes a non-tabular artifact (trace JSON, timeline CSV, …) under
+/// the results directory and logs where it went.
+///
+/// # Panics
+///
+/// Panics if the file cannot be written.
+pub fn emit_raw(file_name: &str, contents: &str) {
+    let path = results_dir().join(file_name);
+    std::fs::write(&path, contents).expect("write artifact");
+    eprintln!("[densekv-bench] wrote {}", path.display());
+}
+
 /// Picks the sweep effort: full by default, `DENSEKV_QUICK=1` for a fast
 /// smoke run.
+#[must_use]
 pub fn effort() -> densekv::sweep::SweepEffort {
     if std::env::var("DENSEKV_QUICK").is_ok_and(|v| v != "0") {
         densekv::sweep::SweepEffort::quick()

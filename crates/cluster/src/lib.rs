@@ -41,4 +41,8 @@ mod config;
 mod run;
 
 pub use config::{ClusterConfig, ClusterTopology, ClusterWorkload, FaultPlan, ServiceProfile};
-pub use run::{effective_capacity, hot_core_share, run, ClusterResult, RemapEvent, TimelineBucket};
+pub use densekv_telemetry::{BucketedTimeline, TimelineBucket};
+pub use run::{
+    effective_capacity, hot_core_share, run, run_with_telemetry, ClusterResult, RemapEvent,
+    TIMELINE_COLUMNS,
+};

@@ -15,16 +15,35 @@
 //! cold-miss on their new owners until a read-through fill re-warms
 //! them — producing a timed miss-rate/latency recovery curve instead of
 //! a static blast-radius number.
+//!
+//! Observability: [`run_with_telemetry`] threads a passive
+//! [`Telemetry`] bundle through the run — per-request phase spans for
+//! sampled requests, counters/histograms in the metrics registry, and
+//! fixed-interval gauge snapshots ([`TIMELINE_COLUMNS`]). [`run`] is
+//! the same engine with a disabled bundle; the two produce bit-identical
+//! results, which the workspace property tests enforce.
 
 use densekv_dht::ConsistentHashRing;
+use densekv_net::PortMeter;
 use densekv_sim::dist::{Exponential, Zipf};
 use densekv_sim::stats::LatencyHistogram;
 use densekv_sim::{Duration, Scheduler, SimTime, SplitMix64};
+use densekv_telemetry::{BucketedTimeline, SpanBuilder, Telemetry};
 
 use crate::config::ClusterConfig;
 
 /// Sentinel for "this key is not warm anywhere".
 const NOWHERE: u32 = u32::MAX;
+
+/// Gauge columns [`run_with_telemetry`] keeps current in the bundle's
+/// [`TimelineSampler`](densekv_telemetry::TimelineSampler); build the
+/// sampler with exactly these columns.
+pub const TIMELINE_COLUMNS: &[&str] = &[
+    "sched_backlog",
+    "hit_rate",
+    "max_ingress_util",
+    "max_egress_util",
+];
 
 /// Events driving the cluster simulation.
 #[derive(Debug, Clone, Copy)]
@@ -33,38 +52,6 @@ enum Event {
     Arrival { seq: u32 },
     /// The configured stacks die.
     Fail,
-}
-
-/// One bucket of the recovery timeline.
-#[derive(Debug, Clone)]
-pub struct TimelineBucket {
-    /// Bucket start, in simulated time.
-    pub start: SimTime,
-    /// Logical-request latencies completing in this bucket.
-    pub latency: LatencyHistogram,
-    /// Shard GETs that hit.
-    pub shard_hits: u64,
-    /// Shard GETs that cold-missed.
-    pub shard_misses: u64,
-}
-
-impl TimelineBucket {
-    /// Logical requests completed in this bucket.
-    #[must_use]
-    pub fn completed(&self) -> u64 {
-        self.latency.count()
-    }
-
-    /// Shard-level hit rate in this bucket (1.0 when idle).
-    #[must_use]
-    pub fn hit_rate(&self) -> f64 {
-        let total = self.shard_hits + self.shard_misses;
-        if total == 0 {
-            1.0
-        } else {
-            self.shard_hits as f64 / total as f64
-        }
-    }
 }
 
 /// What the injected fault did to the ring.
@@ -104,7 +91,11 @@ pub struct ClusterResult {
     /// Busiest core's busy-time share of the simulated span.
     pub peak_core_utilization: f64,
     /// Completion timeline (bucket width from the configuration).
-    pub timeline: Vec<TimelineBucket>,
+    pub timeline: BucketedTimeline,
+    /// Per-stack ingress-port busy accounting (requests serialized in).
+    pub ingress: Vec<PortMeter>,
+    /// Per-stack egress-port busy accounting (responses serialized out).
+    pub egress: Vec<PortMeter>,
     /// Fault outcome, when a [`FaultPlan`](crate::FaultPlan) ran.
     pub remap: Option<RemapEvent>,
 }
@@ -183,7 +174,7 @@ struct ClusterState {
     warm: Vec<u32>,
 }
 
-/// Runs the cluster simulation.
+/// Runs the cluster simulation with telemetry off.
 ///
 /// Deterministic: two runs with the same configuration (including seed)
 /// produce identical results.
@@ -194,6 +185,33 @@ struct ClusterState {
 /// non-positive rate, or a fault plan naming a stack outside the
 /// topology.
 pub fn run(config: &ClusterConfig) -> ClusterResult {
+    run_with_telemetry(config, &mut Telemetry::disabled())
+}
+
+/// Runs the cluster simulation, recording into `tele` as it goes.
+///
+/// Telemetry is passive: for any bundle (enabled, disabled, any sample
+/// rate) the returned [`ClusterResult`] is bit-identical to [`run`]'s.
+/// The bundle collects:
+///
+/// * **Metrics** — `cluster.requests`, `cluster.dropped`,
+///   `cluster.shard.hits`, `cluster.shard.misses` counters and
+///   `cluster.rtt` / `cluster.shard.rtt` latency histograms, plus the
+///   scheduler's lifetime [`QueueStats`](densekv_sim::QueueStats) as
+///   `cluster.sched.*` counters at the end of the run.
+/// * **Spans** — for every sampled logical request (the tracer's
+///   every-Nth rule over arrival sequence numbers), one span per shard
+///   leg (pid = stack + 1, tid = owning core) whose phases tile the
+///   leg's latency — ingress wait, request wire, link, queue, service,
+///   egress wait, response wire, link — plus one logical span (pid 0)
+///   covering fan-out and client overhead.
+/// * **Sampler rows** — the [`TIMELINE_COLUMNS`] gauges at the bundle's
+///   configured interval.
+///
+/// # Panics
+///
+/// As [`run`].
+pub fn run_with_telemetry(config: &ClusterConfig, tele: &mut Telemetry) -> ClusterResult {
     let topo = config.topology;
     assert!(topo.stacks >= 1, "need at least one stack");
     assert!(
@@ -208,6 +226,13 @@ pub fn run(config: &ClusterConfig) -> ClusterResult {
             assert!(s < topo.stacks, "fault plan kills unknown stack {s}");
         }
     }
+
+    let requests_ctr = tele.metrics.counter("cluster.requests");
+    let dropped_ctr = tele.metrics.counter("cluster.dropped");
+    let hits_ctr = tele.metrics.counter("cluster.shard.hits");
+    let misses_ctr = tele.metrics.counter("cluster.shard.misses");
+    let rtt_hist = tele.metrics.histogram("cluster.rtt");
+    let shard_rtt_hist = tele.metrics.histogram("cluster.shard.rtt");
 
     let ring = build_ring(config);
 
@@ -230,6 +255,8 @@ pub fn run(config: &ClusterConfig) -> ClusterResult {
         stack_out_free: vec![SimTime::ZERO; topo.stacks as usize],
         warm,
     };
+    let mut ingress = vec![PortMeter::new(); topo.stacks as usize];
+    let mut egress = vec![PortMeter::new(); topo.stacks as usize];
 
     let arrivals = Exponential::from_rate_per_sec(config.workload.rate_per_sec);
     let zipf = Zipf::new(population as usize, config.workload.zipf_alpha);
@@ -252,12 +279,12 @@ pub fn run(config: &ClusterConfig) -> ClusterResult {
     let mut measure_start: Option<SimTime> = None;
     let mut measure_end = SimTime::ZERO;
     let mut sim_end = SimTime::ZERO;
-    let mut timeline: Vec<TimelineBucket> = Vec::new();
-    let bucket_ps = config.timeline_bucket.as_ps().max(1);
+    let mut timeline = BucketedTimeline::new(config.timeline_bucket);
     let mut remap: Option<RemapEvent> = None;
     let mut shard_keys: Vec<u64> = Vec::new();
 
     while let Some((now, event)) = sched.pop() {
+        tele.sampler.advance(now);
         match event {
             Event::Fail => {
                 let fault = config.fault.as_ref().expect("Fail implies a plan");
@@ -296,6 +323,7 @@ pub fn run(config: &ClusterConfig) -> ClusterResult {
                 }
 
                 let in_measurement = seq >= config.warmup;
+                let traced = tele.tracer.samples(u64::from(seq));
                 let mut slowest: Option<SimTime> = None;
                 let mut batch_hits = 0u64;
                 let mut batch_misses = 0u64;
@@ -310,6 +338,7 @@ pub fn run(config: &ClusterConfig) -> ClusterResult {
                     let in_start = now.max(state.stack_in_free[stack]);
                     state.stack_in_free[stack] = in_start + profile.req_wire;
                     let at_server = state.stack_in_free[stack] + profile.link_delay;
+                    ingress[stack].record_send(profile.req_wire);
 
                     // The owning core's FIFO queue.
                     let hit = state.warm[key as usize] == owner;
@@ -336,6 +365,26 @@ pub fn run(config: &ClusterConfig) -> ClusterResult {
                     let out_start = svc_end.max(state.stack_out_free[stack]);
                     state.stack_out_free[stack] = out_start + profile.resp_wire;
                     let at_client = state.stack_out_free[stack] + profile.link_delay;
+                    egress[stack].record_send(profile.resp_wire);
+
+                    if traced {
+                        let mut b = SpanBuilder::new(
+                            u64::from(seq),
+                            if hit { "shard-hit" } else { "shard-miss" },
+                            stack as u32 + 1,
+                            owner,
+                            now,
+                        );
+                        b.phase_at("ingress-wait", now, in_start)
+                            .phase("req-wire", profile.req_wire)
+                            .phase("req-link", profile.link_delay)
+                            .phase_at("queue", at_server, svc_start)
+                            .phase("service", service)
+                            .phase_at("egress-wait", svc_end, out_start)
+                            .phase("resp-wire", profile.resp_wire)
+                            .phase("resp-link", profile.link_delay);
+                        tele.tracer.push(b.build());
+                    }
 
                     slowest = Some(slowest.map_or(at_client, |s| s.max(at_client)));
                     if in_measurement {
@@ -344,7 +393,9 @@ pub fn run(config: &ClusterConfig) -> ClusterResult {
                         } else {
                             batch_misses += 1;
                         }
-                        shard_latency.record(at_client.elapsed_since(now));
+                        let shard_rtt = at_client.elapsed_since(now);
+                        shard_latency.record(shard_rtt);
+                        tele.metrics.observe(shard_rtt_hist, shard_rtt);
                     }
                 }
 
@@ -352,11 +403,18 @@ pub fn run(config: &ClusterConfig) -> ClusterResult {
                     // Ring empty (every stack dead): the request is lost.
                     if in_measurement {
                         dropped += 1;
+                        tele.metrics.inc(dropped_ctr, 1);
                     }
                     continue;
                 };
                 let complete = last_shard + profile.client_overhead;
                 sim_end = sim_end.max(complete);
+                if traced {
+                    let mut b = SpanBuilder::new(u64::from(seq), "request", 0, 0, now);
+                    b.phase_at("fan-out", now, last_shard)
+                        .phase("client-overhead", profile.client_overhead);
+                    tele.tracer.push(b.build());
+                }
                 if in_measurement {
                     shard_hits += batch_hits;
                     shard_misses += batch_misses;
@@ -366,27 +424,47 @@ pub fn run(config: &ClusterConfig) -> ClusterResult {
                     measure_start.get_or_insert(now);
                     measure_end = measure_end.max(complete);
 
+                    tele.metrics.inc(requests_ctr, 1);
+                    tele.metrics.inc(hits_ctr, batch_hits);
+                    tele.metrics.inc(misses_ctr, batch_misses);
+                    tele.metrics.observe(rtt_hist, response);
+
                     // Shard hits/misses are attributed to the logical
                     // request's completion bucket; at realistic widths
                     // that differs from the shard's own bucket by at
                     // most one.
-                    let bucket = (complete.as_ps() / bucket_ps) as usize;
-                    while timeline.len() <= bucket {
-                        timeline.push(TimelineBucket {
-                            start: SimTime::from_ps(timeline.len() as u64 * bucket_ps),
-                            latency: LatencyHistogram::new(),
-                            shard_hits: 0,
-                            shard_misses: 0,
-                        });
-                    }
-                    let slot = &mut timeline[bucket];
-                    slot.latency.record(response);
-                    slot.shard_hits += batch_hits;
-                    slot.shard_misses += batch_misses;
+                    timeline.record(complete, response, batch_hits, batch_misses);
                 }
             }
         }
+
+        if tele.sampler.is_enabled() {
+            let total = shard_hits + shard_misses;
+            let hit_rate = if total == 0 {
+                1.0
+            } else {
+                shard_hits as f64 / total as f64
+            };
+            let max_util = |meters: &[PortMeter]| {
+                meters
+                    .iter()
+                    .map(|m| m.utilization(now))
+                    .fold(0.0f64, f64::max)
+            };
+            tele.sampler.set(0, sched.pending() as f64);
+            tele.sampler.set(1, hit_rate);
+            tele.sampler.set(2, max_util(&ingress));
+            tele.sampler.set(3, max_util(&egress));
+        }
     }
+    tele.sampler.finish(sim_end);
+    let queue_stats = sched.stats();
+    let pushed = tele.metrics.counter("cluster.sched.pushed");
+    let popped = tele.metrics.counter("cluster.sched.popped");
+    let peak = tele.metrics.counter("cluster.sched.peak_backlog");
+    tele.metrics.inc(pushed, queue_stats.pushed);
+    tele.metrics.inc(popped, queue_stats.popped);
+    tele.metrics.inc(peak, queue_stats.peak_len as u64);
 
     let span = measure_end
         .elapsed_since(measure_start.unwrap_or(SimTime::ZERO))
@@ -414,6 +492,8 @@ pub fn run(config: &ClusterConfig) -> ClusterResult {
         throughput_tps: measured as f64 / span,
         peak_core_utilization,
         timeline,
+        ingress,
+        egress,
         remap,
     }
 }
@@ -422,6 +502,7 @@ pub fn run(config: &ClusterConfig) -> ClusterResult {
 mod tests {
     use super::*;
     use crate::config::{ClusterWorkload, FaultPlan, ServiceProfile};
+    use densekv_telemetry::TelemetryConfig;
 
     fn quick(rate_frac: f64) -> ClusterConfig {
         let profile = ServiceProfile::synthetic();
@@ -498,6 +579,70 @@ mod tests {
         );
     }
 
+    #[test]
+    fn telemetry_is_passive_and_records_the_run() {
+        let config = quick(0.5);
+        let baseline = run(&config);
+        let mut tele = Telemetry::enabled(TelemetryConfig {
+            sample_every: 100,
+            timeline_interval: Duration::from_micros(500),
+            timeline_columns: TIMELINE_COLUMNS.to_vec(),
+        });
+        let observed = run_with_telemetry(&config, &mut tele);
+
+        // Passive: identical results bit for bit.
+        assert_eq!(baseline.measured, observed.measured);
+        assert_eq!(baseline.shard_hits, observed.shard_hits);
+        assert_eq!(
+            baseline.latency.percentile(0.999),
+            observed.latency.percentile(0.999)
+        );
+        assert_eq!(baseline.throughput_tps, observed.throughput_tps);
+
+        // The registry mirrors the result struct.
+        assert_eq!(
+            tele.metrics.counter_by_name("cluster.requests"),
+            Some(observed.measured)
+        );
+        assert_eq!(
+            tele.metrics.counter_by_name("cluster.shard.hits"),
+            Some(observed.shard_hits)
+        );
+        let rtt = tele.metrics.histogram_by_name("cluster.rtt").unwrap();
+        assert_eq!(rtt.count(), observed.measured);
+        // Log-bucketed p50 brackets the exact p50 within one bucket
+        // (~6% + the conservative upper-bound rounding).
+        let exact = observed.latency.percentile(0.5).unwrap().as_ps() as f64;
+        let approx = rtt.percentile(0.5).unwrap().as_ps() as f64;
+        assert!(
+            approx >= exact && approx < exact * 1.08,
+            "exact {exact} vs bucketed {approx}"
+        );
+
+        // Spans: every 100th arrival (warmup included) has one logical
+        // span plus one per shard leg, phases tiling the latency.
+        let logical: Vec<_> = tele
+            .tracer
+            .spans()
+            .iter()
+            .filter(|s| s.label == "request")
+            .collect();
+        assert_eq!(logical.len(), 25);
+        for span in tele.tracer.spans() {
+            assert_eq!(span.phase_sum(), span.total());
+        }
+
+        // Sampler rows exist and include the hit-rate gauge at 1.0.
+        assert!(tele.sampler.rows().len() > 1);
+        let csv = tele.sampler.to_csv();
+        assert!(csv.starts_with("t_us,sched_backlog,hit_rate"));
+
+        // Port meters saw every shard leg.
+        let sends: u64 = observed.ingress.iter().map(PortMeter::sends).sum();
+        assert_eq!(sends, 2_500); // warmup + measured arrivals, batch 1
+        assert!(observed.ingress.iter().all(|m| m.drops() == 0));
+    }
+
     fn failover_config() -> ClusterConfig {
         let mut config = quick(0.3);
         config.requests = 6_000;
@@ -532,18 +677,22 @@ mod tests {
 
         // The miss transient decays: the bucket containing the fault has
         // the worst hit rate, and the final bucket has recovered.
-        let fault_bucket = (remap.at.as_ps() / config.timeline_bucket.as_ps()) as usize;
+        let fault_bucket = result.timeline.bucket_index(remap.at);
         let dip = result.timeline[fault_bucket..]
             .iter()
-            .map(TimelineBucket::hit_rate)
+            .map(densekv_telemetry::TimelineBucket::hit_rate)
             .fold(1.0f64, f64::min);
         let last = result.timeline.last().unwrap().hit_rate();
         assert!(dip < 0.95, "fault should dent the hit rate, dip={dip}");
         assert!(last > dip, "hit rate should recover: dip={dip} last={last}");
         // Before the fault every access hits.
         for bucket in &result.timeline[..fault_bucket] {
-            assert_eq!(bucket.shard_misses, 0);
+            assert_eq!(bucket.misses, 0);
         }
+        // Dead stacks' ports stop transmitting; survivors keep going.
+        let dead_sends = result.ingress[0].sends() + result.ingress[1].sends();
+        let live_sends: u64 = result.ingress[2..].iter().map(PortMeter::sends).sum();
+        assert!(live_sends > dead_sends);
     }
 
     #[test]

@@ -45,6 +45,7 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod observe;
 pub mod openloop;
 pub mod paper;
 pub mod report;
@@ -53,6 +54,7 @@ pub mod stack_sim;
 pub mod sweep;
 pub mod system;
 
-pub use sim::{CoreSim, CoreSimConfig, RequestTiming};
+pub use observe::{run_observed, CoreObserver, CORE_TIMELINE_COLUMNS};
+pub use sim::{CoreSim, CoreSimConfig, PhaseBreakdown, RequestTiming};
 pub use sweep::{measure_point, OpPoint, SweepPoint};
 pub use system::{System, SystemBuilder};

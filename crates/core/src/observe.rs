@@ -1,0 +1,219 @@
+//! Bridges the execution-driven core simulator into the telemetry
+//! layer: spans, metrics, and timeline gauges for [`CoreSim`] runs.
+//!
+//! [`CoreSim`] itself stays telemetry-free — it returns a
+//! [`PhaseBreakdown`] and exposes raw counters, and this module turns
+//! them into [`densekv_telemetry`] records. [`CoreObserver`] drives a
+//! closed-loop request sequence (each request departs when the previous
+//! response lands, TPS = 1/RTT as in §5.3) and records every request
+//! into a [`Telemetry`] bundle as it goes. Telemetry is passive: the
+//! observer calls the same [`CoreSim::execute_breakdown`] whether the
+//! bundle is enabled or disabled, so observed and unobserved runs
+//! produce bit-identical timings.
+
+use densekv_sim::stats::LatencyHistogram;
+use densekv_sim::SimTime;
+use densekv_telemetry::{CounterId, HistogramId, MetricsRegistry, SpanBuilder, Telemetry};
+use densekv_workload::{Op, Request};
+
+use crate::sim::CoreSim;
+use crate::sim::RequestTiming;
+
+/// Gauge columns a [`CoreObserver`] keeps current in the bundle's
+/// sampler; build the sampler with exactly these columns.
+pub const CORE_TIMELINE_COLUMNS: &[&str] =
+    &["kv_hit_rate", "l1d_hit_rate", "l2_hit_rate", "wire_mb"];
+
+/// Trace-viewer process id the observer files core spans under.
+const CORE_PID: u32 = 1;
+
+/// Executes requests on a [`CoreSim`] while recording telemetry.
+///
+/// Registered metrics: `core.requests`, `core.hits`, `core.misses`
+/// counters and `core.rtt` / `core.server` latency histograms. Sampled
+/// requests get one span whose phases are the request's
+/// [`PhaseBreakdown`](crate::sim::PhaseBreakdown) — they tile the RTT
+/// exactly, so `phase_sum == total` holds for every exported span.
+#[derive(Debug)]
+pub struct CoreObserver {
+    requests: CounterId,
+    hits: CounterId,
+    misses: CounterId,
+    rtt: HistogramId,
+    server: HistogramId,
+    seq: u64,
+    clock: SimTime,
+}
+
+impl CoreObserver {
+    /// Registers the observer's metrics in `metrics` and starts the
+    /// closed-loop clock at the epoch.
+    pub fn new(metrics: &mut MetricsRegistry) -> Self {
+        CoreObserver {
+            requests: metrics.counter("core.requests"),
+            hits: metrics.counter("core.hits"),
+            misses: metrics.counter("core.misses"),
+            rtt: metrics.histogram("core.rtt"),
+            server: metrics.histogram("core.server"),
+            seq: 0,
+            clock: SimTime::ZERO,
+        }
+    }
+
+    /// The simulated time the next request departs at.
+    pub fn now(&self) -> SimTime {
+        self.clock
+    }
+
+    /// Requests executed so far.
+    pub fn executed(&self) -> u64 {
+        self.seq
+    }
+
+    /// Executes `request` on `core`, records it into `tele`, and
+    /// advances the closed-loop clock by the round trip.
+    pub fn execute(
+        &mut self,
+        tele: &mut Telemetry,
+        core: &mut CoreSim,
+        request: &Request,
+    ) -> RequestTiming {
+        let (timing, breakdown) = core.execute_breakdown(request);
+        let start = self.clock;
+        let end = start + timing.rtt;
+
+        if tele.tracer.samples(self.seq) {
+            let label = match request.op {
+                Op::Get => "GET",
+                Op::Put => "PUT",
+            };
+            let mut b = SpanBuilder::new(self.seq, label, CORE_PID, 0, start);
+            for (name, d) in breakdown.phases() {
+                b.phase(name, d);
+            }
+            tele.tracer.push(b.build());
+        }
+
+        tele.metrics.inc(self.requests, 1);
+        tele.metrics
+            .inc(if timing.hit { self.hits } else { self.misses }, 1);
+        tele.metrics.observe(self.rtt, timing.rtt);
+        tele.metrics.observe(self.server, timing.server);
+
+        if tele.sampler.is_enabled() {
+            tele.sampler.advance(end);
+            let kv = core.store_stats();
+            let cache = core.cache_stats();
+            tele.sampler.set(0, kv.hit_rate());
+            tele.sampler.set(1, cache.l1d.hit_rate());
+            tele.sampler
+                .set(2, cache.l2.map_or(0.0, |l2| l2.hit_rate()));
+            tele.sampler.set(3, core.wire_bytes() as f64 / 1e6);
+        }
+
+        self.clock = end;
+        self.seq += 1;
+        timing
+    }
+}
+
+/// Runs `requests` back-to-back through a fresh [`CoreObserver`],
+/// recording into `tele`, and returns the exact RTT distribution — the
+/// one-call harness the `trace_run` bench bin and the telemetry
+/// property tests share.
+pub fn run_observed(
+    core: &mut CoreSim,
+    requests: &[Request],
+    tele: &mut Telemetry,
+) -> LatencyHistogram {
+    let mut observer = CoreObserver::new(&mut tele.metrics);
+    let mut latency = LatencyHistogram::new();
+    for request in requests {
+        let timing = observer.execute(tele, core, request);
+        latency.record(timing.rtt);
+    }
+    tele.sampler.finish(observer.now());
+    latency
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::CoreSimConfig;
+    use densekv_sim::Duration;
+    use densekv_telemetry::TelemetryConfig;
+    use densekv_workload::key_bytes;
+
+    fn requests(n: u64) -> Vec<Request> {
+        (0..n)
+            .map(|i| Request {
+                op: if i % 4 == 3 { Op::Put } else { Op::Get },
+                key: key_bytes(i % 16),
+                value_bytes: 64,
+            })
+            .collect()
+    }
+
+    fn fresh_core() -> CoreSim {
+        let mut core = CoreSim::new(CoreSimConfig::mercury_a7()).unwrap();
+        core.preload(64, 16).unwrap();
+        core
+    }
+
+    fn enabled_bundle() -> Telemetry {
+        Telemetry::enabled(TelemetryConfig {
+            sample_every: 8,
+            timeline_interval: Duration::from_micros(200),
+            timeline_columns: CORE_TIMELINE_COLUMNS.to_vec(),
+        })
+    }
+
+    #[test]
+    fn observed_run_records_spans_metrics_and_rows() {
+        let mut core = fresh_core();
+        let mut tele = enabled_bundle();
+        let latency = run_observed(&mut core, &requests(64), &mut tele);
+
+        assert_eq!(latency.count(), 64);
+        assert_eq!(tele.metrics.counter_by_name("core.requests"), Some(64));
+        assert_eq!(
+            tele.metrics.counter_by_name("core.hits").unwrap()
+                + tele.metrics.counter_by_name("core.misses").unwrap(),
+            64
+        );
+        let hist = tele.metrics.histogram_by_name("core.rtt").unwrap();
+        assert_eq!(hist.count(), 64);
+
+        // Every 8th request sampled; spans tile their RTTs.
+        assert_eq!(tele.tracer.spans().len(), 8);
+        for span in tele.tracer.spans() {
+            assert_eq!(span.phase_sum(), span.total());
+            assert_eq!(span.phases.len(), 11);
+        }
+        // Spans are contiguous in sim-time: each sampled request's span
+        // starts where the closed loop had advanced to.
+        assert_eq!(tele.tracer.spans()[0].start, SimTime::ZERO);
+
+        assert!(!tele.sampler.rows().is_empty());
+        assert!(tele.sampler.to_csv().starts_with("t_us,kv_hit_rate"));
+    }
+
+    #[test]
+    fn telemetry_is_passive_for_core_runs() {
+        let reqs = requests(48);
+        let mut dark_core = fresh_core();
+        let mut dark = Telemetry::disabled();
+        let baseline = run_observed(&mut dark_core, &reqs, &mut dark);
+
+        let mut lit_core = fresh_core();
+        let mut lit = enabled_bundle();
+        let observed = run_observed(&mut lit_core, &reqs, &mut lit);
+
+        assert_eq!(baseline.count(), observed.count());
+        for q in [0.0, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(baseline.percentile(q), observed.percentile(q), "q={q}");
+        }
+        assert!(dark.tracer.spans().is_empty());
+        assert!(!lit.tracer.spans().is_empty());
+    }
+}

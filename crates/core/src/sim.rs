@@ -220,6 +220,70 @@ pub struct RequestTiming {
     pub hit: bool,
 }
 
+/// One request's round trip decomposed into contiguous phases, in wire
+/// order — the Fig. 4 breakdown at request granularity.
+///
+/// The invariant the tracing exporters rely on: the phases returned by
+/// [`PhaseBreakdown::phases`] tile [`RequestTiming::rtt`] exactly, so a
+/// span built from them sums to the end-to-end latency bit for bit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PhaseBreakdown {
+    /// Client-side processing (request build + response handling).
+    pub client_overhead: Duration,
+    /// Request serialization + propagation on the 10 GbE wire.
+    pub req_wire: Duration,
+    /// Request store-and-forward through the on-stack NIC MAC.
+    pub req_nic: Duration,
+    /// Kernel RX path (TCP/IP + payload landing in packet buffers).
+    pub net_rx: Duration,
+    /// Memcached protocol parse.
+    pub parse: Duration,
+    /// Key hash computation.
+    pub hash: Duration,
+    /// Store metadata operation (lookup or insert, bucket/item walks).
+    pub store_op: Duration,
+    /// Value movement between the store and the packet buffers.
+    pub value_copy: Duration,
+    /// Kernel TX path.
+    pub net_tx: Duration,
+    /// Response store-and-forward through the NIC MAC.
+    pub resp_nic: Duration,
+    /// Response serialization + propagation on the wire.
+    pub resp_wire: Duration,
+}
+
+impl PhaseBreakdown {
+    /// The phases in wire order, named for the trace viewer.
+    #[must_use]
+    pub fn phases(&self) -> [(&'static str, Duration); 11] {
+        [
+            ("client", self.client_overhead),
+            ("req-wire", self.req_wire),
+            ("req-nic", self.req_nic),
+            ("net-rx", self.net_rx),
+            ("parse", self.parse),
+            ("hash", self.hash),
+            ("store-op", self.store_op),
+            ("value-copy", self.value_copy),
+            ("net-tx", self.net_tx),
+            ("resp-nic", self.resp_nic),
+            ("resp-wire", self.resp_wire),
+        ]
+    }
+
+    /// Server-side time (the six on-core phases).
+    #[must_use]
+    pub fn server(&self) -> Duration {
+        self.net_rx + self.parse + self.hash + self.store_op + self.value_copy + self.net_tx
+    }
+
+    /// End-to-end round trip: the sum of every phase.
+    #[must_use]
+    pub fn total(&self) -> Duration {
+        self.phases().iter().map(|&(_, d)| d).sum()
+    }
+}
+
 /// One simulated stack core and its Memcached instance.
 ///
 /// See the crate-level docs for an example.
@@ -296,6 +360,11 @@ impl CoreSim {
         self.store.stats()
     }
 
+    /// Per-level cache hit/miss counters of the core's hierarchy.
+    pub fn cache_stats(&self) -> densekv_cpu::CacheHierarchyStats {
+        self.engine.cache_stats()
+    }
+
     /// Loads `population` keys of `value_bytes` each (untimed), so
     /// subsequent GETs hit.
     ///
@@ -355,6 +424,14 @@ impl CoreSim {
 
     /// Executes one request end-to-end and returns its timing.
     pub fn execute(&mut self, request: &Request) -> RequestTiming {
+        self.execute_breakdown(request).0
+    }
+
+    /// Executes one request and returns its timing together with the
+    /// per-phase decomposition of the round trip. [`CoreSim::execute`]
+    /// is this call with the breakdown discarded — both run the same
+    /// code, so observed and unobserved executions are identical.
+    pub fn execute_breakdown(&mut self, request: &Request) -> (RequestTiming, PhaseBreakdown) {
         let key_len = request.key.len() as u64;
         let sizes = match request.op {
             Op::Get => MessageSizes::get(key_len, request.value_bytes),
@@ -430,29 +507,28 @@ impl CoreSim {
         let _ = value_bytes_moved;
         self.wire_bytes += sizes.request_payload + sizes.response_payload;
 
-        let server = rx_result.time
-            + parse_result.time
-            + hash_result.time
-            + store_result.time
-            + copy_result.time
-            + tx_result.time;
-        let network = rx_result.time + tx_result.time + copy_result.time;
-        let store_time = parse_result.time + store_result.time;
-        let rtt = self.config.client_overhead
-            + self.config.wire.one_way(sizes.request_payload)
-            + self.mac.message_latency(sizes.request_frames())
-            + server
-            + self.mac.message_latency(sizes.response_frames())
-            + self.config.wire.one_way(sizes.response_payload);
-
-        RequestTiming {
-            rtt,
-            server,
-            network,
-            store: store_time,
+        let breakdown = PhaseBreakdown {
+            client_overhead: self.config.client_overhead,
+            req_wire: self.config.wire.one_way(sizes.request_payload),
+            req_nic: self.mac.message_latency(sizes.request_frames()),
+            net_rx: rx_result.time,
+            parse: parse_result.time,
             hash: hash_result.time,
+            store_op: store_result.time,
+            value_copy: copy_result.time,
+            net_tx: tx_result.time,
+            resp_nic: self.mac.message_latency(sizes.response_frames()),
+            resp_wire: self.config.wire.one_way(sizes.response_payload),
+        };
+        let timing = RequestTiming {
+            rtt: breakdown.total(),
+            server: breakdown.server(),
+            network: breakdown.net_rx + breakdown.net_tx + breakdown.value_copy,
+            store: breakdown.parse + breakdown.store_op,
+            hash: breakdown.hash,
             hit,
-        }
+        };
+        (timing, breakdown)
     }
 
     /// Executes a batched multi-GET (`get k1 k2 …`): one network
@@ -741,6 +817,24 @@ mod tests {
         }
         core.reset_counters();
         core
+    }
+
+    #[test]
+    fn breakdown_phases_tile_the_rtt() {
+        let mut core = warmed(CoreSimConfig::mercury_a7(), 1024);
+        for request in [get_request(1024), put_request(1024)] {
+            let (timing, b) = core.execute_breakdown(&request);
+            assert_eq!(b.total(), timing.rtt, "phases must sum to the RTT");
+            assert_eq!(b.server(), timing.server);
+            let phase_sum: Duration = b.phases().iter().map(|&(_, d)| d).sum();
+            assert_eq!(phase_sum, timing.rtt);
+            // Every named phase is present exactly once.
+            assert_eq!(b.phases().len(), 11);
+        }
+        // The executed requests exercised the cache hierarchy.
+        let cache = core.cache_stats();
+        assert!(cache.l1i.hits + cache.l1i.misses > 0);
+        assert!(cache.l2.expect("A7 config has an L2").hits > 0);
     }
 
     #[test]

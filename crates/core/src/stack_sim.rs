@@ -9,6 +9,7 @@
 //! the crossover the analytic model assumes.
 
 use densekv_net::frame::{wire_bytes_for_payload, MessageSizes};
+use densekv_net::PortMeter;
 use densekv_sim::stats::LatencyHistogram;
 use densekv_sim::{Duration, Scheduler, SimTime};
 use densekv_workload::{FixedSizeWorkload, Op, RequestGenerator};
@@ -55,6 +56,12 @@ pub struct StackSimResult {
     pub latency: LatencyHistogram,
     /// Cores simulated.
     pub cores: u32,
+    /// Inbound (request) port meter over the whole run, warmup included.
+    pub ingress: PortMeter,
+    /// Outbound (response) port meter over the whole run, warmup
+    /// included — unlike [`wire_out_utilization`](Self::wire_out_utilization),
+    /// which covers only the measured window.
+    pub egress: PortMeter,
 }
 
 /// A client's next departure.
@@ -118,6 +125,10 @@ pub fn run(config: &StackSimConfig) -> StackSimResult {
     let mut measure_start: Option<SimTime> = None;
     let mut measure_end = SimTime::ZERO;
     let mut wire_out_busy = Duration::ZERO;
+    let mut ingress = PortMeter::default();
+    let mut egress = PortMeter::default();
+    let req_bytes = wire_bytes_for_payload(sizes.request_payload);
+    let resp_bytes = wire_bytes_for_payload(sizes.response_payload);
     let total_per_core = config.warmup_per_core + config.requests_per_core;
 
     while let Some((depart, event)) = sched.pop() {
@@ -125,6 +136,7 @@ pub fn run(config: &StackSimConfig) -> StackSimResult {
         // Inbound: the shared port serializes requests one at a time.
         let in_start = depart.max(wire_in_free);
         wire_in_free = in_start + req_ser;
+        ingress.record_send_bytes(req_ser, req_bytes);
         let at_server = wire_in_free + wire.propagation + mac;
         // The core is idle in a closed loop: service starts on arrival.
         let timing = cores[event.core].execute(&request);
@@ -132,6 +144,7 @@ pub fn run(config: &StackSimConfig) -> StackSimResult {
         // Outbound: responses contend for the port.
         let out_start = done.max(wire_out_free);
         wire_out_free = out_start + resp_ser;
+        egress.record_send_bytes(resp_ser, resp_bytes);
         let at_client = wire_out_free + wire.propagation + mac;
 
         let in_measurement = event.seq >= config.warmup_per_core;
@@ -163,6 +176,8 @@ pub fn run(config: &StackSimConfig) -> StackSimResult {
         wire_out_utilization: (wire_out_busy.as_secs_f64() / span).min(1.0),
         latency,
         cores: config.cores,
+        ingress,
+        egress,
     }
 }
 
@@ -184,6 +199,11 @@ mod tests {
             eight.wire_out_utilization < 0.1,
             "64 B leaves the wire idle"
         );
+        // Port meters see every frame, warmup included.
+        let total = 8 * (120 + 60) as u64;
+        assert_eq!(eight.ingress.sends(), total);
+        assert_eq!(eight.egress.sends(), total);
+        assert!(eight.egress.bytes() > eight.ingress.bytes());
     }
 
     #[test]

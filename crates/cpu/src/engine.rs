@@ -130,6 +130,40 @@ impl PhaseResult {
     }
 }
 
+/// Hit/miss counts of one cache level at a point in time.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheLevelStats {
+    /// Lookups satisfied by this level.
+    pub hits: u64,
+    /// Lookups that fell through.
+    pub misses: u64,
+}
+
+impl CacheLevelStats {
+    /// Hit fraction; `0.0` before any lookup.
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// Per-level snapshot of the engine's cache hierarchy — what the
+/// telemetry layer polls into its gauges between requests.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheHierarchyStats {
+    /// Instruction L1.
+    pub l1i: CacheLevelStats,
+    /// Data L1.
+    pub l1d: CacheLevelStats,
+    /// Unified L2, when configured.
+    pub l2: Option<CacheLevelStats>,
+}
+
 /// Cache hierarchy + core parameters; executes [`PhaseSpec`]s.
 ///
 /// # Examples
@@ -198,6 +232,19 @@ impl PhaseEngine {
     /// Overrides the uncached-operation latency.
     pub fn set_uncached_latency(&mut self, latency: Duration) {
         self.uncached_latency = latency;
+    }
+
+    /// Snapshot of every cache level's lifetime hit/miss counters.
+    pub fn cache_stats(&self) -> CacheHierarchyStats {
+        let level = |c: &Cache| CacheLevelStats {
+            hits: c.hits(),
+            misses: c.misses(),
+        };
+        CacheHierarchyStats {
+            l1i: level(&self.l1i),
+            l1d: level(&self.l1d),
+            l2: self.l2.as_ref().map(level),
+        }
     }
 
     /// Walks one reference through the hierarchy (for instruction or
@@ -390,6 +437,26 @@ mod tests {
             stream: None,
             uncached_ops: 4,
         }
+    }
+
+    #[test]
+    fn cache_stats_snapshot_per_level() {
+        let mut e = PhaseEngine::with_l2(CoreConfig::a7_1ghz());
+        let mut mem = dram(10);
+        assert_eq!(e.cache_stats().l1i, CacheLevelStats::default());
+        assert_eq!(e.cache_stats().l2, Some(CacheLevelStats::default()));
+        e.run_steady(&net_phase(), &mut mem, 5);
+        let stats = e.cache_stats();
+        assert!(stats.l1i.hits + stats.l1i.misses > 0);
+        assert!(stats.l1d.hits + stats.l1d.misses > 0);
+        let l2 = stats.l2.expect("engine built with an L2");
+        assert!(l2.hits + l2.misses > 0);
+        assert!((0.0..=1.0).contains(&stats.l1i.hit_rate()));
+
+        let no_l2 = PhaseEngine::without_l2(CoreConfig::a7_1ghz());
+        assert_eq!(no_l2.cache_stats().l2, None);
+        // An untouched level reports the documented sentinel, not NaN.
+        assert_eq!(no_l2.cache_stats().l1d.hit_rate(), 0.0);
     }
 
     #[test]

@@ -30,4 +30,4 @@ pub mod engine;
 
 pub use crate::core::{CoreConfig, CoreKind};
 pub use cache::{Cache, CacheConfig};
-pub use engine::{PhaseEngine, PhaseResult, PhaseSpec};
+pub use engine::{CacheHierarchyStats, CacheLevelStats, PhaseEngine, PhaseResult, PhaseSpec};

@@ -115,6 +115,37 @@ pub struct StoreStats {
     pub bytes: u64,
 }
 
+impl StoreStats {
+    /// Fraction of GETs that hit; `1.0` before any GET has been issued
+    /// (an idle store has not missed anything).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.get_hits + self.get_misses;
+        if total == 0 {
+            1.0
+        } else {
+            self.get_hits as f64 / total as f64
+        }
+    }
+
+    /// Counter change since an `earlier` snapshot of the same store.
+    ///
+    /// Monotonic counters subtract; the instantaneous gauges (`items`,
+    /// `bytes`) carry this snapshot's value. Lets a timeline sampler turn
+    /// lifetime counters into per-interval rates.
+    pub fn delta(&self, earlier: &StoreStats) -> StoreStats {
+        StoreStats {
+            get_hits: self.get_hits - earlier.get_hits,
+            get_misses: self.get_misses - earlier.get_misses,
+            sets: self.sets - earlier.sets,
+            deletes: self.deletes - earlier.deletes,
+            evictions: self.evictions - earlier.evictions,
+            expirations: self.expirations - earlier.expirations,
+            items: self.items,
+            bytes: self.bytes,
+        }
+    }
+}
+
 /// Byte offsets (within the store's address space) an operation touched.
 ///
 /// Layout: hash-table buckets live at the front of the address space
@@ -666,6 +697,25 @@ mod tests {
 
     fn small() -> KvStore {
         KvStore::new(StoreConfig::with_capacity(2 << 20))
+    }
+
+    #[test]
+    fn stats_hit_rate_and_delta() {
+        let mut s = small();
+        assert_eq!(s.stats().hit_rate(), 1.0); // idle sentinel
+        s.set(b"k", b"v".to_vec(), None, 0).unwrap();
+        s.get(b"k", 0);
+        let mid = s.stats();
+        s.get(b"k", 0);
+        s.get(b"absent", 0);
+        let end = s.stats();
+        assert_eq!(end.hit_rate(), 2.0 / 3.0);
+        let d = end.delta(&mid);
+        assert_eq!(d.get_hits, 1);
+        assert_eq!(d.get_misses, 1);
+        assert_eq!(d.sets, 0);
+        assert_eq!(d.hit_rate(), 0.5);
+        assert_eq!(d.items, end.items); // gauges carry the latest value
     }
 
     #[test]

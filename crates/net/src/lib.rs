@@ -17,12 +17,14 @@
 #![warn(missing_docs)]
 
 pub mod frame;
+pub mod meter;
 pub mod nic;
 pub mod phy;
 pub mod tcp;
 pub mod wire;
 
 pub use frame::{frames_for_payload, wire_bytes_for_payload, MSS_BYTES, PER_FRAME_OVERHEAD_BYTES};
+pub use meter::PortMeter;
 pub use nic::NicMac;
 pub use tcp::TcpCostModel;
 pub use wire::Wire;

@@ -40,6 +40,18 @@ impl<E> Ord for Entry<E> {
     }
 }
 
+/// Lifetime statistics of an [`EventQueue`] — the scheduler-side gauges
+/// the telemetry layer snapshots (event backlog, churn).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueueStats {
+    /// Events pushed over the queue's lifetime.
+    pub pushed: u64,
+    /// Events popped over the queue's lifetime.
+    pub popped: u64,
+    /// Largest backlog ever observed.
+    pub peak_len: usize,
+}
+
 /// A time-ordered queue of events.
 ///
 /// Ties at the same timestamp pop in insertion order (FIFO), which keeps
@@ -61,6 +73,8 @@ impl<E> Ord for Entry<E> {
 pub struct EventQueue<E> {
     heap: BinaryHeap<Entry<E>>,
     next_seq: u64,
+    popped: u64,
+    peak_len: usize,
 }
 
 impl<E> EventQueue<E> {
@@ -69,6 +83,8 @@ impl<E> EventQueue<E> {
         EventQueue {
             heap: BinaryHeap::new(),
             next_seq: 0,
+            popped: 0,
+            peak_len: 0,
         }
     }
 
@@ -77,11 +93,25 @@ impl<E> EventQueue<E> {
         let seq = self.next_seq;
         self.next_seq += 1;
         self.heap.push(Entry { time, seq, event });
+        self.peak_len = self.peak_len.max(self.heap.len());
     }
 
     /// Removes and returns the earliest event, if any.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        self.heap.pop().map(|e| (e.time, e.event))
+        let popped = self.heap.pop().map(|e| (e.time, e.event));
+        if popped.is_some() {
+            self.popped += 1;
+        }
+        popped
+    }
+
+    /// Lifetime push/pop/backlog statistics ([`QueueStats`]).
+    pub fn stats(&self) -> QueueStats {
+        QueueStats {
+            pushed: self.next_seq,
+            popped: self.popped,
+            peak_len: self.peak_len,
+        }
     }
 
     /// The timestamp of the earliest pending event.
@@ -180,6 +210,11 @@ impl<E> Scheduler<E> {
     pub fn is_idle(&self) -> bool {
         self.queue.is_empty()
     }
+
+    /// Lifetime push/pop/backlog statistics of the underlying queue.
+    pub fn stats(&self) -> QueueStats {
+        self.queue.stats()
+    }
 }
 
 impl<E> Default for Scheduler<E> {
@@ -240,6 +275,32 @@ mod tests {
         let (_, e) = s.pop().unwrap();
         assert_eq!(e, "y");
         assert!(s.is_idle());
+    }
+
+    #[test]
+    fn stats_track_churn_and_peak_backlog() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.stats(), QueueStats::default());
+        for i in 0..5u64 {
+            q.push(SimTime::from_ps(i), i);
+        }
+        q.pop();
+        q.pop();
+        q.push(SimTime::from_ps(99), 99);
+        let stats = q.stats();
+        assert_eq!(stats.pushed, 6);
+        assert_eq!(stats.popped, 2);
+        assert_eq!(stats.peak_len, 5);
+        // Draining past empty doesn't over-count pops.
+        while q.pop().is_some() {}
+        q.pop();
+        assert_eq!(q.stats().popped, 6);
+
+        let mut s = Scheduler::new();
+        s.schedule_in(Duration::from_nanos(1), ());
+        s.pop();
+        assert_eq!(s.stats().pushed, 1);
+        assert_eq!(s.stats().popped, 1);
     }
 
     #[test]

@@ -32,6 +32,6 @@ pub mod rng;
 pub mod stats;
 pub mod time;
 
-pub use event::{EventQueue, Scheduler};
+pub use event::{EventQueue, QueueStats, Scheduler};
 pub use rng::SplitMix64;
 pub use time::{Duration, SimTime};

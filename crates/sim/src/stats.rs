@@ -39,8 +39,13 @@ impl Summary {
         }
     }
 
-    /// Records one sample.
+    /// Records one sample. Non-finite samples (NaN, ±∞) are ignored —
+    /// one poisoned measurement must not turn every later mean/min/max
+    /// query into NaN.
     pub fn record(&mut self, x: f64) {
+        if !x.is_finite() {
+            return;
+        }
         self.count += 1;
         self.sum += x;
         self.min = self.min.min(x);
@@ -159,14 +164,14 @@ impl LatencyHistogram {
         Duration::from_ps(self.samples.iter().copied().max().unwrap_or(0))
     }
 
-    /// The latency at quantile `q` in `[0, 1]` (nearest-rank), or `None`
-    /// when empty.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `q` is outside `[0, 1]`.
+    /// The latency at quantile `q` (nearest-rank), or `None` when the
+    /// distribution is empty or `q` is not a finite value in `[0, 1]` —
+    /// an invalid quantile is a caller bug, but answering `None` keeps a
+    /// report generator from taking down a whole run.
     pub fn percentile(&self, q: f64) -> Option<Duration> {
-        assert!((0.0..=1.0).contains(&q), "quantile out of range");
+        if !q.is_finite() || !(0.0..=1.0).contains(&q) {
+            return None;
+        }
         if self.samples.is_empty() {
             return None;
         }
@@ -316,10 +321,43 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "quantile out of range")]
-    fn bad_quantile_panics() {
+    fn bad_quantile_returns_none() {
         let mut h = LatencyHistogram::new();
         h.record(Duration::ZERO);
-        let _ = h.percentile(1.5);
+        assert_eq!(h.percentile(1.5), None);
+        assert_eq!(h.percentile(-0.01), None);
+        assert_eq!(h.percentile(f64::NAN), None);
+        assert_eq!(h.percentile(f64::INFINITY), None);
+        assert!(h.percentile(1.0).is_some());
+    }
+
+    #[test]
+    fn summary_ignores_non_finite_samples() {
+        let mut s = Summary::new();
+        s.record(2.0);
+        s.record(f64::NAN);
+        s.record(f64::INFINITY);
+        s.record(f64::NEG_INFINITY);
+        s.record(4.0);
+        assert_eq!(s.count(), 2);
+        assert_eq!(s.mean(), 3.0);
+        assert_eq!(s.min(), Some(2.0));
+        assert_eq!(s.max(), Some(4.0));
+    }
+
+    #[test]
+    fn all_empty_queries_are_total() {
+        // The full empty-distribution contract in one place: no panics,
+        // no NaN — `None` or a documented sentinel everywhere.
+        let h = LatencyHistogram::new();
+        assert_eq!(h.percentile(0.99), None);
+        assert_eq!(h.mean(), Duration::ZERO);
+        assert_eq!(h.max(), Duration::ZERO);
+        assert_eq!(h.fraction_within(Duration::ZERO), 1.0);
+        let s = Summary::new();
+        assert_eq!(s.mean(), 0.0);
+        assert!(s.mean().is_finite());
+        assert_eq!(s.min(), None);
+        assert_eq!(s.max(), None);
     }
 }

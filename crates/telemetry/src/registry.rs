@@ -1,0 +1,541 @@
+//! The metrics registry: counters, gauges, and log-bucketed latency
+//! histograms addressed by static names.
+//!
+//! Instrumented code registers each metric once, keeps the returned
+//! dense-index handle, and records through it — a bounds-checked array
+//! write when the registry is enabled, a single branch when it is not.
+//! Registries from independent shards merge by name, so per-core or
+//! per-stack registries can be folded into one cluster-wide view.
+
+use core::fmt;
+
+use densekv_sim::Duration;
+
+/// Sub-buckets per power-of-two octave of the log histogram. 16 keeps
+/// the worst-case relative quantization error of a bucket bound near
+/// `1/16 ≈ 6%` while the whole histogram stays ≤ `64 × 16` slots.
+const SUBBUCKETS: u64 = 16;
+/// log2(SUBBUCKETS), used to shift values into their sub-bucket.
+const SUBBUCKET_BITS: u32 = 4;
+
+/// Handle to a registered counter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CounterId(usize);
+
+/// Handle to a registered gauge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GaugeId(usize);
+
+/// Handle to a registered latency histogram.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistogramId(usize);
+
+/// A latency distribution in logarithmic buckets.
+///
+/// Unlike [`densekv_sim::stats::LatencyHistogram`], which stores every
+/// sample exactly, this type is constant-size: values land in one of
+/// `16` sub-buckets per power-of-two octave, so percentile queries are
+/// exact to within ~6% of the reported value no matter how many samples
+/// are recorded. Count, sum, min, and max stay exact.
+///
+/// # Examples
+///
+/// ```
+/// use densekv_telemetry::LogHistogram;
+/// use densekv_sim::Duration;
+///
+/// let mut h = LogHistogram::new();
+/// for us in 1..=1000u64 {
+///     h.record(Duration::from_micros(us));
+/// }
+/// let p50 = h.percentile(0.50).unwrap();
+/// let exact = Duration::from_micros(500);
+/// assert!(p50 >= exact && p50.as_secs_f64() < exact.as_secs_f64() * 1.1);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LogHistogram {
+    /// Sample count per bucket, indexed by [`bucket_index`].
+    buckets: Vec<u64>,
+    count: u64,
+    sum_ps: u128,
+    min_ps: u64,
+    max_ps: u64,
+}
+
+/// Values below this map to their own exact bucket (covers every octave
+/// whose sub-bucket width would round to ≤ 1 ps).
+const EXACT_LIMIT: u64 = 2 * SUBBUCKETS;
+/// First octave handled logarithmically.
+const FIRST_LOG_OCTAVE: u32 = SUBBUCKET_BITS + 1;
+
+/// The bucket a picosecond value lands in.
+fn bucket_index(ps: u64) -> usize {
+    if ps < EXACT_LIMIT {
+        return ps as usize;
+    }
+    let octave = 63 - ps.leading_zeros();
+    let sub = (ps >> (octave - SUBBUCKET_BITS)) & (SUBBUCKETS - 1);
+    (EXACT_LIMIT + u64::from(octave - FIRST_LOG_OCTAVE) * SUBBUCKETS + sub) as usize
+}
+
+/// Upper bound (inclusive, in ps) of bucket `index` — the value a
+/// percentile query reports, so quantiles never under-report.
+fn bucket_bound(index: usize) -> u64 {
+    let index = index as u64;
+    if index < EXACT_LIMIT {
+        return index;
+    }
+    let octave = FIRST_LOG_OCTAVE + ((index - EXACT_LIMIT) / SUBBUCKETS) as u32;
+    let sub = (index - EXACT_LIMIT) % SUBBUCKETS;
+    let base = 1u64 << octave;
+    let width = base >> SUBBUCKET_BITS;
+    // Start of the sub-bucket plus its width, minus one to stay inclusive.
+    (base + sub * width) + width - 1
+}
+
+impl LogHistogram {
+    /// Creates an empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        LogHistogram {
+            buckets: Vec::new(),
+            count: 0,
+            sum_ps: 0,
+            min_ps: u64::MAX,
+            max_ps: 0,
+        }
+    }
+
+    /// Records one latency sample. O(1), no allocation once the bucket
+    /// vector has grown to cover the largest value seen.
+    pub fn record(&mut self, d: Duration) {
+        let ps = d.as_ps();
+        let idx = bucket_index(ps);
+        if idx >= self.buckets.len() {
+            self.buckets.resize(idx + 1, 0);
+        }
+        self.buckets[idx] += 1;
+        self.count += 1;
+        self.sum_ps += u128::from(ps);
+        self.min_ps = self.min_ps.min(ps);
+        self.max_ps = self.max_ps.max(ps);
+    }
+
+    /// Number of samples recorded.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Exact mean latency; zero when empty.
+    #[must_use]
+    pub fn mean(&self) -> Duration {
+        if self.count == 0 {
+            Duration::ZERO
+        } else {
+            Duration::from_ps((self.sum_ps / u128::from(self.count)) as u64)
+        }
+    }
+
+    /// Exact smallest sample, or `None` when empty.
+    #[must_use]
+    pub fn min(&self) -> Option<Duration> {
+        (self.count > 0).then(|| Duration::from_ps(self.min_ps))
+    }
+
+    /// Exact largest sample, or `None` when empty.
+    #[must_use]
+    pub fn max(&self) -> Option<Duration> {
+        (self.count > 0).then(|| Duration::from_ps(self.max_ps))
+    }
+
+    /// The latency at quantile `q` (nearest-rank over the buckets),
+    /// reported as the containing bucket's upper bound so the answer
+    /// never under-states the tail. Returns `None` when the histogram is
+    /// empty or `q` is not a finite value in `[0, 1]`.
+    #[must_use]
+    pub fn percentile(&self, q: f64) -> Option<Duration> {
+        if self.count == 0 || !q.is_finite() || !(0.0..=1.0).contains(&q) {
+            return None;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (idx, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return Some(Duration::from_ps(bucket_bound(idx).min(self.max_ps)));
+            }
+        }
+        Some(Duration::from_ps(self.max_ps))
+    }
+
+    /// Fraction of samples whose bucket lies entirely at or below
+    /// `bound` (an SLA query, conservative by at most one bucket).
+    /// Returns `None` when empty.
+    #[must_use]
+    pub fn fraction_within(&self, bound: Duration) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let bound_ps = bound.as_ps();
+        let within: u64 = self
+            .buckets
+            .iter()
+            .enumerate()
+            .filter(|&(idx, _)| bucket_bound(idx) <= bound_ps)
+            .map(|(_, &n)| n)
+            .sum();
+        Some(within as f64 / self.count as f64)
+    }
+
+    /// Merges another histogram into this one (shard fold-in).
+    pub fn merge(&mut self, other: &LogHistogram) {
+        if other.buckets.len() > self.buckets.len() {
+            self.buckets.resize(other.buckets.len(), 0);
+        }
+        for (mine, theirs) in self.buckets.iter_mut().zip(&other.buckets) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+        self.sum_ps += other.sum_ps;
+        self.min_ps = self.min_ps.min(other.min_ps);
+        self.max_ps = self.max_ps.max(other.max_ps);
+    }
+}
+
+impl fmt::Display for LogHistogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} mean={} p50={} p99={} max={}",
+            self.count,
+            self.mean(),
+            self.percentile(0.50).unwrap_or(Duration::ZERO),
+            self.percentile(0.99).unwrap_or(Duration::ZERO),
+            self.max().unwrap_or(Duration::ZERO),
+        )
+    }
+}
+
+/// A registry of named metrics.
+///
+/// Registration interns the static name into a dense index; recording
+/// through the returned handle is an array write. A disabled registry
+/// accepts every call and records nothing, so instrumented code never
+/// branches on "is telemetry on" itself.
+///
+/// # Examples
+///
+/// ```
+/// use densekv_telemetry::MetricsRegistry;
+/// use densekv_sim::Duration;
+///
+/// let mut m = MetricsRegistry::enabled();
+/// let hits = m.counter("kv.hits");
+/// m.inc(hits, 3);
+/// let lat = m.histogram("request.rtt");
+/// m.observe(lat, Duration::from_micros(80));
+/// assert_eq!(m.counter_value(hits), 3);
+/// assert_eq!(m.histogram_value(lat).count(), 1);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    enabled: bool,
+    counters: Vec<(&'static str, u64)>,
+    gauges: Vec<(&'static str, f64)>,
+    histograms: Vec<(&'static str, LogHistogram)>,
+}
+
+impl MetricsRegistry {
+    /// A registry that records.
+    #[must_use]
+    pub fn enabled() -> Self {
+        MetricsRegistry {
+            enabled: true,
+            ..MetricsRegistry::default()
+        }
+    }
+
+    /// A registry that accepts every call and records nothing.
+    #[must_use]
+    pub fn disabled() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// Whether recording is on.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Registers (or re-finds) a counter by name.
+    pub fn counter(&mut self, name: &'static str) -> CounterId {
+        if let Some(idx) = self.counters.iter().position(|&(n, _)| n == name) {
+            return CounterId(idx);
+        }
+        self.counters.push((name, 0));
+        CounterId(self.counters.len() - 1)
+    }
+
+    /// Registers (or re-finds) a gauge by name.
+    pub fn gauge(&mut self, name: &'static str) -> GaugeId {
+        if let Some(idx) = self.gauges.iter().position(|&(n, _)| n == name) {
+            return GaugeId(idx);
+        }
+        self.gauges.push((name, 0.0));
+        GaugeId(self.gauges.len() - 1)
+    }
+
+    /// Registers (or re-finds) a latency histogram by name.
+    pub fn histogram(&mut self, name: &'static str) -> HistogramId {
+        if let Some(idx) = self.histograms.iter().position(|(n, _)| *n == name) {
+            return HistogramId(idx);
+        }
+        self.histograms.push((name, LogHistogram::new()));
+        HistogramId(self.histograms.len() - 1)
+    }
+
+    /// Adds `n` to a counter.
+    #[inline]
+    pub fn inc(&mut self, id: CounterId, n: u64) {
+        if self.enabled {
+            self.counters[id.0].1 += n;
+        }
+    }
+
+    /// Sets a gauge's current value.
+    #[inline]
+    pub fn set(&mut self, id: GaugeId, value: f64) {
+        if self.enabled {
+            self.gauges[id.0].1 = value;
+        }
+    }
+
+    /// Records one latency sample into a histogram.
+    #[inline]
+    pub fn observe(&mut self, id: HistogramId, d: Duration) {
+        if self.enabled {
+            self.histograms[id.0].1.record(d);
+        }
+    }
+
+    /// Current value of a counter.
+    #[must_use]
+    pub fn counter_value(&self, id: CounterId) -> u64 {
+        self.counters[id.0].1
+    }
+
+    /// Current value of a gauge.
+    #[must_use]
+    pub fn gauge_value(&self, id: GaugeId) -> f64 {
+        self.gauges[id.0].1
+    }
+
+    /// The histogram behind a handle.
+    #[must_use]
+    pub fn histogram_value(&self, id: HistogramId) -> &LogHistogram {
+        &self.histograms[id.0].1
+    }
+
+    /// Looks a counter up by name (for reports and tests).
+    #[must_use]
+    pub fn counter_by_name(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|&&(n, _)| n == name)
+            .map(|&(_, v)| v)
+    }
+
+    /// Looks a gauge up by name.
+    #[must_use]
+    pub fn gauge_by_name(&self, name: &str) -> Option<f64> {
+        self.gauges
+            .iter()
+            .find(|&&(n, _)| n == name)
+            .map(|&(_, v)| v)
+    }
+
+    /// Looks a histogram up by name.
+    #[must_use]
+    pub fn histogram_by_name(&self, name: &str) -> Option<&LogHistogram> {
+        self.histograms
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, h)| h)
+    }
+
+    /// Folds another registry (e.g. a per-shard one) into this one:
+    /// counters add, gauges take the other's latest value, histograms
+    /// merge. Metrics are matched by name; names only the other registry
+    /// knows are created here.
+    pub fn merge(&mut self, other: &MetricsRegistry) {
+        for &(name, v) in &other.counters {
+            let id = self.counter(name);
+            self.counters[id.0].1 += v;
+        }
+        for &(name, v) in &other.gauges {
+            let id = self.gauge(name);
+            self.gauges[id.0].1 = v;
+        }
+        for (name, h) in &other.histograms {
+            let id = self.histogram(name);
+            self.histograms[id.0].1.merge(h);
+        }
+    }
+
+    /// Renders every metric as an aligned text block, in registration
+    /// order (deterministic).
+    #[must_use]
+    pub fn summary(&self) -> String {
+        let mut out = String::new();
+        for &(name, v) in &self.counters {
+            out.push_str(&format!("{name:<32} {v}\n"));
+        }
+        for &(name, v) in &self.gauges {
+            out.push_str(&format!("{name:<32} {v:.4}\n"));
+        }
+        for (name, h) in &self.histograms {
+            out.push_str(&format!("{name:<32} {h}\n"));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_bounds_are_monotonic_and_contain_their_values() {
+        let mut prev = 0;
+        for idx in 0..SUBBUCKETS as usize * 40 {
+            let bound = bucket_bound(idx);
+            assert!(bound >= prev, "bounds must not decrease at {idx}");
+            prev = bound;
+        }
+        for ps in [0u64, 1, 15, 16, 17, 1000, 65_535, 1 << 40, u64::MAX / 2] {
+            let bound = bucket_bound(bucket_index(ps));
+            assert!(bound >= ps, "bound {bound} must cover {ps}");
+            // Within ~1/16 relative error for values above one octave.
+            if ps > SUBBUCKETS {
+                assert!((bound - ps) as f64 <= ps as f64 / 8.0, "{ps} -> {bound}");
+            }
+        }
+    }
+
+    #[test]
+    fn percentiles_track_exact_within_bucket_error() {
+        let mut h = LogHistogram::new();
+        for us in 1..=10_000u64 {
+            h.record(Duration::from_micros(us));
+        }
+        for (q, exact_us) in [(0.5, 5_000u64), (0.9, 9_000), (0.99, 9_900)] {
+            let got = h.percentile(q).unwrap().as_micros_f64();
+            let exact = exact_us as f64;
+            assert!(got >= exact, "p{q} must not under-report: {got} < {exact}");
+            assert!(got <= exact * 1.1, "p{q} too coarse: {got} vs {exact}");
+        }
+        assert_eq!(h.min(), Some(Duration::from_micros(1)));
+        assert_eq!(h.max(), Some(Duration::from_micros(10_000)));
+        assert_eq!(h.mean(), Duration::from_ps(5_000_500_000));
+    }
+
+    #[test]
+    fn empty_histogram_is_all_none() {
+        let h = LogHistogram::new();
+        assert_eq!(h.percentile(0.5), None);
+        assert_eq!(h.fraction_within(Duration::from_secs(1)), None);
+        assert_eq!(h.min(), None);
+        assert_eq!(h.max(), None);
+        assert_eq!(h.mean(), Duration::ZERO);
+    }
+
+    #[test]
+    fn invalid_quantiles_return_none() {
+        let mut h = LogHistogram::new();
+        h.record(Duration::from_micros(5));
+        assert_eq!(h.percentile(-0.1), None);
+        assert_eq!(h.percentile(1.5), None);
+        assert_eq!(h.percentile(f64::NAN), None);
+        assert!(h.percentile(1.0).is_some());
+    }
+
+    #[test]
+    fn fraction_within_is_conservative() {
+        let mut h = LogHistogram::new();
+        for _ in 0..90 {
+            h.record(Duration::from_micros(100));
+        }
+        for _ in 0..10 {
+            h.record(Duration::from_millis(10));
+        }
+        let f = h.fraction_within(Duration::from_millis(1)).unwrap();
+        assert!((f - 0.9).abs() < 1e-9, "{f}");
+    }
+
+    #[test]
+    fn merge_equals_recording_into_one() {
+        let mut a = LogHistogram::new();
+        let mut b = LogHistogram::new();
+        let mut both = LogHistogram::new();
+        for i in 0..200u64 {
+            let d = Duration::from_nanos(i * 37 + 1);
+            if i % 2 == 0 {
+                a.record(d);
+            } else {
+                b.record(d);
+            }
+            both.record(d);
+        }
+        a.merge(&b);
+        assert_eq!(a, both);
+    }
+
+    #[test]
+    fn registry_roundtrip_and_dedup() {
+        let mut m = MetricsRegistry::enabled();
+        let c1 = m.counter("x");
+        let c2 = m.counter("x");
+        assert_eq!(c1, c2);
+        m.inc(c1, 2);
+        m.inc(c2, 3);
+        assert_eq!(m.counter_value(c1), 5);
+        assert_eq!(m.counter_by_name("x"), Some(5));
+        assert_eq!(m.counter_by_name("y"), None);
+        let g = m.gauge("depth");
+        m.set(g, 7.5);
+        assert_eq!(m.gauge_value(g), 7.5);
+        assert!(m.summary().contains("depth"));
+    }
+
+    #[test]
+    fn disabled_registry_records_nothing() {
+        let mut m = MetricsRegistry::disabled();
+        let c = m.counter("x");
+        let g = m.gauge("g");
+        let h = m.histogram("h");
+        m.inc(c, 10);
+        m.set(g, 1.0);
+        m.observe(h, Duration::from_micros(1));
+        assert!(!m.is_enabled());
+        assert_eq!(m.counter_value(c), 0);
+        assert_eq!(m.gauge_value(g), 0.0);
+        assert_eq!(m.histogram_value(h).count(), 0);
+    }
+
+    #[test]
+    fn registry_merge_by_name() {
+        let mut a = MetricsRegistry::enabled();
+        let ca = a.counter("shared");
+        a.inc(ca, 1);
+        let mut b = MetricsRegistry::enabled();
+        // Register in a different order so the dense indices differ.
+        let hb = b.histogram("lat");
+        b.observe(hb, Duration::from_micros(2));
+        let cb = b.counter("shared");
+        b.inc(cb, 4);
+        a.merge(&b);
+        assert_eq!(a.counter_by_name("shared"), Some(5));
+        assert_eq!(a.histogram_by_name("lat").unwrap().count(), 1);
+    }
+}

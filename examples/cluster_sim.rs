@@ -9,9 +9,12 @@
 use densekv::experiments::cluster::calibrate;
 use densekv::sim::CoreSimConfig;
 use densekv::sweep::SweepEffort;
-use densekv_cluster::{effective_capacity, run, ClusterConfig, FaultPlan};
+use densekv_cluster::{
+    effective_capacity, run, run_with_telemetry, ClusterConfig, FaultPlan, TIMELINE_COLUMNS,
+};
 use densekv_dht::{remapped_fraction, ConsistentHashRing};
 use densekv_sim::{Duration, SimTime};
+use densekv_telemetry::{Telemetry, TelemetryConfig};
 
 fn build(nodes: u32, vnodes: u32) -> ConsistentHashRing {
     let mut ring = ConsistentHashRing::new(vnodes);
@@ -116,20 +119,32 @@ fn main() {
         kill_stacks: vec![0],
     });
     config.timeline_bucket = Duration::from_secs_f64(span / 16.0);
-    let result = run(&config);
+    let mut tele = Telemetry::enabled(TelemetryConfig {
+        sample_every: 2_000,
+        timeline_interval: Duration::from_secs_f64(span / 16.0),
+        timeline_columns: TIMELINE_COLUMNS.to_vec(),
+    });
+    let result = run_with_telemetry(&config, &mut tele);
     let remap = result.remap.as_ref().expect("fault ran");
     println!(
         "\nKilling stack 0 at {} remaps {:.1}% of keys; hit-rate timeline:\n",
         remap.at.elapsed_since(SimTime::ZERO),
         remap.key_fraction_remapped * 100.0
     );
-    for bucket in result.timeline.iter().filter(|b| b.completed() > 0) {
-        let bar = "#".repeat((bucket.hit_rate() * 40.0).round() as usize);
-        println!(
-            "  {:>10}  {:>7.2}%  {bar}",
-            bucket.start.elapsed_since(SimTime::ZERO).to_string(),
-            bucket.hit_rate() * 100.0
-        );
+    print!("{}", result.timeline.render_hit_rate_ascii(40));
+
+    // -----------------------------------------------------------------
+    // Telemetry view of the same run: the registry mirrors the result
+    // struct, and sampled spans decompose shard legs phase by phase.
+    // -----------------------------------------------------------------
+    println!("\nTelemetry summary of the failover run:\n");
+    println!("{}", tele.metrics.summary());
+    if let Some(span) = tele.tracer.spans().iter().find(|s| s.label != "request") {
+        println!("one sampled shard leg ({}):", span.label);
+        for phase in &span.phases {
+            println!("  {:<12} {:>12}", phase.name, phase.duration().to_string());
+        }
+        println!("  {:<12} {:>12}", "= total", span.total().to_string());
     }
 
     println!(

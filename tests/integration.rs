@@ -294,3 +294,45 @@ fn binary_and_text_protocols_agree_on_state() {
     }
     assert_eq!(text_store.len(), binary_store.len());
 }
+
+#[test]
+fn chrome_trace_export_is_stable() {
+    // Golden-file check: the Chrome trace-event JSON for a tiny seeded
+    // cluster run must be byte-stable. If a deliberate change to the
+    // simulator or exporter moves it, regenerate with
+    // `BLESS=1 cargo test -p densekv --test integration chrome_trace`.
+    use densekv_cluster::{run_with_telemetry, ClusterConfig, ServiceProfile, TIMELINE_COLUMNS};
+    use densekv_sim::Duration;
+    use densekv_telemetry::{validate_json, Telemetry, TelemetryConfig};
+
+    let mut config = ClusterConfig::new(ServiceProfile::synthetic(), 200_000.0);
+    config.requests = 40;
+    config.warmup = 10;
+    config.seed = 7;
+    let mut tele = Telemetry::enabled(TelemetryConfig {
+        sample_every: 10,
+        timeline_interval: Duration::from_micros(250),
+        timeline_columns: TIMELINE_COLUMNS.to_vec(),
+    });
+    run_with_telemetry(&config, &mut tele);
+    let json = tele.tracer.to_chrome_json();
+    validate_json(&json).expect("exported trace is valid JSON");
+    assert!(
+        !tele.tracer.spans().is_empty(),
+        "tiny run still samples spans"
+    );
+
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../tests/golden/cluster_trace.json"
+    );
+    if std::env::var("BLESS").is_ok_and(|v| v != "0") {
+        std::fs::write(path, &json).expect("bless golden file");
+    }
+    let golden = std::fs::read_to_string(path).expect("golden file exists (BLESS=1 to create)");
+    assert_eq!(
+        json, golden,
+        "Chrome trace JSON drifted from tests/golden/cluster_trace.json; \
+         re-bless only if the change is intentional"
+    );
+}

@@ -614,3 +614,64 @@ proptest! {
         prop_assert!(wire.is_empty());
     }
 }
+
+// ---------------------------------------------------------------------
+// Telemetry passivity: observing a run cannot change it
+// ---------------------------------------------------------------------
+
+proptest! {
+    /// A cluster run with telemetry fully enabled is bit-identical to
+    /// the same seeded run with telemetry off — same completion counts,
+    /// same hit/miss split, same latency percentiles — and the metrics
+    /// registry mirrors the result struct rather than diverging from it.
+    #[test]
+    fn telemetry_cannot_change_cluster_results(
+        seed in any::<u64>(),
+        load_pct in 20u64..90,
+        batch in 1u64..4,
+        sample_every in 1u64..64,
+    ) {
+        use densekv_cluster::{
+            effective_capacity, run, run_with_telemetry, ClusterConfig, ClusterWorkload,
+            ServiceProfile, TIMELINE_COLUMNS,
+        };
+        use densekv_telemetry::{Telemetry, TelemetryConfig};
+
+        let mut config = ClusterConfig::new(ServiceProfile::synthetic(), 1.0);
+        config.requests = 600;
+        config.warmup = 100;
+        config.seed = seed;
+        let load = load_pct as f64 / 100.0;
+        config.workload =
+            ClusterWorkload::multigets(load * effective_capacity(&config), batch as u32);
+
+        let dark = run(&config);
+        let mut tele = Telemetry::enabled(TelemetryConfig {
+            sample_every,
+            timeline_interval: Duration::from_micros(250),
+            timeline_columns: TIMELINE_COLUMNS.to_vec(),
+        });
+        let lit = run_with_telemetry(&config, &mut tele);
+
+        prop_assert_eq!(dark.measured, lit.measured);
+        prop_assert_eq!(dark.dropped, lit.dropped);
+        prop_assert_eq!(dark.shard_hits, lit.shard_hits);
+        prop_assert_eq!(dark.shard_misses, lit.shard_misses);
+        for q in [0.0, 0.5, 0.95, 0.99, 1.0] {
+            prop_assert_eq!(dark.latency.percentile(q), lit.latency.percentile(q));
+            prop_assert_eq!(dark.shard_latency.percentile(q), lit.shard_latency.percentile(q));
+        }
+        prop_assert_eq!(
+            tele.metrics.counter_by_name("cluster.requests"),
+            Some(lit.measured)
+        );
+        prop_assert_eq!(
+            tele.metrics.counter_by_name("cluster.shard.hits"),
+            Some(lit.shard_hits)
+        );
+        // Sampled spans are internally consistent: phases tile the span.
+        for span in tele.tracer.spans() {
+            prop_assert_eq!(span.phase_sum(), span.total());
+        }
+    }
+}

@@ -16,13 +16,27 @@ use densekv::report::TextTable;
 /// written.
 pub const RESULTS_DIR: &str = "results";
 
+/// Environment variable that redirects all emitted artifacts to another
+/// directory. Used by tests to avoid clobbering the checked-in
+/// `results/` files; leave it unset to reproduce the canonical
+/// artifacts.
+pub const RESULTS_DIR_ENV: &str = "DENSEKV_RESULTS_DIR";
+
 /// Resolves the results directory, creating it if needed.
+///
+/// Honors [`RESULTS_DIR_ENV`] when set; otherwise defaults to
+/// `results/` under the workspace root.
 ///
 /// # Panics
 ///
 /// Panics if the directory cannot be created.
 #[must_use]
 pub fn results_dir() -> PathBuf {
+    if let Some(dir) = std::env::var_os(RESULTS_DIR_ENV).filter(|d| !d.is_empty()) {
+        let dir = PathBuf::from(dir);
+        std::fs::create_dir_all(&dir).expect("create results dir");
+        return dir;
+    }
     // The binaries run from the workspace root (`cargo run -p ...`), but
     // fall back to the manifest's parent if invoked elsewhere.
     let base = if Path::new("Cargo.toml").exists() {

@@ -1,6 +1,10 @@
 //! CI smoke test for the `trace_run` binary: runs it on the quick
 //! config and validates the emitted artifacts with the in-tree JSON
 //! checker — no external tooling.
+//!
+//! Output goes to a scratch directory via `DENSEKV_RESULTS_DIR` so the
+//! quick-mode run never overwrites the checked-in `results/` artifacts
+//! (those are regenerated only by the full, non-quick `trace_run`).
 
 use std::path::Path;
 use std::process::Command;
@@ -9,15 +13,13 @@ use densekv_telemetry::validate_json;
 
 #[test]
 fn trace_run_emits_a_valid_trace_with_complete_spans() {
-    let workspace_root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let results = Path::new(env!("CARGO_TARGET_TMPDIR")).join("trace_smoke_results");
     let status = Command::new(env!("CARGO_BIN_EXE_trace_run"))
-        .current_dir(&workspace_root)
         .env("DENSEKV_QUICK", "1")
+        .env(densekv_bench::RESULTS_DIR_ENV, &results)
         .status()
         .expect("trace_run starts");
     assert!(status.success(), "trace_run exits cleanly");
-
-    let results = workspace_root.join("results");
     let chrome = std::fs::read_to_string(results.join("trace_sample.json"))
         .expect("trace_sample.json emitted");
     validate_json(&chrome).expect("trace JSON parses");

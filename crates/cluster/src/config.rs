@@ -2,6 +2,7 @@
 //! per-core service model, the client population, and an optional
 //! fault-injection plan.
 
+use densekv_energy::EnergyRates;
 use densekv_sim::{Duration, SimTime};
 
 /// Per-core service timings, calibrated externally (the `densekv` core
@@ -121,6 +122,68 @@ impl ClusterWorkload {
     }
 }
 
+/// Energy rates for a cluster run, mirroring the [`ServiceProfile`]
+/// philosophy: the core crate calibrates these from its execution-driven
+/// energy accounting, tests use round numbers.
+///
+/// The attribution follows the workspace's Table 1 model: a live stack
+/// is constant draw ([`ClusterEnergyModel::stack_static_w`], covering
+/// cores, L2 leakage, MAC, and PHY share), while per-operation joules
+/// cover only *activity* energy (memory-device bytes) so the two never
+/// double count. A dead stack stops drawing from its death instant —
+/// which is what makes failover power transients visible on the run's
+/// power timeline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterEnergyModel {
+    /// Constant draw of one live stack, watts.
+    pub stack_static_w: f64,
+    /// Activity joules of a shard GET that hits (value bytes through the
+    /// memory device).
+    pub hit_j: f64,
+    /// Activity joules of a shard GET that misses (metadata walk only).
+    pub miss_j: f64,
+    /// Activity joules of a read-through fill re-warming a key.
+    pub fill_j: f64,
+    /// Bucket width of the run's power timeline.
+    pub timeline_bucket: Duration,
+}
+
+impl ClusterEnergyModel {
+    /// Builds a model from per-stack [`EnergyRates`] and the memory
+    /// bytes each operation class moves at the device.
+    pub fn from_rates(
+        rates: &EnergyRates,
+        cores_per_stack: u32,
+        hit_bytes: u64,
+        miss_bytes: u64,
+        fill_bytes: u64,
+        timeline_bucket: Duration,
+    ) -> Self {
+        let per_byte = rates.mem_j_per_byte();
+        ClusterEnergyModel {
+            stack_static_w: rates.stack_static_w(cores_per_stack),
+            hit_j: per_byte * hit_bytes as f64,
+            miss_j: per_byte * miss_bytes as f64,
+            fill_j: per_byte * fill_bytes as f64,
+            timeline_bucket,
+        }
+    }
+
+    /// The headline Mercury-A7 stack with `cores_per_stack` cores:
+    /// Table 1 static rates, ~1 KB of DRAM traffic per hit and per fill,
+    /// a metadata-only miss, 1 ms power buckets.
+    pub fn mercury_a7(cores_per_stack: u32) -> Self {
+        ClusterEnergyModel::from_rates(
+            &EnergyRates::mercury_a7(true),
+            cores_per_stack,
+            1024,
+            128,
+            1024,
+            Duration::from_millis(1),
+        )
+    }
+}
+
 /// Kill a set of stacks at a scheduled simulated time.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FaultPlan {
@@ -150,6 +213,13 @@ pub struct ClusterConfig {
     pub fault: Option<FaultPlan>,
     /// Width of the recovery-timeline buckets.
     pub timeline_bucket: Duration,
+    /// Optional energy accounting. `None` (the default) skips all energy
+    /// bookkeeping; `Some` fills [`ClusterResult::energy`] without
+    /// changing any performance output (enforced by the workspace
+    /// passivity proptests).
+    ///
+    /// [`ClusterResult::energy`]: crate::ClusterResult
+    pub energy: Option<ClusterEnergyModel>,
 }
 
 impl ClusterConfig {
@@ -169,6 +239,7 @@ impl ClusterConfig {
             seed: 0xC1_05_7E_12,
             fault: None,
             timeline_bucket: Duration::from_millis(5),
+            energy: None,
         }
     }
 

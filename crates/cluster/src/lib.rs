@@ -40,9 +40,11 @@
 mod config;
 mod run;
 
-pub use config::{ClusterConfig, ClusterTopology, ClusterWorkload, FaultPlan, ServiceProfile};
+pub use config::{
+    ClusterConfig, ClusterEnergyModel, ClusterTopology, ClusterWorkload, FaultPlan, ServiceProfile,
+};
 pub use densekv_telemetry::{BucketedTimeline, TimelineBucket};
 pub use run::{
-    effective_capacity, hot_core_share, run, run_with_telemetry, ClusterResult, RemapEvent,
-    TIMELINE_COLUMNS,
+    effective_capacity, hot_core_share, run, run_with_telemetry, ClusterEnergy, ClusterResult,
+    RemapEvent, StackEnergy, TIMELINE_COLUMNS,
 };

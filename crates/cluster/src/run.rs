@@ -24,6 +24,7 @@
 //! results, which the workspace property tests enforce.
 
 use densekv_dht::ConsistentHashRing;
+use densekv_energy::PowerTimeline;
 use densekv_net::PortMeter;
 use densekv_sim::dist::{Exponential, Zipf};
 use densekv_sim::stats::LatencyHistogram;
@@ -43,6 +44,8 @@ pub const TIMELINE_COLUMNS: &[&str] = &[
     "hit_rate",
     "max_ingress_util",
     "max_egress_util",
+    "cluster_watts",
+    "live_stacks",
 ];
 
 /// Events driving the cluster simulation.
@@ -67,6 +70,61 @@ pub struct RemapEvent {
     /// computed over every key, so tests can compare it against the
     /// sampled [`densekv_dht::remapped_fraction`].
     pub key_fraction_remapped: f64,
+}
+
+/// Energy accounting of one stack over a run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StackEnergy {
+    /// Constant-draw joules while the stack was alive.
+    pub static_j: f64,
+    /// Activity joules (per-operation memory traffic).
+    pub dynamic_j: f64,
+    /// How long the stack drew power (until its death or the end of the
+    /// run, whichever came first).
+    pub alive: Duration,
+}
+
+impl StackEnergy {
+    /// Total joules this stack consumed.
+    #[must_use]
+    pub fn total_j(&self) -> f64 {
+        self.static_j + self.dynamic_j
+    }
+}
+
+/// Cluster-wide energy accounting, filled when the configuration
+/// carries a [`ClusterEnergyModel`](crate::config::ClusterEnergyModel).
+#[derive(Debug, Clone)]
+pub struct ClusterEnergy {
+    /// Per-stack joules, indexed by stack id.
+    pub per_stack: Vec<StackEnergy>,
+    /// Cluster watts vs sim-time (static spans stop at each stack's
+    /// death, which is where the failover power transient shows up).
+    pub timeline: PowerTimeline,
+}
+
+impl ClusterEnergy {
+    /// Total cluster joules.
+    #[must_use]
+    pub fn total_j(&self) -> f64 {
+        self.per_stack.iter().map(StackEnergy::total_j).sum()
+    }
+
+    /// Peak bucket power on the timeline, watts.
+    #[must_use]
+    pub fn peak_watts(&self) -> f64 {
+        self.timeline.peak_watts()
+    }
+
+    /// Mean joules per completed logical request.
+    #[must_use]
+    pub fn j_per_op(&self, measured: u64) -> f64 {
+        if measured > 0 {
+            self.total_j() / measured as f64
+        } else {
+            0.0
+        }
+    }
 }
 
 /// Result of a cluster run.
@@ -98,6 +156,9 @@ pub struct ClusterResult {
     pub egress: Vec<PortMeter>,
     /// Fault outcome, when a [`FaultPlan`](crate::FaultPlan) ran.
     pub remap: Option<RemapEvent>,
+    /// Energy accounting, when the configuration carries a
+    /// [`ClusterEnergyModel`](crate::config::ClusterEnergyModel).
+    pub energy: Option<ClusterEnergy>,
 }
 
 impl ClusterResult {
@@ -258,6 +319,18 @@ pub fn run_with_telemetry(config: &ClusterConfig, tele: &mut Telemetry) -> Clust
     let mut ingress = vec![PortMeter::new(); topo.stacks as usize];
     let mut egress = vec![PortMeter::new(); topo.stacks as usize];
 
+    // Energy accounting (when configured) is derived purely from event
+    // data the engine already computes, so it can never perturb the
+    // simulation itself.
+    let energy_model = config.energy.clone();
+    let mut dynamic_j = vec![0.0f64; topo.stacks as usize];
+    let mut power_tl = match &energy_model {
+        Some(m) => PowerTimeline::enabled(m.timeline_bucket),
+        None => PowerTimeline::disabled(),
+    };
+    let mut stack_death: Vec<Option<SimTime>> = vec![None; topo.stacks as usize];
+    let mut live_stacks = topo.stacks;
+
     let arrivals = Exponential::from_rate_per_sec(config.workload.rate_per_sec);
     let zipf = Zipf::new(population as usize, config.workload.zipf_alpha);
     let mut rng = SplitMix64::new(config.seed);
@@ -310,6 +383,13 @@ pub fn run_with_telemetry(config: &ClusterConfig, tele: &mut Telemetry) -> Clust
                     nodes_removed,
                     key_fraction_remapped: moved as f64 / population as f64,
                 });
+                // Dead stacks stop drawing power from this instant.
+                for &stack in &fault.kill_stacks {
+                    if stack_death[stack as usize].is_none() {
+                        stack_death[stack as usize] = Some(now);
+                        live_stacks -= 1;
+                    }
+                }
             }
             Event::Arrival { seq } => {
                 if seq + 1 < total_requests {
@@ -366,6 +446,18 @@ pub fn run_with_telemetry(config: &ClusterConfig, tele: &mut Telemetry) -> Clust
                     state.stack_out_free[stack] = out_start + profile.resp_wire;
                     let at_client = state.stack_out_free[stack] + profile.link_delay;
                     egress[stack].record_send(profile.resp_wire);
+
+                    if let Some(m) = &energy_model {
+                        let op_j = if hit { m.hit_j } else { m.miss_j };
+                        dynamic_j[stack] += op_j;
+                        power_tl.deposit(svc_end, op_j);
+                        if !hit {
+                            // The read-through fill burns memory energy
+                            // while the core re-warms the key.
+                            dynamic_j[stack] += m.fill_j;
+                            power_tl.deposit(busy_until, m.fill_j);
+                        }
+                    }
 
                     if traced {
                         let mut b = SpanBuilder::new(
@@ -455,6 +547,22 @@ pub fn run_with_telemetry(config: &ClusterConfig, tele: &mut Telemetry) -> Clust
             tele.sampler.set(1, hit_rate);
             tele.sampler.set(2, max_util(&ingress));
             tele.sampler.set(3, max_util(&egress));
+            if tele.sampler.columns().len() >= 6 {
+                // Cluster power gauge: live static draw plus the run's
+                // mean dynamic power so far. Zero without an energy
+                // model; the static term drops stepwise at stack death.
+                let watts = energy_model.as_ref().map_or(0.0, |m| {
+                    let secs = now.elapsed_since(SimTime::ZERO).as_secs_f64();
+                    let dyn_w = if secs > 0.0 {
+                        dynamic_j.iter().sum::<f64>() / secs
+                    } else {
+                        0.0
+                    };
+                    f64::from(live_stacks) * m.stack_static_w + dyn_w
+                });
+                tele.sampler.set(4, watts);
+                tele.sampler.set(5, f64::from(live_stacks));
+            }
         }
     }
     tele.sampler.finish(sim_end);
@@ -481,6 +589,27 @@ pub fn run_with_telemetry(config: &ClusterConfig, tele: &mut Telemetry) -> Clust
         .fold(0.0f64, f64::max)
         .min(1.0);
 
+    // Settle the static power spans: every stack draws its constant
+    // watts from the epoch until its death or the end of the run.
+    let energy = energy_model.map(|m| {
+        let per_stack: Vec<StackEnergy> = (0..topo.stacks as usize)
+            .map(|s| {
+                let alive_until = stack_death[s].map_or(sim_end, |d| d.min(sim_end));
+                let alive = alive_until.elapsed_since(SimTime::ZERO);
+                power_tl.deposit_span(SimTime::ZERO, alive_until, m.stack_static_w);
+                StackEnergy {
+                    static_j: m.stack_static_w * alive.as_secs_f64(),
+                    dynamic_j: dynamic_j[s],
+                    alive,
+                }
+            })
+            .collect();
+        ClusterEnergy {
+            per_stack,
+            timeline: power_tl,
+        }
+    });
+
     ClusterResult {
         latency,
         shard_latency,
@@ -495,6 +624,7 @@ pub fn run_with_telemetry(config: &ClusterConfig, tele: &mut Telemetry) -> Clust
         ingress,
         egress,
         remap,
+        energy,
     }
 }
 
@@ -735,5 +865,108 @@ mod tests {
             kill_stacks: vec![99],
         });
         run(&config);
+    }
+
+    #[test]
+    fn energy_accounting_is_off_by_default() {
+        let result = run(&quick(0.3));
+        assert!(result.energy.is_none());
+    }
+
+    #[test]
+    fn energy_accounting_populates_and_balances() {
+        let mut config = quick(0.3);
+        let model = crate::config::ClusterEnergyModel::mercury_a7(config.topology.cores_per_stack);
+        config.energy = Some(model.clone());
+        let result = run(&config);
+
+        let energy = result.energy.as_ref().expect("energy model configured");
+        assert_eq!(energy.per_stack.len(), config.topology.stacks as usize);
+        assert!(energy.total_j() > 0.0);
+        assert!(energy.j_per_op(result.measured) > 0.0);
+        assert!(energy.peak_watts() > 0.0);
+        assert!(!energy.timeline.is_empty());
+
+        // No fault: every stack draws static power for the whole run, and
+        // hits dominate so dynamic energy is hits × hit_j exactly.
+        let elapsed = energy.per_stack[0].alive;
+        for stack in &energy.per_stack {
+            assert_eq!(stack.alive, elapsed);
+            assert!((stack.static_j - model.stack_static_w * elapsed.as_secs_f64()).abs() < 1e-12);
+        }
+        // Dynamic energy covers every shard leg — warmup included, just
+        // like static power — and a fault-free warm run never misses.
+        assert_eq!(result.shard_misses, 0);
+        let legs = u64::from(config.warmup) + result.shard_hits;
+        let dynamic: f64 = energy.per_stack.iter().map(|s| s.dynamic_j).sum();
+        let expected = legs as f64 * model.hit_j;
+        assert!(
+            (dynamic - expected).abs() < 1e-9 * expected.max(1.0),
+            "dynamic {dynamic} vs expected {expected}"
+        );
+
+        // The timeline integrates to the same total joules (span deposits
+        // plus event deposits; events can only land inside the run).
+        let ratio = energy.timeline.total_j() / energy.total_j();
+        assert!((ratio - 1.0).abs() < 1e-6, "timeline/total ratio {ratio}");
+    }
+
+    #[test]
+    fn energy_accounting_is_passive() {
+        let mut config = quick(0.4);
+        let baseline = run(&config);
+        config.energy = Some(crate::config::ClusterEnergyModel::mercury_a7(
+            config.topology.cores_per_stack,
+        ));
+        let metered = run(&config);
+        assert_eq!(baseline.measured, metered.measured);
+        assert_eq!(baseline.shard_hits, metered.shard_hits);
+        assert_eq!(baseline.shard_misses, metered.shard_misses);
+        assert_eq!(
+            baseline.latency.percentile(0.999),
+            metered.latency.percentile(0.999)
+        );
+        assert_eq!(baseline.throughput_tps, metered.throughput_tps);
+    }
+
+    #[test]
+    fn failover_shows_power_transient() {
+        let mut config = failover_config();
+        config.energy = Some(crate::config::ClusterEnergyModel::mercury_a7(
+            config.topology.cores_per_stack,
+        ));
+        let result = run(&config);
+        let energy = result.energy.as_ref().unwrap();
+        let fault_at = config.fault.as_ref().unwrap().at;
+
+        // Dead stacks stopped drawing at the fault; survivors ran longer.
+        for dead in [0usize, 1] {
+            assert_eq!(
+                energy.per_stack[dead].alive,
+                fault_at.elapsed_since(SimTime::ZERO)
+            );
+        }
+        for live in 2..energy.per_stack.len() {
+            assert!(energy.per_stack[live].alive > energy.per_stack[0].alive);
+            assert!(energy.per_stack[live].static_j > energy.per_stack[0].static_j);
+        }
+
+        // The power timeline shows the step down: mean watts after the
+        // fault sit clearly below mean watts before it (6 of 8 stacks).
+        let tl = &energy.timeline;
+        let bucket_s = tl.bucket_width().as_secs_f64();
+        let fault_bucket =
+            (fault_at.elapsed_since(SimTime::ZERO).as_secs_f64() / bucket_s) as usize;
+        assert!(fault_bucket > 0 && fault_bucket + 1 < tl.len());
+        let mean = |range: std::ops::Range<usize>| {
+            let n = range.len().max(1) as f64;
+            range.map(|i| tl.watts(i)).sum::<f64>() / n
+        };
+        let before = mean(0..fault_bucket);
+        let after = mean(fault_bucket + 1..tl.len());
+        assert!(
+            after < before * 0.85,
+            "failover should drop cluster power: before {before} W, after {after} W"
+        );
     }
 }

@@ -1,0 +1,617 @@
+//! Event-driven energy accounting for [`CoreSim`] runs: per-request
+//! [`EnergyBreakdown`]s mirroring [`PhaseBreakdown`], a component-tagged
+//! [`EnergyMeter`], watts gauges in the telemetry sampler, and a
+//! [`PowerTimeline`] — plus the *measured* TPS/Watt those add up to.
+//!
+//! Like [`crate::observe`], this layer is strictly passive: it reads the
+//! core's counters and the request's phase durations after the fact and
+//! does arithmetic on them. An [`EnergyObserver`] over a disabled meter
+//! performs no accounting at all, and neither mode can change a
+//! simulation's performance outputs (enforced by the workspace property
+//! tests).
+//!
+//! # Attribution
+//!
+//! The Table 1 model charges cores, MAC, PHY, and L2 leakage as constant
+//! draw, so a request's *time-proportional* energy is its RTT times the
+//! one-core stack's static watts; the per-phase rows of an
+//! [`EnergyBreakdown`] split that by the same phase boundaries
+//! [`PhaseBreakdown::phases`] reports. Activity-proportional energy —
+//! memory-device bytes at Table 1's pJ/byte and per-access cache energy
+//! carved out of the core budget — cannot be pinned to a single phase
+//! (a GET's value bytes move during `value-copy` *and* the store walk),
+//! so it is reported per request in [`EnergyBreakdown::memory_j`] and
+//! the cache fields. Integrated over a run, the meter reproduces the
+//! analytic §5.4 `stack_power()` at the observed bandwidth; the
+//! `energy_converges_to_stack_power` test holds this to 1 %.
+
+use densekv_energy::{Component, EnergyMeter, EnergyRates, PowerTimeline};
+use densekv_sim::stats::LatencyHistogram;
+use densekv_sim::{Duration, SimTime};
+use densekv_stack::power::energy_rates;
+use densekv_telemetry::Telemetry;
+use densekv_workload::Request;
+
+use crate::observe::CoreObserver;
+use crate::sim::{CoreSim, PhaseBreakdown, RequestTiming};
+
+/// Gauge columns an [`EnergyObserver`] keeps current when the bundle's
+/// sampler carries them (matched by name, so they compose with
+/// [`crate::observe::CORE_TIMELINE_COLUMNS`] in one sampler):
+/// `watts` is the last request's energy over its RTT, `mean_watts` the
+/// run's accumulated joules over elapsed sim-time.
+pub const ENERGY_TIMELINE_COLUMNS: &[&str] = &["watts", "mean_watts"];
+
+/// One request's round trip priced in joules — [`PhaseBreakdown`]'s
+/// energy mirror.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct EnergyBreakdown {
+    /// Time-proportional joules per phase, in [`PhaseBreakdown::phases`]
+    /// order (phase duration × the stack's static watts).
+    pub phase_j: [f64; 11],
+    /// Memory-device bytes this request moved, priced at Table 1's
+    /// pJ/byte (whole-request: value copies and store walks both move
+    /// device lines).
+    pub memory_j: f64,
+    /// L1 I+D access energy (already included in the phase rows' core
+    /// budget; reported for attribution, see [`EnergyMeter::attribute_cache`]).
+    pub cache_l1_j: f64,
+    /// L2 access energy (likewise carved out of the core budget).
+    pub cache_l2_j: f64,
+}
+
+impl EnergyBreakdown {
+    /// `(phase, joules)` rows in wire order, named like
+    /// [`PhaseBreakdown::phases`].
+    #[must_use]
+    pub fn phases(&self) -> [(&'static str, f64); 11] {
+        let names = PhaseBreakdown::default().phases();
+        let mut rows = [("", 0.0); 11];
+        for (i, row) in rows.iter_mut().enumerate() {
+            *row = (names[i].0, self.phase_j[i]);
+        }
+        rows
+    }
+
+    /// Total joules charged for the request: the time-proportional phase
+    /// energy plus the activity-proportional memory energy. Cache energy
+    /// is *not* added — it lives inside the phase rows' core budget.
+    #[must_use]
+    pub fn total_j(&self) -> f64 {
+        self.phase_j.iter().sum::<f64>() + self.memory_j
+    }
+
+    /// Accumulates another breakdown (for per-op means over a run).
+    pub fn accumulate(&mut self, other: &EnergyBreakdown) {
+        for (mine, theirs) in self.phase_j.iter_mut().zip(other.phase_j.iter()) {
+            *mine += theirs;
+        }
+        self.memory_j += other.memory_j;
+        self.cache_l1_j += other.cache_l1_j;
+        self.cache_l2_j += other.cache_l2_j;
+    }
+
+    /// Every field divided by `n` (turning a run total into a per-op
+    /// mean); `n == 0` returns zeros.
+    #[must_use]
+    pub fn scaled(&self, n: u64) -> EnergyBreakdown {
+        if n == 0 {
+            return EnergyBreakdown::default();
+        }
+        let inv = 1.0 / n as f64;
+        let mut out = *self;
+        out.phase_j.iter_mut().for_each(|j| *j *= inv);
+        out.memory_j *= inv;
+        out.cache_l1_j *= inv;
+        out.cache_l2_j *= inv;
+        out
+    }
+}
+
+/// Charges a [`CoreSim`] run's events to an [`EnergyMeter`], builds
+/// per-request [`EnergyBreakdown`]s, feeds a [`PowerTimeline`], and
+/// keeps the sampler's watts gauges current.
+///
+/// Construct it *after* any preload, so the device-byte and cache
+/// counters it charges deltas of cover only the measured requests.
+#[derive(Debug)]
+pub struct EnergyObserver {
+    rates: EnergyRates,
+    meter: EnergyMeter,
+    timeline: PowerTimeline,
+    clock: SimTime,
+    accumulated: EnergyBreakdown,
+    requests: u64,
+    last_device_bytes: u64,
+    last_l1_accesses: u64,
+    last_l2_accesses: u64,
+    watts_col: Option<usize>,
+    mean_watts_col: Option<usize>,
+}
+
+impl EnergyObserver {
+    /// An observer charging to an enabled meter, with a power timeline
+    /// of `bucket`-wide buckets.
+    pub fn new(core: &CoreSim, bucket: Duration) -> Self {
+        Self::with_meter(core, EnergyMeter::enabled(), PowerTimeline::enabled(bucket))
+    }
+
+    /// An observer whose meter and timeline ignore every charge — the
+    /// "metering off" arm of the passivity property.
+    pub fn off(core: &CoreSim) -> Self {
+        Self::with_meter(core, EnergyMeter::disabled(), PowerTimeline::disabled())
+    }
+
+    fn with_meter(core: &CoreSim, meter: EnergyMeter, timeline: PowerTimeline) -> Self {
+        let stack = core
+            .config()
+            .stack_config()
+            .expect("a running CoreSim always has a valid one-core stack config");
+        let cache = core.cache_stats();
+        EnergyObserver {
+            rates: energy_rates(&stack),
+            meter,
+            timeline,
+            clock: SimTime::ZERO,
+            accumulated: EnergyBreakdown::default(),
+            requests: 0,
+            last_device_bytes: core.device_bytes(),
+            last_l1_accesses: cache.l1_accesses(),
+            last_l2_accesses: cache.l2_accesses(),
+            watts_col: None,
+            mean_watts_col: None,
+        }
+    }
+
+    /// Resolves which sampler columns (if any) this observer should keep
+    /// current, by name. Call once before the run when sharing a sampler
+    /// with other observers.
+    pub fn bind_sampler(&mut self, tele: &Telemetry) {
+        let find = |name: &str| tele.sampler.columns().iter().position(|c| *c == name);
+        self.watts_col = find("watts");
+        self.mean_watts_col = find("mean_watts");
+    }
+
+    /// The rate constants in use (derived from the core's stack config).
+    pub fn rates(&self) -> &EnergyRates {
+        &self.rates
+    }
+
+    /// Prices the request `core` just executed and charges the meter.
+    ///
+    /// `timing`/`breakdown` must come from the execution immediately
+    /// preceding this call (the observer diffs the core's cumulative
+    /// device-byte and cache counters).
+    pub fn observe(
+        &mut self,
+        tele: &mut Telemetry,
+        core: &CoreSim,
+        timing: &RequestTiming,
+        breakdown: &PhaseBreakdown,
+    ) -> EnergyBreakdown {
+        let start = self.clock;
+        let end = start + timing.rtt;
+        self.clock = end;
+        self.requests += 1;
+        if !self.meter.is_enabled() {
+            return EnergyBreakdown::default();
+        }
+
+        // Time-proportional charges: the whole RTT draws the static
+        // rates, attributed by what the hardware was doing.
+        let rtt = timing.rtt;
+        let active = breakdown.server();
+        let idle = rtt - active;
+        let mac_active = breakdown.req_nic + breakdown.resp_nic;
+        let mac_idle = rtt - mac_active;
+        self.meter
+            .charge_mw_for(Component::CoreActive, self.rates.core_active_mw, active);
+        self.meter
+            .charge_mw_for(Component::CoreIdle, self.rates.core_idle_mw, idle);
+        self.meter
+            .charge_mw_for(Component::MacActive, self.rates.mac_mw, mac_active);
+        self.meter
+            .charge_mw_for(Component::MacIdle, self.rates.mac_mw, mac_idle);
+        self.meter
+            .charge_mw_for(Component::Phy, self.rates.phy_mw, rtt);
+        self.meter
+            .charge_mw_for(Component::L2Leak, self.rates.l2_leak_mw_per_core, rtt);
+
+        // Activity-proportional charges: device bytes and cache accesses
+        // since the previous request.
+        let device_bytes = core.device_bytes();
+        let moved = device_bytes.saturating_sub(self.last_device_bytes);
+        self.last_device_bytes = device_bytes;
+        self.meter.charge_bytes(&self.rates, moved);
+
+        let cache = core.cache_stats();
+        let (l1, l2) = (cache.l1_accesses(), cache.l2_accesses());
+        let dl1 = l1.saturating_sub(self.last_l1_accesses);
+        let dl2 = l2.saturating_sub(self.last_l2_accesses);
+        self.last_l1_accesses = l1;
+        self.last_l2_accesses = l2;
+        self.meter.attribute_cache(&self.rates, dl1, dl2);
+
+        // Per-request breakdown: static watts over each phase, memory
+        // and cache reported per request.
+        let static_w = self.rates.stack_static_w(1);
+        let mut out = EnergyBreakdown {
+            memory_j: self.rates.mem_j_per_byte() * moved as f64,
+            cache_l1_j: self.rates.l1_pj_per_access * 1e-12 * dl1 as f64,
+            cache_l2_j: self.rates.l2_pj_per_access * 1e-12 * dl2 as f64,
+            ..EnergyBreakdown::default()
+        };
+        for (i, (_, d)) in breakdown.phases().iter().enumerate() {
+            out.phase_j[i] = static_w * d.as_secs_f64();
+        }
+        self.accumulated.accumulate(&out);
+
+        self.timeline.deposit_span(start, end, static_w);
+        self.timeline.deposit(end, out.memory_j);
+
+        if tele.sampler.is_enabled() {
+            if let Some(col) = self.watts_col {
+                tele.sampler.set(
+                    col,
+                    out.total_j() / rtt.as_secs_f64().max(f64::MIN_POSITIVE),
+                );
+            }
+            if let Some(col) = self.mean_watts_col {
+                tele.sampler
+                    .set(col, self.meter.mean_watts(end.elapsed_since(SimTime::ZERO)));
+            }
+        }
+
+        out
+    }
+
+    /// Finishes the run, consuming the observer into its results.
+    #[must_use]
+    pub fn finish(self, latency: LatencyHistogram) -> EnergyRun {
+        EnergyRun {
+            latency,
+            requests: self.requests,
+            elapsed: self.clock.elapsed_since(SimTime::ZERO),
+            per_op: self.accumulated.scaled(self.requests),
+            total: self.accumulated,
+            meter: self.meter,
+            timeline: self.timeline,
+        }
+    }
+}
+
+/// Everything an energy-metered closed-loop run produced.
+#[derive(Debug)]
+pub struct EnergyRun {
+    /// Exact RTT distribution (identical to the unmetered run's).
+    pub latency: LatencyHistogram,
+    /// Requests executed.
+    pub requests: u64,
+    /// Closed-loop elapsed sim-time.
+    pub elapsed: Duration,
+    /// Mean per-op energy breakdown.
+    pub per_op: EnergyBreakdown,
+    /// Run-total energy breakdown.
+    pub total: EnergyBreakdown,
+    /// Component-tagged joule totals.
+    pub meter: EnergyMeter,
+    /// Bucketed watts-vs-time curve.
+    pub timeline: PowerTimeline,
+}
+
+impl EnergyRun {
+    /// Measured closed-loop throughput, TPS.
+    #[must_use]
+    pub fn measured_tps(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs > 0.0 {
+            self.requests as f64 / secs
+        } else {
+            0.0
+        }
+    }
+
+    /// Mean measured power, watts.
+    #[must_use]
+    pub fn measured_watts(&self) -> f64 {
+        self.meter.mean_watts(self.elapsed)
+    }
+
+    /// Mean joules per operation.
+    #[must_use]
+    pub fn j_per_op(&self) -> f64 {
+        if self.requests > 0 {
+            self.meter.total_j() / self.requests as f64
+        } else {
+            0.0
+        }
+    }
+
+    /// Measured efficiency from accumulated energy: `(N/T)/(E/T) = N/E`,
+    /// TPS per watt. This is the run's *observed* counterpart of the
+    /// analytic `tps / stack_power(...).total_w()`.
+    #[must_use]
+    pub fn measured_tps_per_watt(&self) -> f64 {
+        let joules = self.meter.total_j();
+        if joules > 0.0 {
+            self.requests as f64 / joules
+        } else {
+            0.0
+        }
+    }
+
+    /// Observed memory-device bandwidth, GB/s (from the meter's memory
+    /// joules and the device's pJ/byte rate).
+    #[must_use]
+    pub fn observed_mem_gbps(&self, rates: &EnergyRates) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs > 0.0 {
+            let bytes = self.meter.component_j(Component::Memory) / rates.mem_j_per_byte();
+            bytes / secs / 1e9
+        } else {
+            0.0
+        }
+    }
+
+    /// Scales this one-core measured run's throughput up to a
+    /// `cores`-core stack, TPS. `derate` is the wire cap from
+    /// [`densekv_server::stack_working_point`] — the same §5.3
+    /// aggregation the analytic path uses.
+    #[must_use]
+    pub fn measured_stack_tps(&self, cores: u32, derate: f64) -> f64 {
+        f64::from(cores) * self.measured_tps() * derate
+    }
+
+    /// Scales this one-core measured run's integrated power up to a
+    /// `cores`-core stack, component watts — the *measured* counterpart
+    /// of the analytic `stack_power(...).total_w()`.
+    ///
+    /// Per-core components (core, caches, L2 leakage, memory traffic)
+    /// multiply by `cores`; MAC and PHY are shared per stack and count
+    /// once. The wire `derate` scales only the activity-proportional
+    /// memory power — the static draw stays, exactly as in the analytic
+    /// model. Feed the result through `ServerConstraints::wall_power_w`
+    /// when comparing against a [`densekv_server::ServerReport`].
+    #[must_use]
+    pub fn measured_stack_watts(&self, cores: u32, derate: f64) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs <= 0.0 {
+            return 0.0;
+        }
+        let shared_j = self.meter.component_j(Component::MacActive)
+            + self.meter.component_j(Component::MacIdle)
+            + self.meter.component_j(Component::Phy);
+        let memory_j = self.meter.component_j(Component::Memory);
+        let per_core_j = self.meter.total_j() - shared_j - memory_j;
+        (f64::from(cores) * (per_core_j + memory_j * derate) + shared_j) / secs
+    }
+}
+
+/// Measures one (config, size) point with energy metering on: the
+/// energy counterpart of [`crate::sweep::measure_point`]. Preloads and
+/// warms exactly like the performance sweep, then replays GETs through
+/// [`run_energy_observed`], so the returned [`EnergyRun`] covers only
+/// steady-state measured requests.
+pub fn measure_energy_point(
+    config: &crate::sim::CoreSimConfig,
+    value_bytes: u64,
+    effort: crate::sweep::SweepEffort,
+) -> EnergyRun {
+    use densekv_workload::{FixedSizeWorkload, Op, RequestGenerator};
+
+    let population = crate::sweep::population_for(value_bytes);
+    let mut sized = config.clone();
+    sized.store_bytes = sized
+        .store_bytes
+        .max((value_bytes + 4096) * population * 2)
+        .max(16 << 20);
+    let mut core = CoreSim::new(sized).expect("valid configuration");
+    core.preload(value_bytes, population).expect("preload fits");
+
+    let mut gen = FixedSizeWorkload::new(Op::Get, value_bytes, population, 0x5EED ^ value_bytes);
+    for _ in 0..effort.warmup_for(value_bytes) {
+        core.execute(&gen.next_request());
+    }
+    let requests: Vec<Request> = (0..effort.measured_for(value_bytes))
+        .map(|_| gen.next_request())
+        .collect();
+    let mut tele = Telemetry::disabled();
+    run_energy_observed(
+        &mut core,
+        &requests,
+        &mut tele,
+        true,
+        Duration::from_micros(500),
+    )
+}
+
+/// Runs `requests` closed-loop with telemetry *and* energy metering —
+/// the energy counterpart of [`crate::observe::run_observed`], sharing
+/// its [`CoreObserver`] so spans, metrics, and joules come from one
+/// pass. `metered` selects the passivity property's on/off arm.
+pub fn run_energy_observed(
+    core: &mut CoreSim,
+    requests: &[Request],
+    tele: &mut Telemetry,
+    metered: bool,
+    bucket: Duration,
+) -> EnergyRun {
+    let mut energy = if metered {
+        EnergyObserver::new(core, bucket)
+    } else {
+        EnergyObserver::off(core)
+    };
+    energy.bind_sampler(tele);
+    let mut observer = CoreObserver::new(&mut tele.metrics);
+    let mut latency = LatencyHistogram::new();
+    for request in requests {
+        let (timing, breakdown) = core.execute_breakdown(request);
+        energy.observe(tele, core, &timing, &breakdown);
+        let timing = observer.record(tele, core, request, timing, &breakdown);
+        latency.record(timing.rtt);
+    }
+    tele.sampler.finish(observer.now());
+    energy.finish(latency)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::CoreSimConfig;
+    use densekv_stack::power::stack_power;
+    use densekv_telemetry::TelemetryConfig;
+    use densekv_workload::{key_bytes, Op};
+
+    fn requests(n: u64) -> Vec<Request> {
+        (0..n)
+            .map(|i| Request {
+                op: if i % 4 == 3 { Op::Put } else { Op::Get },
+                key: key_bytes(i % 16),
+                value_bytes: 64,
+            })
+            .collect()
+    }
+
+    fn fresh_core(config: CoreSimConfig) -> CoreSim {
+        let mut core = CoreSim::new(config).unwrap();
+        core.preload(64, 16).unwrap();
+        core
+    }
+
+    #[test]
+    fn energy_converges_to_stack_power() {
+        // Satellite: integrate event-driven power over a steady-state
+        // Mercury run and compare against the analytic §5.4 model at the
+        // observed bandwidth. Residual sources: (a) f64 summation order
+        // across thousands of per-phase charges vs one closed-form
+        // multiply, and (b) the cache attribution's zero-sum carve-out,
+        // which moves joules between components but cannot change the
+        // total. Both are orders of magnitude below the 1 % gate; the
+        // gate is deliberately loose so a future idle-state or DVFS
+        // model has headroom before it must update the test.
+        let mut core = fresh_core(CoreSimConfig::mercury_a7());
+        let mut tele = Telemetry::disabled();
+        let run = run_energy_observed(
+            &mut core,
+            &requests(256),
+            &mut tele,
+            true,
+            Duration::from_micros(500),
+        );
+
+        let stack = core.config().stack_config().unwrap();
+        let gbps = run.observed_mem_gbps(&energy_rates(&stack));
+        let analytic_w = stack_power(&stack, gbps).total_w();
+        let measured_w = run.measured_watts();
+        let rel = (measured_w - analytic_w).abs() / analytic_w;
+        assert!(
+            rel < 0.01,
+            "measured {measured_w} W vs analytic {analytic_w} W: rel {rel}"
+        );
+        // The timeline integrates to the same energy as the meter.
+        let rel_t = (run.timeline.total_j() - run.meter.total_j()).abs() / run.meter.total_j();
+        assert!(rel_t < 1e-9, "timeline vs meter: rel {rel_t}");
+    }
+
+    #[test]
+    fn breakdown_phases_mirror_phase_breakdown() {
+        let mut core = fresh_core(CoreSimConfig::mercury_a7());
+        let mut energy = EnergyObserver::new(&core, Duration::from_micros(500));
+        let mut tele = Telemetry::disabled();
+        let req = requests(1);
+        let (timing, phases) = core.execute_breakdown(&req[0]);
+        let e = energy.observe(&mut tele, &core, &timing, &phases);
+
+        let names: Vec<_> = e.phases().iter().map(|&(n, _)| n).collect();
+        let expected: Vec<_> = phases.phases().iter().map(|&(n, _)| n).collect();
+        assert_eq!(names, expected);
+        // Phase joules are proportional to phase durations.
+        let static_w = energy.rates().stack_static_w(1);
+        for ((_, j), (_, d)) in e.phases().iter().zip(phases.phases().iter()) {
+            assert!((j - static_w * d.as_secs_f64()).abs() < 1e-15);
+        }
+        // Time-proportional total is RTT x static watts.
+        let time_j: f64 = e.phase_j.iter().sum();
+        assert!((time_j - static_w * timing.rtt.as_secs_f64()).abs() < 1e-12);
+        assert!(e.memory_j > 0.0, "a 64 B GET moves device lines");
+        assert!(e.cache_l1_j > 0.0);
+    }
+
+    #[test]
+    fn disabled_metering_reports_zero_energy() {
+        let mut core = fresh_core(CoreSimConfig::mercury_a7());
+        let mut tele = Telemetry::disabled();
+        let run = run_energy_observed(
+            &mut core,
+            &requests(16),
+            &mut tele,
+            false,
+            Duration::from_micros(500),
+        );
+        assert_eq!(run.meter.total_j(), 0.0);
+        assert!(run.timeline.is_empty());
+        assert_eq!(run.latency.count(), 16);
+        assert!(run.measured_tps() > 0.0, "timing still measured");
+        assert_eq!(run.measured_tps_per_watt(), 0.0);
+    }
+
+    #[test]
+    fn iridium_memory_energy_is_cheaper_per_byte() {
+        let m = {
+            let mut core = fresh_core(CoreSimConfig::mercury_a7());
+            let mut tele = Telemetry::disabled();
+            run_energy_observed(
+                &mut core,
+                &requests(64),
+                &mut tele,
+                true,
+                Duration::from_micros(500),
+            )
+        };
+        let i = {
+            let mut core = fresh_core(CoreSimConfig::iridium_a7());
+            let mut tele = Telemetry::disabled();
+            run_energy_observed(
+                &mut core,
+                &requests(64),
+                &mut tele,
+                true,
+                Duration::from_micros(500),
+            )
+        };
+        // Flash is 6 mW/(GB/s) vs DRAM's 210: per-op memory joules per
+        // byte collapse, even though Iridium's RTT (and so its
+        // time-proportional energy) is much larger.
+        assert!(i.per_op.memory_j < m.per_op.memory_j);
+        assert!(
+            i.j_per_op() > m.j_per_op(),
+            "flash latency costs idle joules"
+        );
+    }
+
+    #[test]
+    fn sampler_watts_gauges_update_by_name() {
+        let mut core = fresh_core(CoreSimConfig::mercury_a7());
+        let mut columns = crate::observe::CORE_TIMELINE_COLUMNS.to_vec();
+        columns.extend_from_slice(ENERGY_TIMELINE_COLUMNS);
+        let mut tele = Telemetry::enabled(TelemetryConfig {
+            sample_every: 8,
+            timeline_interval: Duration::from_micros(200),
+            timeline_columns: columns,
+        });
+        let run = run_energy_observed(
+            &mut core,
+            &requests(64),
+            &mut tele,
+            true,
+            Duration::from_micros(500),
+        );
+        assert!(run.meter.total_j() > 0.0);
+        let rows = tele.sampler.rows();
+        assert!(!rows.is_empty());
+        // The watts columns (indices 4 and 5) carry nonzero samples.
+        assert!(rows.iter().any(|(_, cols)| cols[4] > 0.0));
+        assert!(rows.iter().any(|(_, cols)| cols[5] > 0.0));
+        assert!(tele.sampler.to_csv().contains("watts"));
+    }
+}

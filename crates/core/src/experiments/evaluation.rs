@@ -84,16 +84,11 @@ pub struct ConfigEval {
 }
 
 /// Stack-level memory bandwidth for `n` cores at one sweep point, derated
-/// by the stack's shared 10 GbE wire.
+/// by the stack's shared 10 GbE wire. Thin wrapper over the shared
+/// [`densekv_server::stack_working_point`] helper so the bandwidth that
+/// prices power here is the same one `evaluate_server` uses.
 pub fn stack_mem_gbps(n: u32, perf: PerCorePerf) -> f64 {
-    let wire_cap = densekv_net::Wire::ten_gbe().payload_bandwidth_bps() / 1e9;
-    let raw_wire = n as f64 * perf.wire_gbps;
-    let derate = if raw_wire > wire_cap {
-        wire_cap / raw_wire
-    } else {
-        1.0
-    };
-    n as f64 * perf.mem_gbps * derate
+    densekv_server::stack_working_point(n, perf).mem_gbps
 }
 
 /// Evaluates one (core, family) sweep across all core counts.

@@ -44,6 +44,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod energy;
 pub mod experiments;
 pub mod observe;
 pub mod openloop;
@@ -54,6 +55,10 @@ pub mod stack_sim;
 pub mod sweep;
 pub mod system;
 
+pub use energy::{
+    measure_energy_point, run_energy_observed, EnergyBreakdown, EnergyObserver, EnergyRun,
+    ENERGY_TIMELINE_COLUMNS,
+};
 pub use observe::{run_observed, CoreObserver, CORE_TIMELINE_COLUMNS};
 pub use sim::{CoreSim, CoreSimConfig, PhaseBreakdown, RequestTiming};
 pub use sweep::{measure_point, OpPoint, SweepPoint};

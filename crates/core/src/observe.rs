@@ -79,6 +79,21 @@ impl CoreObserver {
         request: &Request,
     ) -> RequestTiming {
         let (timing, breakdown) = core.execute_breakdown(request);
+        self.record(tele, core, request, timing, &breakdown)
+    }
+
+    /// Records an already-executed request into `tele` and advances the
+    /// closed-loop clock — the half of [`CoreObserver::execute`] that
+    /// other observers (e.g. the energy layer) share when they need the
+    /// same execution's breakdown first.
+    pub fn record(
+        &mut self,
+        tele: &mut Telemetry,
+        core: &CoreSim,
+        request: &Request,
+        timing: RequestTiming,
+        breakdown: &crate::sim::PhaseBreakdown,
+    ) -> RequestTiming {
         let start = self.clock;
         let end = start + timing.rtt;
 

@@ -67,7 +67,7 @@ impl SweepEffort {
 
     /// Scales the measured count down for very large values, where each
     /// request simulates tens of thousands of line transfers.
-    fn measured_for(&self, value_bytes: u64) -> u32 {
+    pub(crate) fn measured_for(&self, value_bytes: u64) -> u32 {
         if value_bytes >= 1 << 18 {
             (self.measured / 5).max(3)
         } else if value_bytes >= 1 << 14 {
@@ -77,7 +77,7 @@ impl SweepEffort {
         }
     }
 
-    fn warmup_for(&self, value_bytes: u64) -> u32 {
+    pub(crate) fn warmup_for(&self, value_bytes: u64) -> u32 {
         if value_bytes >= 1 << 18 {
             (self.warmup / 10).max(3)
         } else if value_bytes >= 1 << 14 {
@@ -90,7 +90,7 @@ impl SweepEffort {
 
 /// Picks a key population that keeps the simulated store around a fixed
 /// footprint regardless of value size.
-fn population_for(value_bytes: u64) -> u64 {
+pub(crate) fn population_for(value_bytes: u64) -> u64 {
     ((16 << 20) / value_bytes.max(64)).clamp(4, 512)
 }
 

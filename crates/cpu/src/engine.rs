@@ -150,6 +150,23 @@ impl CacheLevelStats {
             self.hits as f64 / total as f64
         }
     }
+
+    /// Total lookups against this level (every lookup pays the level's
+    /// access energy, hit or miss).
+    #[must_use]
+    pub fn accesses(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Counter growth since an `earlier` snapshot (saturating, so a
+    /// reset between snapshots yields zeros rather than wrapping).
+    #[must_use]
+    pub fn delta(&self, earlier: &CacheLevelStats) -> CacheLevelStats {
+        CacheLevelStats {
+            hits: self.hits.saturating_sub(earlier.hits),
+            misses: self.misses.saturating_sub(earlier.misses),
+        }
+    }
 }
 
 /// Per-level snapshot of the engine's cache hierarchy — what the
@@ -162,6 +179,31 @@ pub struct CacheHierarchyStats {
     pub l1d: CacheLevelStats,
     /// Unified L2, when configured.
     pub l2: Option<CacheLevelStats>,
+}
+
+impl CacheHierarchyStats {
+    /// Per-level growth since an `earlier` snapshot — the quantity the
+    /// energy layer charges per-access joules for.
+    #[must_use]
+    pub fn delta(&self, earlier: &CacheHierarchyStats) -> CacheHierarchyStats {
+        CacheHierarchyStats {
+            l1i: self.l1i.delta(&earlier.l1i),
+            l1d: self.l1d.delta(&earlier.l1d),
+            l2: self.l2.map(|l2| l2.delta(&earlier.l2.unwrap_or_default())),
+        }
+    }
+
+    /// Combined L1 I+D lookups.
+    #[must_use]
+    pub fn l1_accesses(&self) -> u64 {
+        self.l1i.accesses() + self.l1d.accesses()
+    }
+
+    /// L2 lookups (`0` without an L2).
+    #[must_use]
+    pub fn l2_accesses(&self) -> u64 {
+        self.l2.map_or(0, |l2| l2.accesses())
+    }
 }
 
 /// Cache hierarchy + core parameters; executes [`PhaseSpec`]s.

@@ -145,6 +145,8 @@ pub struct Ftl {
     exported_pages: u64,
     host_writes: u64,
     device_programs: u64,
+    gc_moved_pages: u64,
+    gc_erased_blocks: u64,
     wear_threshold: u32,
 }
 
@@ -199,6 +201,8 @@ impl Ftl {
             exported_pages,
             host_writes: 0,
             device_programs: 0,
+            gc_moved_pages: 0,
+            gc_erased_blocks: 0,
             wear_threshold: 16,
             flash: FlashArray::new(config),
         }
@@ -231,6 +235,28 @@ impl Ftl {
                 .latency;
         }
         latency
+    }
+
+    /// Lifetime host-issued page writes.
+    pub fn host_writes(&self) -> u64 {
+        self.host_writes
+    }
+
+    /// Lifetime device page programs (host writes + GC relocations).
+    pub fn device_programs(&self) -> u64 {
+        self.device_programs
+    }
+
+    /// Lifetime valid pages relocated by garbage collection and static
+    /// wear-leveling — the FTL's background byte traffic, which the
+    /// energy layer charges to the memory device alongside host I/O.
+    pub fn gc_moved_pages(&self) -> u64 {
+        self.gc_moved_pages
+    }
+
+    /// Lifetime blocks erased (GC victims plus wear-leveling migrations).
+    pub fn gc_erased_blocks(&self) -> u64 {
+        self.gc_erased_blocks
     }
 
     /// Device programs ÷ host writes; 1.0 until GC starts relocating.
@@ -321,6 +347,9 @@ impl Ftl {
         latency += wl_lat;
         moved += wl_moved;
         erased += wl_erased;
+
+        self.gc_moved_pages += moved as u64;
+        self.gc_erased_blocks += erased as u64;
 
         Ok(WriteOutcome {
             location,
@@ -584,6 +613,14 @@ mod tests {
             ftl.read(lpn).unwrap();
         }
         assert!(ftl.write_amplification() >= 1.0);
+        // Lifetime counters agree with the per-write outcomes.
+        assert_eq!(ftl.gc_erased_blocks(), u64::from(total_erased));
+        assert_eq!(ftl.host_writes(), 1000);
+        assert_eq!(
+            ftl.device_programs(),
+            ftl.host_writes() + ftl.gc_moved_pages(),
+            "programs = host writes + GC relocations"
+        );
     }
 
     #[test]

@@ -26,4 +26,6 @@ pub mod model;
 pub use constraints::ServerConstraints;
 pub use fit::{plan_server, LimitingFactor, ServerPlan};
 pub use fleet::{plan_fleet, Demand, FleetPlan};
-pub use model::{evaluate_server, PerCorePerf, ServerReport};
+pub use model::{
+    evaluate_server, stack_working_point, PerCorePerf, ServerReport, StackWorkingPoint,
+};

@@ -22,6 +22,45 @@ pub struct PerCorePerf {
     pub wire_gbps: f64,
 }
 
+/// One stack's wire-derated working point: the quantity every power and
+/// bandwidth citation in Tables 3/4, Figures 7/8, and the efficiency
+/// sweep must agree on.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StackWorkingPoint {
+    /// Stack throughput after the wire cap, TPS.
+    pub tps: f64,
+    /// Stack memory-device bandwidth after the wire cap, GB/s — the
+    /// argument `stack_power` wants.
+    pub mem_gbps: f64,
+    /// Stack wire payload after the cap, GB/s.
+    pub wire_gbps: f64,
+    /// The applied derate factor (`1.0` when the wire is unsaturated).
+    pub derate: f64,
+}
+
+/// Scales per-core performance to a whole stack, derated so the stack's
+/// aggregate wire traffic never exceeds its one 10 GbE port's payload
+/// rate. Every caller that needs a bandwidth working point — server
+/// evaluation, the Table 3 peak-bandwidth scan, the efficiency sweep —
+/// goes through here, so the analytic and measured power paths cannot
+/// re-derive the derate differently and drift.
+pub fn stack_working_point(cores: u32, perf: PerCorePerf) -> StackWorkingPoint {
+    let cores = cores as f64;
+    let wire_cap_gbps = densekv_net::Wire::ten_gbe().payload_bandwidth_bps() / 1e9;
+    let raw_wire = cores * perf.wire_gbps;
+    let derate = if raw_wire > wire_cap_gbps {
+        wire_cap_gbps / raw_wire
+    } else {
+        1.0
+    };
+    StackWorkingPoint {
+        tps: cores * perf.tps * derate,
+        mem_gbps: cores * perf.mem_gbps * derate,
+        wire_gbps: raw_wire * derate,
+        derate,
+    }
+}
+
 /// A full server working point: the row shape of Tables 3 and 4.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ServerReport {
@@ -71,25 +110,12 @@ pub struct ServerReport {
 /// # Ok::<(), densekv_stack::config::StackConfigError>(())
 /// ```
 pub fn evaluate_server(plan: &ServerPlan, perf: PerCorePerf) -> ServerReport {
-    let cores = plan.stack.cores as f64;
-
-    // Wire cap: one 10 GbE port per stack.
-    let wire_cap_gbps = densekv_net::Wire::ten_gbe().payload_bandwidth_bps() / 1e9;
-    let raw_wire = cores * perf.wire_gbps;
-    let derate = if raw_wire > wire_cap_gbps {
-        wire_cap_gbps / raw_wire
-    } else {
-        1.0
-    };
-
-    let stack_tps = cores * perf.tps * derate;
-    let stack_mem_gbps = cores * perf.mem_gbps * derate;
-    let stack_wire_gbps = raw_wire * derate;
+    let point = stack_working_point(plan.stack.cores, perf);
 
     let stacks = plan.stacks as f64;
-    let component_w = stacks * stack_power(&plan.stack, stack_mem_gbps).total_w();
+    let component_w = stacks * stack_power(&plan.stack, point.mem_gbps).total_w();
     let power_w = plan.constraints.wall_power_w(component_w);
-    let tps = stacks * stack_tps;
+    let tps = stacks * point.tps;
     let memory_gb = plan.density_gb();
 
     let area_mm2 = stacks
@@ -104,8 +130,8 @@ pub fn evaluate_server(plan: &ServerPlan, perf: PerCorePerf) -> ServerReport {
         tps,
         ktps_per_watt: tps / 1000.0 / power_w,
         ktps_per_gb: tps / 1000.0 / memory_gb,
-        wire_gbps: stacks * stack_wire_gbps,
-        mem_gbps: stacks * stack_mem_gbps,
+        wire_gbps: stacks * point.wire_gbps,
+        mem_gbps: stacks * point.mem_gbps,
         area_cm2: area_mm2 / 100.0,
     }
 }
@@ -156,6 +182,31 @@ mod tests {
         let expected_ratio = per_stack_wire / 3.2;
         let raw_tps = 32.0 * 100.0 * r.stacks as f64;
         assert!((r.tps / raw_tps - expected_ratio).abs() < 1e-6);
+    }
+
+    #[test]
+    fn working_point_derate_only_when_wire_saturated() {
+        let light = PerCorePerf {
+            tps: 11_000.0,
+            mem_gbps: 0.004,
+            wire_gbps: 0.0007,
+        };
+        let p = stack_working_point(32, light);
+        assert_eq!(p.derate, 1.0);
+        assert!((p.tps - 32.0 * 11_000.0).abs() < 1e-9);
+        assert!((p.mem_gbps - 32.0 * 0.004).abs() < 1e-12);
+
+        let heavy = PerCorePerf {
+            tps: 100.0,
+            mem_gbps: 0.5,
+            wire_gbps: 0.1,
+        };
+        let q = stack_working_point(32, heavy);
+        assert!(q.derate < 1.0);
+        // Every output scales by the same derate.
+        assert!((q.tps - 32.0 * 100.0 * q.derate).abs() < 1e-9);
+        assert!((q.mem_gbps - 32.0 * 0.5 * q.derate).abs() < 1e-9);
+        assert!((q.wire_gbps - 32.0 * 0.1 * q.derate).abs() < 1e-9);
     }
 
     #[test]

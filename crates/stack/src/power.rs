@@ -6,6 +6,7 @@
 //! 6 mW/(GB/s)), which is why Table 3 reports power at the maximum
 //! observed bandwidth while Table 4 reports it at the 64 B working point.
 
+use densekv_energy::EnergyRates;
 use densekv_net::nic::NicMac;
 use densekv_net::phy::PHY_POWER_MW;
 
@@ -73,10 +74,44 @@ pub fn stack_power(config: &StackConfig, mem_gbps: f64) -> StackPower {
     }
 }
 
+/// Derives the event-driven [`EnergyRates`] for a stack from the same
+/// Table 1 constants [`stack_power`] uses.
+///
+/// This is the canonical bridge between the analytic §5.4 model and the
+/// `densekv-energy` meter: charging the static rates over elapsed time
+/// plus the memory rate per byte moved integrates to exactly
+/// `stack_power(config, observed_gbps).total_w()` — the workspace
+/// cross-check test holds an end-to-end run to within 1 %.
+///
+/// # Examples
+///
+/// ```
+/// use densekv_cpu::CoreConfig;
+/// use densekv_stack::power::{energy_rates, stack_power};
+/// use densekv_stack::StackConfig;
+///
+/// let stack = StackConfig::mercury(CoreConfig::a7_1ghz(), 32, true)?;
+/// let rates = energy_rates(&stack);
+/// // One second of static draw == the analytic model at zero bandwidth.
+/// let static_w = rates.stack_static_w(stack.cores);
+/// assert!((static_w - stack_power(&stack, 0.0).total_w()).abs() < 1e-12);
+/// # Ok::<(), densekv_stack::config::StackConfigError>(())
+/// ```
+pub fn energy_rates(config: &StackConfig) -> EnergyRates {
+    EnergyRates::new(
+        config.core.power_mw,
+        if config.l2 { L2_POWER_MW } else { 0.0 },
+        config.memory.active_mw_per_gbps(),
+        NicMac::POWER_MW,
+        PHY_POWER_MW,
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use densekv_cpu::CoreConfig;
+    use densekv_sim::Duration;
 
     #[test]
     fn mercury32_a7_tdp_near_paper() {
@@ -114,6 +149,47 @@ mod tests {
         let iridium = StackConfig::iridium(CoreConfig::a7_1ghz(), 1).unwrap();
         let p = stack_power(&iridium, 10.0);
         assert!((p.memory_w - 0.06).abs() < 1e-9);
+    }
+
+    #[test]
+    fn energy_rates_pin_table1_presets() {
+        // The EnergyRates convenience constructors must match what the
+        // stack config derives, so the two can't drift.
+        let mercury = StackConfig::mercury(CoreConfig::a7_1ghz(), 32, true).unwrap();
+        assert_eq!(energy_rates(&mercury), EnergyRates::mercury_a7(true));
+        let bare = StackConfig::mercury(CoreConfig::a7_1ghz(), 32, false).unwrap();
+        assert_eq!(energy_rates(&bare), EnergyRates::mercury_a7(false));
+        let iridium = StackConfig::iridium(CoreConfig::a7_1ghz(), 32).unwrap();
+        assert_eq!(energy_rates(&iridium), EnergyRates::iridium_a7(true));
+    }
+
+    #[test]
+    fn integrated_rates_reproduce_stack_power() {
+        // Convergence by construction: T seconds of static draw plus
+        // B bytes at pJ/byte equals stack_power at B/T bandwidth.
+        for (config, gbps) in [
+            (
+                StackConfig::mercury(CoreConfig::a7_1ghz(), 32, true).unwrap(),
+                6.4,
+            ),
+            (
+                StackConfig::mercury(CoreConfig::a15_1ghz(), 8, false).unwrap(),
+                1.7,
+            ),
+            (
+                StackConfig::iridium(CoreConfig::a15_1p5ghz(), 16).unwrap(),
+                3.3,
+            ),
+        ] {
+            let rates = energy_rates(&config);
+            let secs = 2.5;
+            let bytes = gbps * 1e9 * secs;
+            let event_j = rates.stack_static_j(config.cores, Duration::from_secs_f64(secs))
+                + rates.mem_j_per_byte() * bytes;
+            let analytic_j = stack_power(&config, gbps).total_w() * secs;
+            let rel = (event_j - analytic_j).abs() / analytic_j;
+            assert!(rel < 1e-12, "{}: relative error {rel}", config.name());
+        }
     }
 
     #[test]

@@ -10,7 +10,8 @@ use densekv::experiments::cluster::calibrate;
 use densekv::sim::CoreSimConfig;
 use densekv::sweep::SweepEffort;
 use densekv_cluster::{
-    effective_capacity, run, run_with_telemetry, ClusterConfig, FaultPlan, TIMELINE_COLUMNS,
+    effective_capacity, run, run_with_telemetry, ClusterConfig, ClusterEnergyModel, FaultPlan,
+    TIMELINE_COLUMNS,
 };
 use densekv_dht::{remapped_fraction, ConsistentHashRing};
 use densekv_sim::{Duration, SimTime};
@@ -119,6 +120,9 @@ fn main() {
         kill_stacks: vec![0],
     });
     config.timeline_bucket = Duration::from_secs_f64(span / 16.0);
+    config.energy = Some(ClusterEnergyModel::mercury_a7(
+        config.topology.cores_per_stack,
+    ));
     let mut tele = Telemetry::enabled(TelemetryConfig {
         sample_every: 2_000,
         timeline_interval: Duration::from_secs_f64(span / 16.0),
@@ -132,6 +136,33 @@ fn main() {
         remap.key_fraction_remapped * 100.0
     );
     print!("{}", result.timeline.render_hit_rate_ascii(40));
+
+    // -----------------------------------------------------------------
+    // Energy view of the same run: per-stack joules and the cluster
+    // power transient — the dead stack stops drawing at the fault.
+    // -----------------------------------------------------------------
+    let energy = result.energy.as_ref().expect("energy model configured");
+    println!(
+        "\nEnergy of the failover run: {:.1} J total, {:.3} mJ per request,\n\
+         peak cluster power {:.1} W; per stack:\n",
+        energy.total_j(),
+        energy.j_per_op(result.measured) * 1e3,
+        energy.peak_watts()
+    );
+    for (stack, e) in energy.per_stack.iter().enumerate() {
+        println!(
+            "  stack {stack}: {:>7.2} J ({:.2} J static + {:.3} mJ activity) over {}{}",
+            e.total_j(),
+            e.static_j,
+            e.dynamic_j * 1e3,
+            e.alive,
+            if e.alive < energy.per_stack[7].alive {
+                "  <- died at the fault"
+            } else {
+                ""
+            }
+        );
+    }
 
     // -----------------------------------------------------------------
     // Telemetry view of the same run: the registry mirrors the result

@@ -675,3 +675,103 @@ proptest! {
         }
     }
 }
+
+// ---------------------------------------------------------------------
+// Energy passivity: metering a run cannot change it
+// ---------------------------------------------------------------------
+
+proptest! {
+    /// A closed-loop core run with energy metering on is bit-identical
+    /// in every performance output to the same run with metering off:
+    /// the energy layer only reads counters after each execution and
+    /// does arithmetic on them.
+    #[test]
+    fn energy_metering_cannot_change_core_results(
+        seed in any::<u64>(),
+        requests in 8u64..48,
+        put_every in 2u64..8,
+    ) {
+        use densekv::energy::run_energy_observed;
+        use densekv::sim::{CoreSim, CoreSimConfig};
+        use densekv_telemetry::Telemetry;
+        use densekv_workload::{key_bytes, Op, Request};
+
+        let mut rng = SplitMix64::new(seed);
+        let workload: Vec<Request> = (0..requests)
+            .map(|i| Request {
+                op: if i % put_every == 0 { Op::Put } else { Op::Get },
+                key: key_bytes(rng.next_u64() % 24),
+                value_bytes: 64 + (rng.next_u64() % 512),
+            })
+            .collect();
+
+        let run_arm = |metered: bool| {
+            let mut core = CoreSim::new(CoreSimConfig::mercury_a7()).expect("valid");
+            core.preload(64, 24).expect("fits");
+            let mut tele = Telemetry::disabled();
+            run_energy_observed(
+                &mut core,
+                &workload,
+                &mut tele,
+                metered,
+                Duration::from_micros(500),
+            )
+        };
+        let dark = run_arm(false);
+        let lit = run_arm(true);
+
+        prop_assert_eq!(dark.requests, lit.requests);
+        prop_assert_eq!(dark.elapsed, lit.elapsed);
+        prop_assert_eq!(dark.latency.count(), lit.latency.count());
+        for q in [0.0, 0.5, 0.95, 0.99, 1.0] {
+            prop_assert_eq!(dark.latency.percentile(q), lit.latency.percentile(q));
+        }
+        // The metered arm actually measured something.
+        prop_assert_eq!(dark.meter.total_j(), 0.0);
+        prop_assert!(lit.meter.total_j() > 0.0);
+    }
+
+    /// A cluster run with energy accounting configured is bit-identical
+    /// in every performance output to the same seeded run without it:
+    /// the accounting is derived purely from event data the engine
+    /// already computes.
+    #[test]
+    fn energy_metering_cannot_change_cluster_results(
+        seed in any::<u64>(),
+        load_pct in 20u64..90,
+        batch in 1u64..4,
+    ) {
+        use densekv_cluster::{
+            effective_capacity, run, ClusterConfig, ClusterEnergyModel, ClusterWorkload,
+            ServiceProfile,
+        };
+
+        let mut config = ClusterConfig::new(ServiceProfile::synthetic(), 1.0);
+        config.requests = 600;
+        config.warmup = 100;
+        config.seed = seed;
+        let load = load_pct as f64 / 100.0;
+        config.workload =
+            ClusterWorkload::multigets(load * effective_capacity(&config), batch as u32);
+
+        let dark = run(&config);
+        config.energy = Some(ClusterEnergyModel::mercury_a7(
+            config.topology.cores_per_stack,
+        ));
+        let lit = run(&config);
+
+        prop_assert_eq!(dark.measured, lit.measured);
+        prop_assert_eq!(dark.dropped, lit.dropped);
+        prop_assert_eq!(dark.shard_hits, lit.shard_hits);
+        prop_assert_eq!(dark.shard_misses, lit.shard_misses);
+        prop_assert_eq!(dark.throughput_tps, lit.throughput_tps);
+        for q in [0.0, 0.5, 0.95, 0.99, 1.0] {
+            prop_assert_eq!(dark.latency.percentile(q), lit.latency.percentile(q));
+            prop_assert_eq!(dark.shard_latency.percentile(q), lit.shard_latency.percentile(q));
+        }
+        // The metered arm actually measured something.
+        prop_assert!(dark.energy.is_none());
+        let energy = lit.energy.expect("energy configured");
+        prop_assert!(energy.total_j() > 0.0);
+    }
+}

@@ -28,7 +28,7 @@
 use densekv_energy::{Component, EnergyMeter, EnergyRates, PowerTimeline};
 use densekv_sim::stats::LatencyHistogram;
 use densekv_sim::{Duration, SimTime};
-use densekv_stack::power::energy_rates;
+use densekv_stack::power::{energy_rates, tier_rates};
 use densekv_telemetry::Telemetry;
 use densekv_workload::Request;
 
@@ -42,6 +42,14 @@ use crate::sim::{CoreSim, PhaseBreakdown, RequestTiming};
 /// run's accumulated joules over elapsed sim-time.
 pub const ENERGY_TIMELINE_COLUMNS: &[&str] = &["watts", "mean_watts"];
 
+/// Extra gauge columns for hybrid (Helios) cores, matched by name like
+/// [`ENERGY_TIMELINE_COLUMNS`]: the DRAM tier's cumulative hit rate,
+/// the last request's per-tier device bandwidth, and the memory watts
+/// those tiers drew at their separate Table 1 rates. On single-tier
+/// cores the columns stay zero.
+pub const HYBRID_TIMELINE_COLUMNS: &[&str] =
+    &["tier_hit_rate", "dram_gbps", "flash_gbps", "tier_watts"];
+
 /// One request's round trip priced in joules — [`PhaseBreakdown`]'s
 /// energy mirror.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
@@ -51,7 +59,8 @@ pub struct EnergyBreakdown {
     pub phase_j: [f64; 11],
     /// Memory-device bytes this request moved, priced at Table 1's
     /// pJ/byte (whole-request: value copies and store walks both move
-    /// device lines).
+    /// device lines). Hybrid (Helios) cores price DRAM-tier and
+    /// flash-array bytes at their separate rates.
     pub memory_j: f64,
     /// L1 I+D access energy (already included in the phase rows' core
     /// budget; reported for attribution, see [`EnergyMeter::attribute_cache`]).
@@ -117,16 +126,24 @@ impl EnergyBreakdown {
 #[derive(Debug)]
 pub struct EnergyObserver {
     rates: EnergyRates,
+    /// Table 1 J/byte per tier `(DRAM, flash)`. Single-tier stacks put
+    /// their whole rate on their own tier, so the split pricing reduces
+    /// exactly to `rates.mem_j_per_byte()` for them.
+    tier_j_per_byte: (f64, f64),
     meter: EnergyMeter,
     timeline: PowerTimeline,
     clock: SimTime,
     accumulated: EnergyBreakdown,
     requests: u64,
-    last_device_bytes: u64,
+    last_tier_bytes: (u64, u64),
     last_l1_accesses: u64,
     last_l2_accesses: u64,
     watts_col: Option<usize>,
     mean_watts_col: Option<usize>,
+    tier_hit_col: Option<usize>,
+    dram_gbps_col: Option<usize>,
+    flash_gbps_col: Option<usize>,
+    tier_watts_col: Option<usize>,
 }
 
 impl EnergyObserver {
@@ -148,18 +165,24 @@ impl EnergyObserver {
             .stack_config()
             .expect("a running CoreSim always has a valid one-core stack config");
         let cache = core.cache_stats();
+        let (dram_mw, flash_mw) = tier_rates(&stack);
         EnergyObserver {
             rates: energy_rates(&stack),
+            tier_j_per_byte: (dram_mw * 1e-12, flash_mw * 1e-12),
             meter,
             timeline,
             clock: SimTime::ZERO,
             accumulated: EnergyBreakdown::default(),
             requests: 0,
-            last_device_bytes: core.device_bytes(),
+            last_tier_bytes: core.device_tier_bytes(),
             last_l1_accesses: cache.l1_accesses(),
             last_l2_accesses: cache.l2_accesses(),
             watts_col: None,
             mean_watts_col: None,
+            tier_hit_col: None,
+            dram_gbps_col: None,
+            flash_gbps_col: None,
+            tier_watts_col: None,
         }
     }
 
@@ -170,6 +193,10 @@ impl EnergyObserver {
         let find = |name: &str| tele.sampler.columns().iter().position(|c| *c == name);
         self.watts_col = find("watts");
         self.mean_watts_col = find("mean_watts");
+        self.tier_hit_col = find("tier_hit_rate");
+        self.dram_gbps_col = find("dram_gbps");
+        self.flash_gbps_col = find("flash_gbps");
+        self.tier_watts_col = find("tier_watts");
     }
 
     /// The rate constants in use (derived from the core's stack config).
@@ -218,11 +245,16 @@ impl EnergyObserver {
             .charge_mw_for(Component::L2Leak, self.rates.l2_leak_mw_per_core, rtt);
 
         // Activity-proportional charges: device bytes and cache accesses
-        // since the previous request.
-        let device_bytes = core.device_bytes();
-        let moved = device_bytes.saturating_sub(self.last_device_bytes);
-        self.last_device_bytes = device_bytes;
-        self.meter.charge_bytes(&self.rates, moved);
+        // since the previous request, each tier priced at its own Table 1
+        // rate (DRAM 210 mW/(GB/s), flash 6). On single-tier stacks this
+        // is exactly `charge_bytes` at the stack's headline rate.
+        let (dram_bytes, flash_bytes) = core.device_tier_bytes();
+        let dram_moved = dram_bytes.saturating_sub(self.last_tier_bytes.0);
+        let flash_moved = flash_bytes.saturating_sub(self.last_tier_bytes.1);
+        self.last_tier_bytes = (dram_bytes, flash_bytes);
+        let memory_j = self.tier_j_per_byte.0 * dram_moved as f64
+            + self.tier_j_per_byte.1 * flash_moved as f64;
+        self.meter.charge_j(Component::Memory, memory_j);
 
         let cache = core.cache_stats();
         let (l1, l2) = (cache.l1_accesses(), cache.l2_accesses());
@@ -236,7 +268,7 @@ impl EnergyObserver {
         // and cache reported per request.
         let static_w = self.rates.stack_static_w(1);
         let mut out = EnergyBreakdown {
-            memory_j: self.rates.mem_j_per_byte() * moved as f64,
+            memory_j,
             cache_l1_j: self.rates.l1_pj_per_access * 1e-12 * dl1 as f64,
             cache_l2_j: self.rates.l2_pj_per_access * 1e-12 * dl2 as f64,
             ..EnergyBreakdown::default()
@@ -259,6 +291,27 @@ impl EnergyObserver {
             if let Some(col) = self.mean_watts_col {
                 tele.sampler
                     .set(col, self.meter.mean_watts(end.elapsed_since(SimTime::ZERO)));
+            }
+            let rtt_s = rtt.as_secs_f64().max(f64::MIN_POSITIVE);
+            let dram_gbps = dram_moved as f64 / rtt_s / 1e9;
+            let flash_gbps = flash_moved as f64 / rtt_s / 1e9;
+            if let Some(col) = self.tier_hit_col {
+                if let Some(stats) = core.tier_stats() {
+                    tele.sampler.set(col, stats.hit_rate());
+                }
+            }
+            if let Some(col) = self.dram_gbps_col {
+                tele.sampler.set(col, dram_gbps);
+            }
+            if let Some(col) = self.flash_gbps_col {
+                tele.sampler.set(col, flash_gbps);
+            }
+            if let Some(col) = self.tier_watts_col {
+                tele.sampler.set(
+                    col,
+                    self.tier_j_per_byte.0 * 1e12 * dram_gbps / 1000.0
+                        + self.tier_j_per_byte.1 * 1e12 * flash_gbps / 1000.0,
+                );
             }
         }
 
@@ -587,6 +640,43 @@ mod tests {
             i.j_per_op() > m.j_per_op(),
             "flash latency costs idle joules"
         );
+    }
+
+    #[test]
+    fn helios_memory_energy_prices_tiers_separately() {
+        let mut core = fresh_core(CoreSimConfig::helios_a7(64 << 20));
+        let before = core.device_tier_bytes();
+        let mut columns = crate::observe::CORE_TIMELINE_COLUMNS.to_vec();
+        columns.extend_from_slice(HYBRID_TIMELINE_COLUMNS);
+        let mut tele = Telemetry::enabled(TelemetryConfig {
+            sample_every: 8,
+            timeline_interval: Duration::from_micros(200),
+            timeline_columns: columns,
+        });
+        let run = run_energy_observed(
+            &mut core,
+            &requests(128),
+            &mut tele,
+            true,
+            Duration::from_micros(500),
+        );
+        let after = core.device_tier_bytes();
+        let dram = (after.0 - before.0) as f64;
+        let flash = (after.1 - before.1) as f64;
+        assert!(dram > 0.0, "warm hits move DRAM-tier bytes");
+        assert!(flash > 0.0, "cold fills move flash bytes");
+        // The meter charged each tier at its own Table 1 rate…
+        let mem_j = run.meter.component_j(Component::Memory);
+        let split_j = 210e-12 * dram + 6e-12 * flash;
+        assert!((mem_j - split_j).abs() / split_j < 1e-9);
+        // …which a single headline rate cannot reproduce.
+        assert!(mem_j < 210e-12 * (dram + flash));
+        assert!(mem_j > 6e-12 * (dram + flash));
+        // The hybrid gauges carried samples (columns 4..8 by layout).
+        let rows = tele.sampler.rows();
+        assert!(rows.iter().any(|(_, cols)| cols[4] > 0.0), "tier_hit_rate");
+        assert!(rows.iter().any(|(_, cols)| cols[5] > 0.0), "dram_gbps");
+        assert!(tele.sampler.to_csv().contains("tier_hit_rate"));
     }
 
     #[test]

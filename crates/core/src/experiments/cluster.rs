@@ -7,9 +7,10 @@
 //! cluster sees:
 //!
 //! * [`cluster_tail`] — p50/p95/p99 response time versus offered load
-//!   for Mercury-A7, Mercury-A15, Iridium-A7, and a Bags-class Xeon
-//!   baseline, with the per-core service times calibrated from the
-//!   execution-driven [`CoreSim`].
+//!   for Mercury-A7, Mercury-A15, Iridium-A7, Helios-A7 (a hybrid
+//!   DRAM-tier stack), and a Bags-class Xeon baseline, with the
+//!   per-core service times calibrated from the execution-driven
+//!   [`CoreSim`].
 //! * [`cluster_failover`] — the miss-rate and latency transient when
 //!   stacks die mid-run and their keys remap to survivors.
 //!
@@ -132,7 +133,11 @@ struct Design {
     cores_per_stack: u32,
 }
 
-/// The comparison set: three stacked designs at 8 cores per port and a
+/// Stack-level DRAM tier the routable Helios design carries (256 MB, a
+/// 32 MB slice per core at 8 cores per stack).
+const HELIOS_TIER_BYTES: u64 = 256 << 20;
+
+/// The comparison set: four stacked designs at 8 cores per port and a
 /// 16-core Xeon box per port.
 fn designs(effort: SweepEffort) -> Vec<Design> {
     vec![
@@ -154,6 +159,14 @@ fn designs(effort: SweepEffort) -> Vec<Design> {
         },
         Design {
             profile: calibrate("Iridium A7", &CoreSimConfig::iridium_a7(), effort),
+            cores_per_stack: 8,
+        },
+        Design {
+            profile: calibrate(
+                "Helios A7",
+                &CoreSimConfig::helios_a7(HELIOS_TIER_BYTES / 8),
+                effort,
+            ),
             cores_per_stack: 8,
         },
         Design {
@@ -339,12 +352,19 @@ mod tests {
             effort,
         );
         let iridium = calibrate("Iridium A7", &CoreSimConfig::iridium_a7(), effort);
+        let helios = calibrate(
+            "Helios A7",
+            &CoreSimConfig::helios_a7(HELIOS_TIER_BYTES / 8),
+            effort,
+        );
         // A GET that hits dominates its miss (the miss skips the copy),
         // and the wider A15 beats the A7 on the same requests.
         assert!(a7.hit_service > a7.miss_service);
         assert!(a15.hit_service < a7.hit_service);
-        // Flash reads put Iridium's hit far above Mercury's.
+        // Flash reads put Iridium's hit far above Mercury's; a warm
+        // Helios tier serves the calibration key at DRAM speed.
         assert!(iridium.hit_service > a7.hit_service);
+        assert!(helios.hit_service < iridium.hit_service);
         // Wire times are design-independent (same port, same bytes).
         assert_eq!(a7.req_wire, iridium.req_wire);
         assert!(
@@ -356,8 +376,14 @@ mod tests {
     #[test]
     fn tail_experiment_shape_and_determinism() {
         let points = cluster_tail(SweepEffort::quick());
-        assert_eq!(points.len(), 4 * LOAD_POINTS.len());
-        for design in ["Mercury A7", "Mercury A15", "Iridium A7", "Xeon (Bags)"] {
+        assert_eq!(points.len(), 5 * LOAD_POINTS.len());
+        for design in [
+            "Mercury A7",
+            "Mercury A15",
+            "Iridium A7",
+            "Helios A7",
+            "Xeon (Bags)",
+        ] {
             let series: Vec<_> = points.iter().filter(|p| p.design == design).collect();
             assert_eq!(series.len(), LOAD_POINTS.len());
             // Queueing: the tail only grows with load.

@@ -16,6 +16,7 @@
 //! | [`sla::run`] | extension: latency under Poisson load |
 //! | [`scaling::run`] | extension: event-driven check of §5.3 scaling |
 //! | [`efficiency::run`] | extension: TPS/W across the full size sweep |
+//! | [`hybrid::run`] | extension: Helios DRAM-tier size sweep |
 //! | [`multiget::run`] | extension: multi-GET batching amortization |
 //! | [`cluster::cluster_tail`] | extension: cluster-wide tail latency vs. load |
 //! | [`cluster::cluster_failover`] | extension: stack-failure remap transient |
@@ -31,6 +32,7 @@ pub mod fig4;
 pub mod fig56;
 pub mod fig78;
 pub mod headline;
+pub mod hybrid;
 pub mod multiget;
 pub mod scaling;
 pub mod sla;

@@ -57,7 +57,7 @@ pub mod system;
 
 pub use energy::{
     measure_energy_point, run_energy_observed, EnergyBreakdown, EnergyObserver, EnergyRun,
-    ENERGY_TIMELINE_COLUMNS,
+    ENERGY_TIMELINE_COLUMNS, HYBRID_TIMELINE_COLUMNS,
 };
 pub use observe::{run_observed, CoreObserver, CORE_TIMELINE_COLUMNS};
 pub use sim::{CoreSim, CoreSimConfig, PhaseBreakdown, RequestTiming};

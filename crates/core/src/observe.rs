@@ -30,8 +30,10 @@ const CORE_PID: u32 = 1;
 /// Executes requests on a [`CoreSim`] while recording telemetry.
 ///
 /// Registered metrics: `core.requests`, `core.hits`, `core.misses`
-/// counters and `core.rtt` / `core.server` latency histograms. Sampled
-/// requests get one span whose phases are the request's
+/// counters and `core.rtt` / `core.server` latency histograms. Cores
+/// with a hybrid (Helios) memory additionally keep `core.tier_hits` /
+/// `core.tier_misses` counters current with the DRAM tier's cumulative
+/// totals. Sampled requests get one span whose phases are the request's
 /// [`PhaseBreakdown`](crate::sim::PhaseBreakdown) — they tile the RTT
 /// exactly, so `phase_sum == total` holds for every exported span.
 #[derive(Debug)]
@@ -39,6 +41,9 @@ pub struct CoreObserver {
     requests: CounterId,
     hits: CounterId,
     misses: CounterId,
+    tier_hits: CounterId,
+    tier_misses: CounterId,
+    last_tier: (u64, u64),
     rtt: HistogramId,
     server: HistogramId,
     seq: u64,
@@ -53,6 +58,9 @@ impl CoreObserver {
             requests: metrics.counter("core.requests"),
             hits: metrics.counter("core.hits"),
             misses: metrics.counter("core.misses"),
+            tier_hits: metrics.counter("core.tier_hits"),
+            tier_misses: metrics.counter("core.tier_misses"),
+            last_tier: (0, 0),
             rtt: metrics.histogram("core.rtt"),
             server: metrics.histogram("core.server"),
             seq: 0,
@@ -112,6 +120,15 @@ impl CoreObserver {
         tele.metrics.inc(self.requests, 1);
         tele.metrics
             .inc(if timing.hit { self.hits } else { self.misses }, 1);
+        if let Some(tier) = core.tier_stats() {
+            tele.metrics
+                .inc(self.tier_hits, tier.hits.saturating_sub(self.last_tier.0));
+            tele.metrics.inc(
+                self.tier_misses,
+                tier.misses.saturating_sub(self.last_tier.1),
+            );
+            self.last_tier = (tier.hits, tier.misses);
+        }
         tele.metrics.observe(self.rtt, timing.rtt);
         tele.metrics.observe(self.server, timing.server);
 

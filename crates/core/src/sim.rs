@@ -8,6 +8,7 @@
 
 use densekv_cpu::engine::{PhaseEngine, PhaseResult, PhaseSpec, StreamRef};
 use densekv_cpu::CoreConfig;
+use densekv_hybrid::{HybridMemory, TierSnapshot};
 use densekv_kv::hash::hash_instructions;
 use densekv_kv::store::{AccessTrace, KvStore, StoreConfig, StoreError};
 use densekv_mem::dram::DramStack;
@@ -105,6 +106,35 @@ impl CoreSimConfig {
         CoreSimConfig::iridium(CoreConfig::a7_1ghz(), true, Duration::from_micros(10))
     }
 
+    /// A Helios hybrid core: `dram_tier_bytes` of DRAM cache (this
+    /// core's slice of the stack tier) over flash with the given read
+    /// latency. A 0-byte tier degenerates to exactly the Iridium model.
+    pub fn helios(
+        core: CoreConfig,
+        l2: bool,
+        dram_tier_bytes: u64,
+        read_latency: Duration,
+    ) -> Self {
+        CoreSimConfig {
+            memory: MemoryKind::Hybrid(densekv_hybrid::HybridConfig::helios(
+                dram_tier_bytes,
+                read_latency,
+            )),
+            ..CoreSimConfig::mercury(core, l2, Duration::from_nanos(10))
+        }
+    }
+
+    /// The Helios headline: A7 @ 1 GHz, 2 MB L2, 10 µs flash reads, and
+    /// a per-core DRAM tier slice of `dram_tier_bytes`.
+    pub fn helios_a7(dram_tier_bytes: u64) -> Self {
+        CoreSimConfig::helios(
+            CoreConfig::a7_1ghz(),
+            true,
+            dram_tier_bytes,
+            Duration::from_micros(10),
+        )
+    }
+
     /// Derives the matching one-core-per-stack [`StackConfig`] (useful
     /// for the Fig. 5/6 single-stack studies).
     ///
@@ -124,6 +154,13 @@ enum StackMemory {
     /// for garbage collection and wear-leveling); packet buffers in
     /// on-die SRAM.
     Flash { ftl: Ftl, buffer: SramBuffer },
+    /// Helios: the store lives in flash behind the same FTL, fronted by
+    /// a DRAM page-cache tier; packet buffers in on-die SRAM, exactly
+    /// as on Iridium.
+    Hybrid {
+        tier: Box<HybridMemory>,
+        buffer: SramBuffer,
+    },
 }
 
 impl StackMemory {
@@ -147,6 +184,13 @@ impl StackMemory {
                     engine.run(spec, ftl)
                 }
             }
+            StackMemory::Hybrid { tier, buffer } => {
+                if stream_to_buffer {
+                    engine.run_split(spec, tier.as_mut(), Some(buffer))
+                } else {
+                    engine.run(spec, tier.as_mut())
+                }
+            }
         }
     }
 
@@ -158,6 +202,7 @@ impl StackMemory {
         match self {
             StackMemory::Dram(_) => None,
             StackMemory::Flash { ftl, .. } => Some(ftl.write_range(offset, bytes)),
+            StackMemory::Hybrid { tier, .. } => Some(tier.value_write(offset, bytes)),
         }
     }
 
@@ -167,7 +212,7 @@ impl StackMemory {
             StackMemory::Dram(d) => {
                 let _ = d.line_access(line, AccessKind::Read);
             }
-            StackMemory::Flash { buffer, .. } => {
+            StackMemory::Flash { buffer, .. } | StackMemory::Hybrid { buffer, .. } => {
                 let _ = buffer.line_access(line, AccessKind::Read);
             }
         }
@@ -179,6 +224,18 @@ impl StackMemory {
         match self {
             StackMemory::Dram(d) => d.bytes_moved(),
             StackMemory::Flash { ftl, .. } => ftl.bytes_moved(),
+            StackMemory::Hybrid { tier, .. } => tier.bytes_moved(),
+        }
+    }
+
+    /// Device bytes split by tier: `(DRAM, flash)`. Single-tier stacks
+    /// report all their traffic on their own tier, so per-tier pricing
+    /// reduces exactly to the single-rate model for them.
+    fn device_tier_bytes(&self) -> (u64, u64) {
+        match self {
+            StackMemory::Dram(d) => (d.bytes_moved(), 0),
+            StackMemory::Flash { ftl, .. } => (0, ftl.bytes_moved()),
+            StackMemory::Hybrid { tier, .. } => (tier.dram_bytes(), tier.flash_bytes()),
         }
     }
 
@@ -187,6 +244,10 @@ impl StackMemory {
             StackMemory::Dram(d) => d.reset_counters(),
             StackMemory::Flash { ftl, buffer } => {
                 ftl.reset_counters();
+                buffer.reset_counters();
+            }
+            StackMemory::Hybrid { tier, buffer } => {
+                tier.reset_counters();
                 buffer.reset_counters();
             }
         }
@@ -198,6 +259,7 @@ impl core::fmt::Debug for StackMemory {
         match self {
             StackMemory::Dram(_) => write!(f, "StackMemory::Dram"),
             StackMemory::Flash { .. } => write!(f, "StackMemory::Flash"),
+            StackMemory::Hybrid { .. } => write!(f, "StackMemory::Hybrid"),
         }
     }
 }
@@ -339,6 +401,19 @@ impl CoreSim {
                     buffer: SramBuffer::on_die(),
                 }
             }
+            MemoryKind::Hybrid(hybrid) => {
+                // Same flash down-sizing as Iridium so the degenerate
+                // 0-byte tier reproduces its timing bit for bit.
+                let mut sized = hybrid.clone();
+                let per_block = u64::from(sized.flash.pages_per_block) * sized.flash.page_bytes;
+                let needed_blocks =
+                    (config.store_bytes * 2).div_ceil(per_block * u64::from(sized.flash.planes));
+                sized.flash.blocks_per_plane = (needed_blocks as u32).max(8);
+                StackMemory::Hybrid {
+                    tier: Box::new(HybridMemory::new(sized)),
+                    buffer: SramBuffer::on_die(),
+                }
+            }
         };
         Ok(CoreSim {
             engine,
@@ -394,6 +469,22 @@ impl CoreSim {
     /// Device bytes moved since the last counter reset.
     pub fn device_bytes(&self) -> u64 {
         self.memory.device_bytes()
+    }
+
+    /// Device bytes split `(DRAM tier, flash array)` since the last
+    /// counter reset. Single-tier stacks report everything on their own
+    /// tier, so the two always sum to [`CoreSim::device_bytes`].
+    pub fn device_tier_bytes(&self) -> (u64, u64) {
+        self.memory.device_tier_bytes()
+    }
+
+    /// A snapshot of the hybrid DRAM tier's counters, if this core runs
+    /// on a Helios-style memory; `None` for pure Mercury/Iridium.
+    pub fn tier_stats(&self) -> Option<TierSnapshot> {
+        match &self.memory {
+            StackMemory::Hybrid { tier, .. } => Some(tier.snapshot()),
+            _ => None,
+        }
     }
 
     /// Wire payload bytes exchanged since the last counter reset.
@@ -887,6 +978,57 @@ mod tests {
         let t = core.execute(&put_request(64));
         let tps = 1.0 / t.rtt.as_secs_f64();
         assert!(tps < 1_600.0, "Iridium 64 B PUT: {tps:.0} TPS");
+    }
+
+    #[test]
+    fn helios_zero_tier_matches_iridium_exactly() {
+        // Degenerate limit: a Helios core with a 0-byte DRAM tier is an
+        // Iridium core, request for request.
+        let mut iridium = CoreSim::new(CoreSimConfig::iridium_a7()).unwrap();
+        let mut helios = CoreSim::new(CoreSimConfig::helios_a7(0)).unwrap();
+        iridium.preload(256, 16).unwrap();
+        helios.preload(256, 16).unwrap();
+        for i in 0..50 {
+            let request = if i % 5 == 0 {
+                put_request(256)
+            } else {
+                get_request(256)
+            };
+            let a = iridium.execute(&request);
+            let b = helios.execute(&request);
+            assert_eq!(a, b, "request {i} diverged");
+        }
+        assert_eq!(iridium.device_bytes(), helios.device_bytes());
+    }
+
+    #[test]
+    fn helios_warm_tier_sits_between_iridium_and_mercury() {
+        // A tier larger than the touched working set serves re-references
+        // at DRAM speed, so warm GETs leave flash latency behind.
+        let mut iridium = warmed(CoreSimConfig::iridium_a7(), 256);
+        let mut helios = warmed(CoreSimConfig::helios_a7(64 << 20), 256);
+        let mut mercury = warmed(CoreSimConfig::mercury_a7(), 256);
+        let flash = iridium.execute(&get_request(256)).rtt;
+        let hybrid = helios.execute(&get_request(256)).rtt;
+        let dram = mercury.execute(&get_request(256)).rtt;
+        assert!(
+            hybrid < flash,
+            "warm Helios GET ({hybrid}) should beat Iridium ({flash})"
+        );
+        assert!(hybrid >= dram, "Helios cannot beat pure DRAM ({dram})");
+        assert!(
+            hybrid.as_secs_f64() < dram.as_secs_f64() * 1.01,
+            "warm hits should converge to Mercury speed ({hybrid} vs {dram})"
+        );
+        let stats = helios.tier_stats().expect("hybrid core exposes tier stats");
+        assert!(
+            stats.hit_rate() > 0.9,
+            "warm tier hit rate {}",
+            stats.hit_rate()
+        );
+        let (dram_bytes, flash_bytes) = helios.device_tier_bytes();
+        assert_eq!(dram_bytes + flash_bytes, helios.device_bytes());
+        assert!(dram_bytes > 0);
     }
 
     #[test]

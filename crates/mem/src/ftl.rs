@@ -306,6 +306,24 @@ impl Ftl {
         Ok((loc, latency))
     }
 
+    /// Reads a logical page whether or not it was ever written through
+    /// the FTL, returning the device latency. Mapped pages read from
+    /// their mapped location; unmapped pages (data preloaded into the
+    /// array outside the FTL's write path, as Iridium's store image is)
+    /// price a raw read at the page's round-robin striped plane. The lpn
+    /// wraps modulo the exported capacity, mirroring [`Ftl::write_range`].
+    pub fn read_page_any(&mut self, lpn: u64) -> Duration {
+        let lpn = lpn % self.exported_pages;
+        match self.map[lpn as usize] {
+            Some(loc) => self.flash.read_page(loc),
+            None => self.flash.read_page(PhysPage {
+                plane: self.plane_of(lpn),
+                block: 0,
+                page: 0,
+            }),
+        }
+    }
+
     /// Writes (or overwrites) a logical page.
     ///
     /// # Errors
@@ -675,6 +693,21 @@ mod tests {
         assert!(ftl.exported_pages() > 2_000_000);
         let out = ftl.write(123_456).unwrap();
         assert_eq!(out.latency, Duration::from_micros(215));
+    }
+
+    #[test]
+    fn read_page_any_covers_mapped_and_unmapped_pages() {
+        let mut ftl = Ftl::new(tiny(), 0.25);
+        // Unmapped: prices a raw striped read, counts page bytes.
+        let lat = ftl.read_page_any(3);
+        assert_eq!(lat, Duration::from_micros(10));
+        assert_eq!(ftl.flash().bytes_moved(), 8 << 10);
+        // Mapped: reads from the FTL's location, same device latency.
+        ftl.write(3).unwrap();
+        assert_eq!(ftl.read_page_any(3), Duration::from_micros(10));
+        // Out-of-range lpns wrap instead of erroring.
+        let wrapped = ftl.read_page_any(ftl.exported_pages() * 2 + 3);
+        assert_eq!(wrapped, Duration::from_micros(10));
     }
 
     #[test]

@@ -1,4 +1,5 @@
-//! Memory-device substrates for the Mercury and Iridium stack models.
+//! Memory-device substrates for the Mercury, Iridium, and Helios stack
+//! models.
 //!
 //! The paper's two architectures differ only in the memory technology
 //! bonded to the logic die:
@@ -11,8 +12,13 @@
 //!   reads and 200 µs programs, managed by a page-mapping FTL with
 //!   wear-leveling ([`ftl::Ftl`]).
 //!
-//! Both devices implement [`MemoryTiming`], the interface the CPU phase
-//! engine uses to price individual cache-line transfers, and both account
+//! A third, hybrid organization — **Helios**, a small DRAM tier caching
+//! flash pages in front of the Iridium array — composes these substrates
+//! and lives in the `densekv-hybrid` crate; this crate supplies the raw
+//! devices and the [`ftl::Ftl::read_page_any`] fill path it builds on.
+//!
+//! All devices implement [`MemoryTiming`], the interface the CPU phase
+//! engine uses to price individual cache-line transfers, and all account
 //! bytes moved so the power model can convert achieved bandwidth into
 //! watts (Table 1: DRAM 210 mW/(GB/s), flash 6 mW/(GB/s)).
 //!

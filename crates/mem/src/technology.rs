@@ -4,6 +4,11 @@
 //! conventional DIMMs deliver 6.4–21.3 GB/s per package, while 3D-stacked
 //! parts reach 12.8–128 GB/s, and the projected Tezzaron part that Mercury
 //! assumes reaches 100 GB/s at 4 GB per stack.
+//!
+//! The hybrid Helios organization (`densekv-hybrid`) draws from both
+//! columns of this catalog at once: a thin slice of the Tezzaron-class
+//! 3D DRAM (64 MB–1 GB) bonded above the Iridium p-BiCS flash array,
+//! giving DRAM-class bandwidth on the hot set at flash-class capacity.
 
 use core::fmt;
 

@@ -1,6 +1,7 @@
-//! Stack configuration: `Mercury-n` and `Iridium-n`.
+//! Stack configuration: `Mercury-n`, `Iridium-n`, and `Helios-n`.
 
 use densekv_cpu::CoreConfig;
+use densekv_hybrid::HybridConfig;
 use densekv_mem::dram::DramConfig;
 use densekv_mem::flash::FlashConfig;
 use densekv_sim::Duration;
@@ -12,14 +13,18 @@ pub enum MemoryKind {
     Mercury(DramConfig),
     /// Iridium: monolithic p-BiCS NAND flash.
     Iridium(FlashConfig),
+    /// Helios: a DRAM tier caching pages of an Iridium flash array.
+    Hybrid(HybridConfig),
 }
 
 impl MemoryKind {
-    /// Capacity in bytes.
+    /// Capacity in bytes. A hybrid stack's capacity is its flash
+    /// array's: the DRAM tier is a cache, not addressable space.
     pub fn capacity_bytes(&self) -> u64 {
         match self {
             MemoryKind::Mercury(d) => d.capacity_bytes(),
             MemoryKind::Iridium(f) => f.capacity_bytes(),
+            MemoryKind::Hybrid(h) => h.flash.capacity_bytes(),
         }
     }
 
@@ -28,24 +33,30 @@ impl MemoryKind {
         match self {
             MemoryKind::Mercury(d) => d.ports,
             MemoryKind::Iridium(f) => f.planes,
+            MemoryKind::Hybrid(h) => h.dram_ports,
         }
     }
 
-    /// Active power coefficient, mW per GB/s (Table 1).
+    /// Active power coefficient, mW per GB/s (Table 1). For hybrid
+    /// stacks this is the DRAM rate — the conservative single-rate
+    /// headline; [`crate::power::tier_rates`] splits the two tiers.
     pub fn active_mw_per_gbps(&self) -> f64 {
         match self {
             MemoryKind::Mercury(d) => d.active_mw_per_gbps,
             MemoryKind::Iridium(f) => f.active_mw_per_gbps,
+            MemoryKind::Hybrid(h) => h.dram_active_mw_per_gbps,
         }
     }
 
     /// Capacity in the paper's reporting units: DRAM is quoted in binary
     /// gigabytes ("4 GB" = 4 GiB), flash in decimal ("19.8 GB"), so Table
-    /// 3/4 density columns reproduce exactly.
+    /// 3/4 density columns reproduce exactly. Helios inherits flash's
+    /// decimal convention (its store lives on flash).
     pub fn nominal_capacity_gb(&self) -> f64 {
         match self {
             MemoryKind::Mercury(d) => d.capacity_gb() as f64,
             MemoryKind::Iridium(f) => f.capacity_gb(),
+            MemoryKind::Hybrid(h) => h.flash.capacity_gb(),
         }
     }
 
@@ -54,6 +65,7 @@ impl MemoryKind {
         match self {
             MemoryKind::Mercury(_) => "Mercury",
             MemoryKind::Iridium(_) => "Iridium",
+            MemoryKind::Hybrid(_) => "Helios",
         }
     }
 }
@@ -137,6 +149,29 @@ impl StackConfig {
     pub fn iridium(core: CoreConfig, cores: u32) -> Result<Self, StackConfigError> {
         StackConfig::new(
             MemoryKind::Iridium(FlashConfig::iridium(Duration::from_micros(10))),
+            core,
+            cores,
+            true,
+        )
+    }
+
+    /// A Helios stack: a DRAM tier of `dram_tier_bytes` over the default
+    /// Iridium flash array with 10 µs reads. Flash sits in the miss
+    /// path, so like Iridium the L2 is mandatory (§4.2.1).
+    ///
+    /// # Errors
+    ///
+    /// Validation errors from [`StackConfig::new`].
+    pub fn helios(
+        core: CoreConfig,
+        cores: u32,
+        dram_tier_bytes: u64,
+    ) -> Result<Self, StackConfigError> {
+        StackConfig::new(
+            MemoryKind::Hybrid(HybridConfig::helios(
+                dram_tier_bytes,
+                Duration::from_micros(10),
+            )),
             core,
             cores,
             true,
@@ -248,6 +283,20 @@ mod tests {
         }
         let last = s.core_partition_base(15) + s.bytes_per_core();
         assert_eq!(last, s.memory.capacity_bytes());
+    }
+
+    #[test]
+    fn helios_capacity_ports_and_name() {
+        let s = StackConfig::helios(CoreConfig::a7_1ghz(), 32, 256 << 20).unwrap();
+        assert_eq!(s.name(), "Helios-32");
+        // Store capacity is the flash array's — denser than Mercury.
+        assert!((s.memory.nominal_capacity_gb() - 19.8).abs() < 0.1);
+        assert_eq!(s.memory.ports(), 16);
+        assert!(s.l2, "Helios always carries an L2");
+        // Headline rate is the DRAM tier's.
+        assert_eq!(s.memory.active_mw_per_gbps(), 210.0);
+        // Validation still caps cores at 2x the DRAM ports.
+        assert!(StackConfig::helios(CoreConfig::a7_1ghz(), 33, 256 << 20).is_err());
     }
 
     #[test]

@@ -10,7 +10,7 @@ use densekv_energy::EnergyRates;
 use densekv_net::nic::NicMac;
 use densekv_net::phy::PHY_POWER_MW;
 
-use crate::config::StackConfig;
+use crate::config::{MemoryKind, StackConfig};
 
 /// Power of one 2 MB L2 in 28 nm, milliwatts.
 ///
@@ -72,6 +72,32 @@ pub fn stack_power(config: &StackConfig, mem_gbps: f64) -> StackPower {
         phy_w: PHY_POWER_MW / 1000.0,
         memory_w: config.memory.active_mw_per_gbps() * mem_gbps.max(0.0) / 1000.0,
     }
+}
+
+/// The (DRAM, flash) active-power rates of a stack, mW per GB/s.
+///
+/// Single-tier stacks put their whole Table-1 rate on their own tier
+/// and zero on the other; a hybrid Helios stack carries both, so its
+/// DRAM-tier and flash-array traffic can be priced separately (DRAM
+/// 210 mW/(GB/s), flash 6 mW/(GB/s)).
+pub fn tier_rates(config: &StackConfig) -> (f64, f64) {
+    match &config.memory {
+        MemoryKind::Mercury(d) => (d.active_mw_per_gbps, 0.0),
+        MemoryKind::Iridium(f) => (0.0, f.active_mw_per_gbps),
+        MemoryKind::Hybrid(h) => (h.dram_active_mw_per_gbps, h.flash.active_mw_per_gbps),
+    }
+}
+
+/// Computes a stack's power with per-tier memory bandwidth: DRAM-tier
+/// traffic at the DRAM rate, flash-array traffic at the flash rate.
+///
+/// For single-tier stacks this reduces exactly to [`stack_power`] with
+/// the stack's own bandwidth on its own tier.
+pub fn stack_power_split(config: &StackConfig, dram_gbps: f64, flash_gbps: f64) -> StackPower {
+    let (dram_rate, flash_rate) = tier_rates(config);
+    let mut power = stack_power(config, 0.0);
+    power.memory_w = (dram_rate * dram_gbps.max(0.0) + flash_rate * flash_gbps.max(0.0)) / 1000.0;
+    power
 }
 
 /// Derives the event-driven [`EnergyRates`] for a stack from the same
@@ -190,6 +216,32 @@ mod tests {
             let rel = (event_j - analytic_j).abs() / analytic_j;
             assert!(rel < 1e-12, "{}: relative error {rel}", config.name());
         }
+    }
+
+    #[test]
+    fn split_pricing_reduces_to_single_rate_for_pure_stacks() {
+        let mercury = StackConfig::mercury(CoreConfig::a7_1ghz(), 32, true).unwrap();
+        assert_eq!(tier_rates(&mercury), (210.0, 0.0));
+        let split = stack_power_split(&mercury, 4.2, 0.0);
+        assert_eq!(split, stack_power(&mercury, 4.2));
+        let iridium = StackConfig::iridium(CoreConfig::a7_1ghz(), 32).unwrap();
+        assert_eq!(tier_rates(&iridium), (0.0, 6.0));
+        assert_eq!(
+            stack_power_split(&iridium, 0.0, 7.5),
+            stack_power(&iridium, 7.5)
+        );
+    }
+
+    #[test]
+    fn helios_prices_tiers_at_separate_table1_rates() {
+        let helios = StackConfig::helios(CoreConfig::a7_1ghz(), 32, 256 << 20).unwrap();
+        assert_eq!(tier_rates(&helios), (210.0, 6.0));
+        let p = stack_power_split(&helios, 2.0, 5.0);
+        // 2 GB/s of DRAM at 210 mW + 5 GB/s of flash at 6 mW.
+        assert!((p.memory_w - (2.0 * 0.210 + 5.0 * 0.006)).abs() < 1e-12);
+        // The same traffic priced at the single headline (DRAM) rate
+        // would overcharge the flash bytes.
+        assert!(p.memory_w < stack_power(&helios, 7.0).memory_w);
     }
 
     #[test]

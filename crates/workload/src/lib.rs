@@ -160,6 +160,25 @@ pub struct MixedWorkload {
     label: String,
 }
 
+/// Key-popularity skew of Facebook's ETC pool (Atikoglu et al.,
+/// SIGMETRICS '12 §4): Zipf-like with alpha near 1.
+pub const ETC_ZIPF_ALPHA: f64 = 0.99;
+
+/// GET fraction of the ETC pool (ETC is read-dominated; ~30:1 GET:SET
+/// rounds to 95+ % GETs once DELETEs are folded out).
+pub const ETC_GET_FRACTION: f64 = 0.95;
+
+/// ETC value-size mixture, `(value_bytes, weight)`: mass concentrated
+/// below 1 KB with a thin large-value tail, coarsened from the paper's
+/// Fig. 2 value-size CDF to this crate's discrete sizes.
+pub const ETC_VALUE_MIX: &[(u64, f64)] = &[
+    (64, 0.3),
+    (256, 0.35),
+    (1024, 0.25),
+    (4096, 0.08),
+    (65_536, 0.02),
+];
+
 impl MixedWorkload {
     /// Builds a workload with explicit parameters.
     ///
@@ -198,22 +217,33 @@ impl MixedWorkload {
         }
     }
 
-    /// The ETC-like preset: 95 % GETs, Zipf(0.99) popularity, values
-    /// biased toward a few hundred bytes.
+    /// The ETC-like preset, assembled from the named constants
+    /// [`ETC_GET_FRACTION`], [`ETC_ZIPF_ALPHA`], and [`ETC_VALUE_MIX`]:
+    /// 95 % GETs, Zipf(0.99) popularity, values biased toward a few
+    /// hundred bytes.
     pub fn etc_like(keys: usize, seed: u64) -> Self {
         MixedWorkload::new(
             keys,
-            0.99,
-            0.95,
-            &[
-                (64, 0.3),
-                (256, 0.35),
-                (1024, 0.25),
-                (4096, 0.08),
-                (65_536, 0.02),
-            ],
+            ETC_ZIPF_ALPHA,
+            ETC_GET_FRACTION,
+            ETC_VALUE_MIX,
             seed,
             "ETC-like",
+        )
+    }
+
+    /// ETC key popularity and GET mix at one fixed value size — the
+    /// shape tier-size sweeps want: the Zipf reference stream decides
+    /// the DRAM-tier hit rate while the value size stays a controlled
+    /// variable, and reports can still cite the named workload.
+    pub fn etc_fixed_size(keys: usize, value_bytes: u64, seed: u64) -> Self {
+        MixedWorkload::new(
+            keys,
+            ETC_ZIPF_ALPHA,
+            ETC_GET_FRACTION,
+            &[(value_bytes, 1.0)],
+            seed,
+            &format!("ETC-like @{value_bytes}B"),
         )
     }
 
@@ -343,6 +373,22 @@ mod tests {
         for _ in 0..100 {
             assert!(gen.next_request().value_bytes >= 16 << 10);
         }
+    }
+
+    #[test]
+    fn etc_fixed_size_keeps_the_named_shape() {
+        let mut gen = MixedWorkload::etc_fixed_size(10_000, 2048, 6);
+        let n = 4000;
+        let mut gets = 0;
+        for _ in 0..n {
+            let r = gen.next_request();
+            assert_eq!(r.value_bytes, 2048, "single controlled size");
+            if r.op == Op::Get {
+                gets += 1;
+            }
+        }
+        assert!((gets as f64 / n as f64 - ETC_GET_FRACTION).abs() < 0.02);
+        assert!(gen.describe().contains("ETC"));
     }
 
     #[test]

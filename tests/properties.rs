@@ -775,3 +775,130 @@ proptest! {
         prop_assert!(energy.total_j() > 0.0);
     }
 }
+
+// ---------------------------------------------------------------------
+// Helios hybrid tier: degenerate limits and passivity
+// ---------------------------------------------------------------------
+
+proptest! {
+    /// Degenerate limit, lower end: a Helios core with a 0-byte DRAM
+    /// tier is an Iridium core, bit for bit — every request timing and
+    /// the device byte counter agree over arbitrary GET/PUT mixes.
+    #[test]
+    fn helios_zero_tier_is_iridium_bit_for_bit(
+        seed in any::<u64>(),
+        requests in 8u64..40,
+        put_every in 2u64..6,
+    ) {
+        use densekv::sim::{CoreSim, CoreSimConfig};
+        use densekv_workload::{key_bytes, Op, Request};
+
+        let mut rng = SplitMix64::new(seed);
+        let workload: Vec<Request> = (0..requests)
+            .map(|i| Request {
+                op: if i % put_every == 0 { Op::Put } else { Op::Get },
+                key: key_bytes(rng.next_u64() % 24),
+                value_bytes: 64 + (rng.next_u64() % 1024),
+            })
+            .collect();
+
+        let mut iridium = CoreSim::new(CoreSimConfig::iridium_a7()).expect("valid");
+        let mut helios = CoreSim::new(CoreSimConfig::helios_a7(0)).expect("valid");
+        iridium.preload(64, 24).expect("fits");
+        helios.preload(64, 24).expect("fits");
+        for (i, request) in workload.iter().enumerate() {
+            let a = iridium.execute(request);
+            let b = helios.execute(request);
+            prop_assert_eq!(a, b, "request {} diverged", i);
+        }
+        prop_assert_eq!(iridium.device_bytes(), helios.device_bytes());
+    }
+
+    /// Degenerate limit, upper end: with a tier larger than everything
+    /// the trace touches, every re-reference to a resident page is
+    /// served at exactly Mercury's closed-page DRAM line latency, and
+    /// the hit/miss counters agree with a reference resident-set model.
+    #[test]
+    fn helios_oversized_tier_rereferences_at_dram_speed(
+        lines in proptest::collection::vec(0u64..4096, 1..300)
+    ) {
+        use densekv_hybrid::{HybridConfig, HybridMemory};
+        use densekv_mem::dram::{DramConfig, DramStack};
+        use densekv_mem::{AccessKind, MemoryTiming, LINE_BYTES};
+
+        let config = HybridConfig::helios(1 << 30, Duration::from_micros(25));
+        let page_lines = config.flash.page_bytes / LINE_BYTES;
+        let mut hybrid = HybridMemory::new(config.clone());
+        let mut mercury = DramStack::new(DramConfig::mercury(Duration::from_nanos(10)));
+
+        let mut resident = std::collections::HashSet::new();
+        let mut hits = 0u64;
+        for &line in &lines {
+            let latency = hybrid.line_access(line, AccessKind::Read);
+            if resident.contains(&(line / page_lines)) {
+                hits += 1;
+                prop_assert_eq!(latency, config.dram_line_latency());
+                prop_assert_eq!(latency, mercury.line_access(line, AccessKind::Read));
+            }
+            resident.insert(line / page_lines);
+        }
+        prop_assert_eq!(hybrid.tier_hits(), hits);
+        prop_assert_eq!(hybrid.tier_misses(), lines.len() as u64 - hits);
+        prop_assert_eq!(hybrid.resident_pages(), resident.len() as u64);
+    }
+
+    /// A Helios core run with energy metering on is bit-identical in
+    /// every performance output — and every tier counter — to the same
+    /// run with metering off: per-tier pricing only reads the byte
+    /// counters after each execution.
+    #[test]
+    fn energy_metering_cannot_change_helios_results(
+        seed in any::<u64>(),
+        requests in 8u64..48,
+        put_every in 2u64..8,
+        tier_kb in 0u64..2048,
+    ) {
+        use densekv::energy::run_energy_observed;
+        use densekv::sim::{CoreSim, CoreSimConfig};
+        use densekv_telemetry::Telemetry;
+        use densekv_workload::{key_bytes, Op, Request};
+
+        let mut rng = SplitMix64::new(seed);
+        let workload: Vec<Request> = (0..requests)
+            .map(|i| Request {
+                op: if i % put_every == 0 { Op::Put } else { Op::Get },
+                key: key_bytes(rng.next_u64() % 24),
+                value_bytes: 64 + (rng.next_u64() % 512),
+            })
+            .collect();
+
+        let run_arm = |metered: bool| {
+            let mut core =
+                CoreSim::new(CoreSimConfig::helios_a7(tier_kb << 10)).expect("valid");
+            core.preload(64, 24).expect("fits");
+            let mut tele = Telemetry::disabled();
+            let run = run_energy_observed(
+                &mut core,
+                &workload,
+                &mut tele,
+                metered,
+                Duration::from_micros(500),
+            );
+            (run, core.tier_stats().expect("hybrid core"), core.device_tier_bytes())
+        };
+        let (dark, dark_tier, dark_bytes) = run_arm(false);
+        let (lit, lit_tier, lit_bytes) = run_arm(true);
+
+        prop_assert_eq!(dark.requests, lit.requests);
+        prop_assert_eq!(dark.elapsed, lit.elapsed);
+        prop_assert_eq!(dark.latency.count(), lit.latency.count());
+        for q in [0.0, 0.5, 0.95, 0.99, 1.0] {
+            prop_assert_eq!(dark.latency.percentile(q), lit.latency.percentile(q));
+        }
+        prop_assert_eq!(dark_tier, lit_tier);
+        prop_assert_eq!(dark_bytes, lit_bytes);
+        // The metered arm actually measured something.
+        prop_assert_eq!(dark.meter.total_j(), 0.0);
+        prop_assert!(lit.meter.total_j() > 0.0);
+    }
+}

@@ -1,0 +1,80 @@
+//! Micro-benchmarks of the hot paths this harness leans on: Zipf rank
+//! sampling (the O(1) alias draw versus the O(log n) CDF search it
+//! replaced), the cache set-index fast path, one end-to-end simulated
+//! request, and one quick sweep point — the unit of work the parallel
+//! harness distributes across workers.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use densekv::sim::{CoreSim, CoreSimConfig};
+use densekv::sweep::{measure_point, SweepEffort};
+use densekv_cpu::cache::{Cache, CacheConfig};
+use densekv_sim::dist::Zipf;
+use densekv_sim::SplitMix64;
+use densekv_workload::{key_bytes, Op, Request};
+
+fn bench_zipf_sampling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hotpaths/zipf");
+    group.throughput(Throughput::Elements(1));
+    // Population matched to the cluster workload's key space.
+    let zipf = Zipf::new(10_000, 0.99);
+    group.bench_function("alias_sample", |b| {
+        let mut rng = SplitMix64::new(7);
+        b.iter(|| black_box(zipf.sample(&mut rng)))
+    });
+    group.bench_function("cdf_sample", |b| {
+        let mut rng = SplitMix64::new(7);
+        b.iter(|| black_box(zipf.sample_cdf(&mut rng)))
+    });
+    group.finish();
+}
+
+fn bench_cache_hot_hit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hotpaths/cache");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("l1_mru_hit", |b| {
+        let mut cache = Cache::new(CacheConfig::l1_32k());
+        cache.access(0);
+        b.iter(|| black_box(cache.access(0)))
+    });
+    group.finish();
+}
+
+fn bench_request(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hotpaths/request");
+    group.throughput(Throughput::Elements(1));
+    let req = Request {
+        op: Op::Get,
+        key: key_bytes(0),
+        value_bytes: 64,
+    };
+    group.bench_function("mercury_a7_get64", |b| {
+        let mut core = CoreSim::new(CoreSimConfig::mercury_a7()).expect("valid");
+        core.preload(64, 32).expect("fits");
+        for _ in 0..300 {
+            core.execute(&req);
+        }
+        b.iter(|| black_box(core.execute(&req)))
+    });
+    group.finish();
+}
+
+fn bench_sweep_point(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hotpaths/sweep");
+    group.sample_size(10);
+    group.bench_function("quick_point_64b", |b| {
+        let cfg = CoreSimConfig::mercury_a7();
+        b.iter(|| black_box(measure_point(&cfg, 64, SweepEffort::quick())))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    bench_hotpaths,
+    bench_zipf_sampling,
+    bench_cache_hot_hit,
+    bench_request,
+    bench_sweep_point
+);
+criterion_main!(bench_hotpaths);

@@ -1,57 +1,56 @@
 //! Regenerates every table and figure in one pass, sharing the expensive
 //! evaluation grid, and prints a measured-vs-paper summary. This is the
 //! binary EXPERIMENTS.md is produced from.
+//!
+//! The independent top-level stages (breakdowns, latency figures, the
+//! evaluation grid, thermal) run concurrently under `--jobs` /
+//! `DENSEKV_JOBS`, each stage fanning its own size points out over the
+//! same worker budget. Emission happens after the join, in a fixed
+//! stage order, so the artifacts are byte-identical at any `--jobs`.
 
 use densekv::experiments::{evaluation, fig4, fig56, fig78, headline, tables, thermal};
 use densekv::report::TextTable;
+use densekv::sweep::SweepEffort;
+use densekv_par::{par_map, Jobs};
 
-fn main() {
-    let effort = densekv_bench::effort();
-    eprintln!("[densekv-bench] static tables");
-    densekv_bench::emit("table1", &tables::table1());
-    densekv_bench::emit("table2", &tables::table2());
+/// One deferred stage: a label for progress logging plus the work, which
+/// returns the `(name, table)` artifacts to emit in order.
+type Stage = (
+    &'static str,
+    Box<dyn Fn() -> Vec<(String, TextTable)> + Sync>,
+);
 
-    eprintln!("[densekv-bench] fig 4 (breakdowns)");
-    let f4 = fig4::run(effort);
-    for (i, table) in f4.tables().iter().enumerate() {
-        densekv_bench::emit(&format!("fig4{}", ['a', 'b'][i]), table);
+fn emit_named(tables: Vec<(String, TextTable)>) {
+    for (name, table) in tables {
+        densekv_bench::emit(&name, &table);
     }
+}
 
-    eprintln!("[densekv-bench] fig 5 (Mercury-1 latency sweep)");
-    let f5 = fig56::fig5(effort);
-    for (i, table) in f5.tables().iter().enumerate() {
-        densekv_bench::emit(&format!("fig5_panel{i}"), table);
-    }
-
-    eprintln!("[densekv-bench] fig 6 (Iridium-1 latency sweep)");
-    let f6 = fig56::fig6(effort);
-    for (i, table) in f6.tables().iter().enumerate() {
-        densekv_bench::emit(&format!("fig6_panel{i}"), table);
-    }
-
-    eprintln!("[densekv-bench] full evaluation grid (table 3, figs 7-8)");
-    let evals = evaluation::evaluate_all(effort);
-    for (i, table) in tables::table3(&evals).iter().enumerate() {
-        densekv_bench::emit(&format!("table3_{i}"), table);
+/// The evaluation-grid stage: table 3, figs 7–8, table 4, the headline
+/// multipliers, and the paper-vs-measured digest all share one grid.
+fn grid_stage(effort: SweepEffort, jobs: Jobs) -> Vec<(String, TextTable)> {
+    let evals = evaluation::evaluate_all(effort, jobs);
+    let mut out = Vec::new();
+    for (i, table) in tables::table3(&evals).into_iter().enumerate() {
+        out.push((format!("table3_{i}"), table));
     }
     let (f7a, f7b) = fig78::fig7(&evals);
-    densekv_bench::emit("fig7a", &f7a.table(true));
-    densekv_bench::emit("fig7b", &f7b.table(true));
+    out.push(("fig7a".to_owned(), f7a.table(true)));
+    out.push(("fig7b".to_owned(), f7b.table(true)));
     let (f8a, f8b) = fig78::fig8(&evals);
-    densekv_bench::emit("fig8a", &f8a.table(false));
-    densekv_bench::emit("fig8b", &f8b.table(false));
+    out.push(("fig8a".to_owned(), f8a.table(false)));
+    out.push(("fig8b".to_owned(), f8b.table(false)));
 
-    eprintln!("[densekv-bench] table 4 + headline");
     let t4 = tables::table4(&evals);
-    densekv_bench::emit("table4", &t4.table());
+    out.push(("table4".to_owned(), t4.table()));
     let hl = headline::run(&t4);
-    densekv_bench::emit("headline", &hl.table());
+    out.push(("headline".to_owned(), hl.table()));
+    out.push(("digest".to_owned(), digest(&t4, &hl)));
+    out
+}
 
-    eprintln!("[densekv-bench] thermal");
-    let rows = thermal::run();
-    densekv_bench::emit("thermal", &thermal::table(&rows));
-
-    // Paper-vs-measured digest for EXPERIMENTS.md.
+/// Paper-vs-measured digest for EXPERIMENTS.md.
+fn digest(t4: &tables::Table4, hl: &headline::HeadlineReport) -> TextTable {
     let mut digest = TextTable::new(vec!["quantity".into(), "paper".into(), "measured".into()])
         .with_title("Paper vs. measured digest");
     let row = |t: &mut TextTable, what: &str, paper: String, measured: String| {
@@ -115,5 +114,78 @@ fn main() {
             1.0 / hl.iridium.tps_per_gb
         ),
     );
-    densekv_bench::emit("digest", &digest);
+    digest
+}
+
+fn main() {
+    let effort = densekv_bench::effort();
+    let jobs = densekv_bench::jobs();
+
+    let stages: Vec<Stage> = vec![
+        (
+            "static tables",
+            Box::new(|| {
+                vec![
+                    ("table1".to_owned(), tables::table1()),
+                    ("table2".to_owned(), tables::table2()),
+                ]
+            }),
+        ),
+        (
+            "fig 4 (breakdowns)",
+            Box::new(move || {
+                fig4::run(effort, jobs)
+                    .tables()
+                    .into_iter()
+                    .zip(['a', 'b'])
+                    .map(|(t, suffix)| (format!("fig4{suffix}"), t))
+                    .collect()
+            }),
+        ),
+        (
+            "fig 5 (Mercury-1 latency sweep)",
+            Box::new(move || {
+                fig56::fig5(effort, jobs)
+                    .tables()
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, t)| (format!("fig5_panel{i}"), t))
+                    .collect()
+            }),
+        ),
+        (
+            "fig 6 (Iridium-1 latency sweep)",
+            Box::new(move || {
+                fig56::fig6(effort, jobs)
+                    .tables()
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, t)| (format!("fig6_panel{i}"), t))
+                    .collect()
+            }),
+        ),
+        (
+            "full evaluation grid (table 3, figs 7-8, table 4, headline)",
+            Box::new(move || grid_stage(effort, jobs)),
+        ),
+        (
+            "thermal",
+            Box::new(move || {
+                let rows = thermal::run(jobs);
+                vec![("thermal".to_owned(), thermal::table(&rows))]
+            }),
+        ),
+    ];
+
+    for (label, _) in &stages {
+        eprintln!("[densekv-bench] queued: {label}");
+    }
+    let results = par_map(jobs, &stages, |(label, work)| {
+        let tables = work();
+        eprintln!("[densekv-bench] finished: {label}");
+        tables
+    });
+    for tables in results {
+        emit_named(tables);
+    }
 }

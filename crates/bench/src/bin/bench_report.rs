@@ -1,0 +1,103 @@
+//! Machine-readable hot-path benchmark report.
+//!
+//! Times the same hot paths as `benches/hotpaths.rs` with plain
+//! wall-clock sampling (median of repeated timed batches), then times a
+//! quick evaluation grid — the work `all-experiments` fans out — at
+//! `--jobs 1` versus the detected worker count, and writes everything
+//! to `results/BENCH_hotpaths.json`. Numbers are whatever the host
+//! actually measured; on a single-core machine the grid speedup will be
+//! ~1.0x.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use densekv::experiments::evaluation;
+use densekv::sim::{CoreSim, CoreSimConfig};
+use densekv::sweep::{measure_point, SweepEffort};
+use densekv_cpu::cache::{Cache, CacheConfig};
+use densekv_par::Jobs;
+use densekv_sim::dist::Zipf;
+use densekv_sim::SplitMix64;
+use densekv_workload::{key_bytes, Op, Request};
+
+/// Median per-call nanoseconds over `reps` batches of `iters` calls.
+fn median_ns(iters: u32, reps: usize, mut f: impl FnMut()) -> f64 {
+    let mut samples: Vec<f64> = (0..reps)
+        .map(|_| {
+            let start = Instant::now();
+            for _ in 0..iters {
+                f();
+            }
+            start.elapsed().as_nanos() as f64 / f64::from(iters)
+        })
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    samples[reps / 2]
+}
+
+fn main() {
+    let jobs = densekv_bench::jobs();
+    eprintln!("[densekv-bench] timing hot paths (this takes a minute)...");
+
+    // Population matched to the cluster workload's key space.
+    let zipf = Zipf::new(10_000, 0.99);
+    let mut rng = SplitMix64::new(7);
+    let alias_ns = median_ns(200_000, 9, || {
+        black_box(zipf.sample(&mut rng));
+    });
+    let mut rng = SplitMix64::new(7);
+    let cdf_ns = median_ns(200_000, 9, || {
+        black_box(zipf.sample_cdf(&mut rng));
+    });
+
+    let mut cache = Cache::new(CacheConfig::l1_32k());
+    cache.access(0);
+    let cache_ns = median_ns(200_000, 9, || {
+        black_box(cache.access(0));
+    });
+
+    let req = Request {
+        op: Op::Get,
+        key: key_bytes(0),
+        value_bytes: 64,
+    };
+    let mut core = CoreSim::new(CoreSimConfig::mercury_a7()).expect("valid");
+    core.preload(64, 32).expect("fits");
+    for _ in 0..300 {
+        core.execute(&req);
+    }
+    let request_ns = median_ns(5_000, 9, || {
+        black_box(core.execute(&req));
+    });
+
+    let cfg = CoreSimConfig::mercury_a7();
+    let sweep_point_ns = median_ns(1, 5, || {
+        black_box(measure_point(&cfg, 64, SweepEffort::quick()));
+    });
+
+    // The grid all-experiments fans out, at quick effort: serial versus
+    // the requested/detected worker count.
+    let time_grid = |jobs: Jobs| {
+        let start = Instant::now();
+        black_box(evaluation::evaluate_a7(SweepEffort::quick(), jobs));
+        start.elapsed().as_secs_f64() * 1e3
+    };
+    let grid_serial_ms = time_grid(Jobs::SERIAL);
+    let grid_par_ms = time_grid(jobs);
+
+    let host_cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let json = format!(
+        "{{\n  \"generated_by\": \"bench_report\",\n  \"host_cores\": {host_cores},\n  \
+         \"hot_paths_ns_per_op\": {{\n    \"zipf_alias_sample\": {alias_ns:.1},\n    \
+         \"zipf_cdf_sample\": {cdf_ns:.1},\n    \"cache_l1_mru_hit\": {cache_ns:.1},\n    \
+         \"request_mercury_a7_get64\": {request_ns:.1},\n    \
+         \"sweep_point_quick_64b\": {sweep_point_ns:.1}\n  }},\n  \
+         \"quick_grid\": {{\n    \"jobs_1_ms\": {grid_serial_ms:.1},\n    \
+         \"jobs_n_ms\": {grid_par_ms:.1},\n    \"jobs\": {n},\n    \
+         \"speedup\": {speedup:.2}\n  }}\n}}\n",
+        n = jobs.get(),
+        speedup = grid_serial_ms / grid_par_ms.max(f64::MIN_POSITIVE),
+    );
+    densekv_bench::emit_raw("BENCH_hotpaths.json", &json);
+    print!("{json}");
+}

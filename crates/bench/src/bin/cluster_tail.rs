@@ -1,7 +1,8 @@
 //! Extension experiment: cluster-wide tail latency versus offered load.
 
 fn main() {
-    let points = densekv::experiments::cluster::cluster_tail(densekv_bench::effort());
+    let points =
+        densekv::experiments::cluster::cluster_tail(densekv_bench::effort(), densekv_bench::jobs());
     densekv_bench::emit(
         "cluster_tail",
         &densekv::experiments::cluster::tail_table(&points),

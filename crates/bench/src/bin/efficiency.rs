@@ -1,7 +1,8 @@
 //! Extension experiment: server efficiency across the size sweep.
 
 fn main() {
-    let points = densekv::experiments::efficiency::run(densekv_bench::effort());
+    let points =
+        densekv::experiments::efficiency::run(densekv_bench::effort(), densekv_bench::jobs());
     densekv_bench::emit(
         "efficiency",
         &densekv::experiments::efficiency::table(&points),

@@ -1,7 +1,7 @@
 //! Regenerates Figure 4: GET/PUT execution-time breakdown.
 
 fn main() {
-    let fig = densekv::experiments::fig4::run(densekv_bench::effort());
+    let fig = densekv::experiments::fig4::run(densekv_bench::effort(), densekv_bench::jobs());
     for (i, table) in fig.tables().iter().enumerate() {
         densekv_bench::emit(&format!("fig4{}", ['a', 'b'][i]), table);
     }

@@ -2,7 +2,7 @@
 //! configurations and DRAM latencies.
 
 fn main() {
-    let fig = densekv::experiments::fig56::fig5(densekv_bench::effort());
+    let fig = densekv::experiments::fig56::fig5(densekv_bench::effort(), densekv_bench::jobs());
     for (i, table) in fig.tables().iter().enumerate() {
         densekv_bench::emit(&format!("fig5_panel{i}"), table);
     }

@@ -2,7 +2,7 @@
 //! configurations and flash latencies.
 
 fn main() {
-    let fig = densekv::experiments::fig56::fig6(densekv_bench::effort());
+    let fig = densekv::experiments::fig56::fig6(densekv_bench::effort(), densekv_bench::jobs());
     for (i, table) in fig.tables().iter().enumerate() {
         densekv_bench::emit(&format!("fig6_panel{i}"), table);
     }

@@ -1,7 +1,7 @@
 //! Regenerates Figure 7: density vs throughput for Mercury and Iridium.
 
 fn main() {
-    let evals = densekv::experiments::evaluate_all(densekv_bench::effort());
+    let evals = densekv::experiments::evaluate_all(densekv_bench::effort(), densekv_bench::jobs());
     let (a, b) = densekv::experiments::fig78::fig7(&evals);
     densekv_bench::emit("fig7a", &a.table(true));
     densekv_bench::emit("fig7b", &b.table(true));

@@ -1,7 +1,7 @@
 //! Regenerates Figure 8: power vs throughput for Mercury and Iridium.
 
 fn main() {
-    let evals = densekv::experiments::evaluate_all(densekv_bench::effort());
+    let evals = densekv::experiments::evaluate_all(densekv_bench::effort(), densekv_bench::jobs());
     let (a, b) = densekv::experiments::fig78::fig8(&evals);
     densekv_bench::emit("fig8a", &a.table(false));
     densekv_bench::emit("fig8b", &b.table(false));

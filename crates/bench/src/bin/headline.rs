@@ -1,7 +1,10 @@
 //! Regenerates the §6 headline multipliers vs the Bags baseline.
 
 fn main() {
-    let evals = densekv::experiments::evaluation::evaluate_a7(densekv_bench::effort());
+    let evals = densekv::experiments::evaluation::evaluate_a7(
+        densekv_bench::effort(),
+        densekv_bench::jobs(),
+    );
     let t4 = densekv::experiments::tables::table4(&evals);
     let report = densekv::experiments::headline::run(&t4);
     densekv_bench::emit("headline", &report.table());

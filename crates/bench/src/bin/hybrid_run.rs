@@ -81,7 +81,7 @@ fn main() {
         SweepEffort::full()
     };
 
-    let points = hybrid::run(effort);
+    let points = hybrid::run(effort, densekv_bench::jobs());
     emit_raw("hybrid_sweep.csv", &sweep_csv(&points));
     emit_raw("hybrid_power.csv", &power_csv(&points));
 

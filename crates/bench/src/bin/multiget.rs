@@ -1,6 +1,6 @@
 //! Extension experiment: multi-GET batching amortization.
 
 fn main() {
-    let points = densekv::experiments::multiget::run();
+    let points = densekv::experiments::multiget::run(densekv_bench::jobs());
     densekv_bench::emit("multiget", &densekv::experiments::multiget::table(&points));
 }

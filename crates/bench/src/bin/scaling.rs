@@ -1,6 +1,6 @@
 //! Extension experiment: event-driven validation of linear core scaling.
 
 fn main() {
-    let points = densekv::experiments::scaling::run();
+    let points = densekv::experiments::scaling::run(densekv_bench::jobs());
     densekv_bench::emit("scaling", &densekv::experiments::scaling::table(&points));
 }

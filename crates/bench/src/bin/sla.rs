@@ -1,6 +1,6 @@
 //! Extension experiment: latency under load (SLA curves).
 
 fn main() {
-    let points = densekv::experiments::sla::run(densekv_bench::effort());
+    let points = densekv::experiments::sla::run(densekv_bench::effort(), densekv_bench::jobs());
     densekv_bench::emit("sla", &densekv::experiments::sla::table(&points));
 }

@@ -2,7 +2,7 @@
 //! types x Mercury/Iridium x 6 core counts).
 
 fn main() {
-    let evals = densekv::experiments::evaluate_all(densekv_bench::effort());
+    let evals = densekv::experiments::evaluate_all(densekv_bench::effort(), densekv_bench::jobs());
     for (i, table) in densekv::experiments::tables::table3(&evals)
         .iter()
         .enumerate()

@@ -2,7 +2,10 @@
 //! TSSP at 64 B GETs.
 
 fn main() {
-    let evals = densekv::experiments::evaluation::evaluate_a7(densekv_bench::effort());
+    let evals = densekv::experiments::evaluation::evaluate_a7(
+        densekv_bench::effort(),
+        densekv_bench::jobs(),
+    );
     let t4 = densekv::experiments::tables::table4(&evals);
     densekv_bench::emit("table4", &t4.table());
 }

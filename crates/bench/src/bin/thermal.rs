@@ -1,6 +1,6 @@
 //! Regenerates the §6.5 thermal check.
 
 fn main() {
-    let rows = densekv::experiments::thermal::run();
+    let rows = densekv::experiments::thermal::run(densekv_bench::jobs());
     densekv_bench::emit("thermal", &densekv::experiments::thermal::table(&rows));
 }

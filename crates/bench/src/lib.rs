@@ -84,6 +84,41 @@ pub fn effort() -> densekv::sweep::SweepEffort {
     }
 }
 
+/// Picks the worker count for the run: `--jobs N` (or `--jobs=N`) from
+/// the command line, else the `DENSEKV_JOBS` variable, else the
+/// machine's available parallelism. Results are bit-identical at any
+/// value — `--jobs` only changes wall-clock time.
+///
+/// # Panics
+///
+/// Panics with a usage message when `--jobs` is present without a
+/// parseable positive count.
+#[must_use]
+pub fn jobs() -> densekv_par::Jobs {
+    jobs_from(std::env::args().skip(1))
+}
+
+/// [`jobs`], but parsing an explicit argument list (testable).
+pub fn jobs_from(args: impl IntoIterator<Item = String>) -> densekv_par::Jobs {
+    let mut args = args.into_iter();
+    while let Some(arg) = args.next() {
+        let value = if arg == "--jobs" {
+            args.next()
+        } else if let Some(v) = arg.strip_prefix("--jobs=") {
+            Some(v.to_owned())
+        } else {
+            continue;
+        };
+        let n = value
+            .as_deref()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or_else(|| panic!("--jobs expects a positive worker count"));
+        return densekv_par::Jobs::new(n);
+    }
+    densekv_par::Jobs::from_env()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -100,5 +135,20 @@ mod tests {
         // exercise the default path.
         let e = effort();
         assert!(e.measured > 0);
+    }
+
+    #[test]
+    fn jobs_flag_parses_both_spellings() {
+        let args = |v: &[&str]| v.iter().map(|s| (*s).to_owned()).collect::<Vec<_>>();
+        assert_eq!(jobs_from(args(&["--jobs", "3"])).get(), 3);
+        assert_eq!(jobs_from(args(&["--quiet", "--jobs=7"])).get(), 7);
+        // No flag: falls through to the environment/machine default.
+        assert!(jobs_from(args(&["--quiet"])).get() >= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive worker count")]
+    fn jobs_flag_rejects_garbage() {
+        let _ = jobs_from(["--jobs".to_owned(), "zero".to_owned()]);
     }
 }

@@ -22,6 +22,7 @@ use densekv_cluster::{
 };
 use densekv_net::frame::MessageSizes;
 use densekv_net::wire_bytes_for_payload;
+use densekv_par::{par_map, Jobs};
 use densekv_sim::{Duration, SimTime};
 use densekv_workload::{key_bytes, Op, Request};
 
@@ -138,42 +139,31 @@ struct Design {
 const HELIOS_TIER_BYTES: u64 = 256 << 20;
 
 /// The comparison set: four stacked designs at 8 cores per port and a
-/// 16-core Xeon box per port.
-fn designs(effort: SweepEffort) -> Vec<Design> {
-    vec![
-        Design {
-            profile: calibrate("Mercury A7", &CoreSimConfig::mercury_a7(), effort),
-            cores_per_stack: 8,
-        },
-        Design {
-            profile: calibrate(
-                "Mercury A15",
-                &CoreSimConfig::mercury(
-                    densekv_cpu::CoreConfig::a15_1ghz(),
-                    true,
-                    Duration::from_nanos(10),
-                ),
-                effort,
+/// 16-core Xeon box per port. Each design's core calibration replays
+/// its own simulator, so the calibrations fan out as worker tasks.
+fn designs(effort: SweepEffort, jobs: Jobs) -> Vec<Design> {
+    let stacked: [(&str, CoreSimConfig); 4] = [
+        ("Mercury A7", CoreSimConfig::mercury_a7()),
+        (
+            "Mercury A15",
+            CoreSimConfig::mercury(
+                densekv_cpu::CoreConfig::a15_1ghz(),
+                true,
+                Duration::from_nanos(10),
             ),
-            cores_per_stack: 8,
-        },
-        Design {
-            profile: calibrate("Iridium A7", &CoreSimConfig::iridium_a7(), effort),
-            cores_per_stack: 8,
-        },
-        Design {
-            profile: calibrate(
-                "Helios A7",
-                &CoreSimConfig::helios_a7(HELIOS_TIER_BYTES / 8),
-                effort,
-            ),
-            cores_per_stack: 8,
-        },
-        Design {
-            profile: xeon_profile(),
-            cores_per_stack: 16,
-        },
-    ]
+        ),
+        ("Iridium A7", CoreSimConfig::iridium_a7()),
+        ("Helios A7", CoreSimConfig::helios_a7(HELIOS_TIER_BYTES / 8)),
+    ];
+    let mut designs: Vec<Design> = par_map(jobs, &stacked, |(label, config)| Design {
+        profile: calibrate(label, config, effort),
+        cores_per_stack: 8,
+    });
+    designs.push(Design {
+        profile: xeon_profile(),
+        cores_per_stack: 16,
+    });
+    designs
 }
 
 /// Scales the cluster request counts from the sweep effort.
@@ -203,29 +193,30 @@ pub struct TailPoint {
 /// Runs the tail experiment: each design's cluster at the
 /// [`LOAD_POINTS`] fractions of its own hit capacity (8 stacks, single
 /// GETs, Zipf keys).
-pub fn cluster_tail(effort: SweepEffort) -> Vec<TailPoint> {
+pub fn cluster_tail(effort: SweepEffort, jobs: Jobs) -> Vec<TailPoint> {
     let (requests, warmup) = request_budget(effort);
-    let mut points = Vec::new();
-    for design in designs(effort) {
-        for load in LOAD_POINTS {
-            let mut config = ClusterConfig::new(design.profile.clone(), 1.0);
-            config.topology.cores_per_stack = design.cores_per_stack;
-            config.requests = requests;
-            config.warmup = warmup;
-            config.workload.rate_per_sec = load * effective_capacity(&config);
-            let result = run_cluster(&config);
-            points.push(TailPoint {
-                design: design.profile.label.clone(),
-                load_fraction: load,
-                rate: result.offered_rate,
-                p50: result.latency.percentile(0.50).expect("samples"),
-                p95: result.latency.percentile(0.95).expect("samples"),
-                p99: result.latency.percentile(0.99).expect("samples"),
-                peak_utilization: result.peak_core_utilization,
-            });
+    let designs = designs(effort, jobs);
+    let tasks: Vec<(usize, f64)> = (0..designs.len())
+        .flat_map(|di| LOAD_POINTS.into_iter().map(move |load| (di, load)))
+        .collect();
+    par_map(jobs, &tasks, |&(di, load)| {
+        let design = &designs[di];
+        let mut config = ClusterConfig::new(design.profile.clone(), 1.0);
+        config.topology.cores_per_stack = design.cores_per_stack;
+        config.requests = requests;
+        config.warmup = warmup;
+        config.workload.rate_per_sec = load * effective_capacity(&config);
+        let result = run_cluster(&config);
+        TailPoint {
+            design: design.profile.label.clone(),
+            load_fraction: load,
+            rate: result.offered_rate,
+            p50: result.latency.percentile(0.50).expect("samples"),
+            p95: result.latency.percentile(0.95).expect("samples"),
+            p99: result.latency.percentile(0.99).expect("samples"),
+            peak_utilization: result.peak_core_utilization,
         }
-    }
-    points
+    })
 }
 
 /// Renders the tail experiment table.
@@ -375,7 +366,7 @@ mod tests {
 
     #[test]
     fn tail_experiment_shape_and_determinism() {
-        let points = cluster_tail(SweepEffort::quick());
+        let points = cluster_tail(SweepEffort::quick(), Jobs::SERIAL);
         assert_eq!(points.len(), 5 * LOAD_POINTS.len());
         for design in [
             "Mercury A7",
@@ -389,8 +380,8 @@ mod tests {
             // Queueing: the tail only grows with load.
             assert!(series.windows(2).all(|w| w[1].p99 >= w[0].p99), "{design}");
         }
-        // Same seed, same percentiles.
-        let again = cluster_tail(SweepEffort::quick());
+        // Same seed, same percentiles — and jobs-invariant.
+        let again = cluster_tail(SweepEffort::quick(), Jobs::new(3));
         for (a, b) in points.iter().zip(&again) {
             assert_eq!(a.p50, b.p50);
             assert_eq!(a.p99, b.p99);

@@ -18,6 +18,7 @@
 //! [`EnergyMeter`]: densekv_energy::EnergyMeter
 
 use densekv_cpu::CoreConfig;
+use densekv_par::{par_map, Jobs};
 use densekv_server::{evaluate_server, plan_server, stack_working_point, ServerConstraints};
 use densekv_stack::StackConfig;
 use densekv_workload::paper_size_sweep;
@@ -48,11 +49,14 @@ pub struct EfficiencyPoint {
     pub wire_gbps: f64,
 }
 
-/// Runs the sweep for the A7 Mercury-32 and Iridium-32 servers.
-pub fn run(effort: SweepEffort) -> Vec<EfficiencyPoint> {
+/// Runs the sweep for the A7 Mercury-32 and Iridium-32 servers. Each
+/// (family, size) point is one worker task that performs both the
+/// performance and the metered-energy replay; the per-family server
+/// plan (which needs the whole sweep's peak bandwidth) is derived
+/// serially after the join, so results are jobs-invariant.
+pub fn run(effort: SweepEffort, jobs: Jobs) -> Vec<EfficiencyPoint> {
     let constraints = ServerConstraints::paper_1p5u();
-    let mut points = Vec::new();
-    for (family, config, stack) in [
+    let families = [
         (
             Family::Mercury,
             CoreSimConfig::mercury_a7(),
@@ -63,29 +67,38 @@ pub fn run(effort: SweepEffort) -> Vec<EfficiencyPoint> {
             CoreSimConfig::iridium_a7(),
             StackConfig::iridium(CoreConfig::a7_1ghz(), 32).expect("valid"),
         ),
-    ] {
-        let sweep: Vec<_> = paper_size_sweep()
-            .into_iter()
-            .map(|size| measure_point(&config, size, effort))
-            .collect();
-        let peak = sweep
+    ];
+    let sizes = paper_size_sweep();
+    let tasks: Vec<(usize, u64)> = (0..families.len())
+        .flat_map(|fi| sizes.iter().map(move |&s| (fi, s)))
+        .collect();
+    let measured: Vec<_> = par_map(jobs, &tasks, |&(fi, size)| {
+        let config = &families[fi].1;
+        (
+            measure_point(config, size, effort),
+            measure_energy_point(config, size, effort),
+        )
+    });
+
+    let mut points = Vec::new();
+    for ((family, _, stack), chunk) in families.iter().zip(measured.chunks(sizes.len())) {
+        let peak = chunk
             .iter()
-            .map(|p| crate::experiments::evaluation::stack_mem_gbps(32, p.get.perf))
+            .map(|(p, _)| crate::experiments::evaluation::stack_mem_gbps(32, p.get.perf))
             .fold(0.0f64, f64::max);
-        let plan = plan_server(&constraints, stack, peak);
-        for point in &sweep {
+        let plan = plan_server(&constraints, stack.clone(), peak);
+        for (point, energy) in chunk {
             let report = evaluate_server(&plan, point.get.perf);
             let derate = stack_working_point(plan.stack.cores, point.get.perf).derate;
-            let measured = measure_energy_point(&config, point.value_bytes, effort);
             // Same wall-power conversion as the analytic column: stacks x
             // measured stack watts, through the PSU/overhead model.
             let stacks = f64::from(plan.stacks);
             let measured_wall_w = plan
                 .constraints
-                .wall_power_w(stacks * measured.measured_stack_watts(plan.stack.cores, derate));
-            let measured_tps = stacks * measured.measured_stack_tps(plan.stack.cores, derate);
+                .wall_power_w(stacks * energy.measured_stack_watts(plan.stack.cores, derate));
+            let measured_tps = stacks * energy.measured_stack_tps(plan.stack.cores, derate);
             points.push(EfficiencyPoint {
-                family,
+                family: *family,
                 value_bytes: point.value_bytes,
                 tps: report.tps,
                 power_w: report.power_w,
@@ -139,7 +152,7 @@ mod tests {
 
     #[test]
     fn efficiency_peaks_small_and_mercury_leads() {
-        let points = run(SweepEffort::quick());
+        let points = run(SweepEffort::quick(), Jobs::SERIAL);
         assert_eq!(points.len(), 30);
         let mercury_64 = points
             .iter()

@@ -3,6 +3,7 @@
 //! Tables 3–4 and Figures 7–8 cover.
 
 use densekv_cpu::CoreConfig;
+use densekv_par::{par_map, Jobs};
 use densekv_server::{
     evaluate_server, plan_server, PerCorePerf, ServerConstraints, ServerPlan, ServerReport,
 };
@@ -10,7 +11,7 @@ use densekv_sim::Duration;
 use densekv_stack::{MemoryKind, StackConfig};
 
 use crate::sim::CoreSimConfig;
-use crate::sweep::{sweep_sizes, SweepEffort, SweepPoint};
+use crate::sweep::{measure_point, SweepEffort, SweepPoint};
 
 /// The memory families the paper evaluates.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -136,31 +137,63 @@ pub fn evaluate_family(
         .collect()
 }
 
+/// Sweeps every (core, family) pair over all paper sizes in one flat
+/// ordered parallel map, then regroups per pair. The flattening exposes
+/// `pairs × sizes` independent tasks to the workers instead of
+/// serialising on one pair at a time; index-ordered collection keeps
+/// the result bit-identical to the serial nesting.
+fn sweep_grid(
+    pairs: &[(CoreConfig, Family)],
+    effort: SweepEffort,
+    jobs: Jobs,
+) -> Vec<Vec<SweepPoint>> {
+    let sizes = densekv_workload::paper_size_sweep();
+    let tasks: Vec<(usize, u64)> = pairs
+        .iter()
+        .enumerate()
+        .flat_map(|(pi, _)| sizes.iter().map(move |&s| (pi, s)))
+        .collect();
+    let points = par_map(jobs, &tasks, |&(pi, size)| {
+        let (core, family) = &pairs[pi];
+        measure_point(&family.sim_config(core.clone()), size, effort)
+    });
+    points
+        .chunks(sizes.len())
+        .map(|chunk| chunk.to_vec())
+        .collect()
+}
+
+fn evaluate_grid(
+    pairs: Vec<(CoreConfig, Family)>,
+    effort: SweepEffort,
+    jobs: Jobs,
+) -> Vec<ConfigEval> {
+    let constraints = ServerConstraints::paper_1p5u();
+    let sweeps = sweep_grid(&pairs, effort, jobs);
+    pairs
+        .into_iter()
+        .zip(sweeps)
+        .flat_map(|((core, family), sweep)| evaluate_family(core, family, &sweep, &constraints))
+        .collect()
+}
+
 /// Runs the full evaluation grid: 3 core types × 2 families × 6 core
 /// counts (36 server configurations over 6 per-core sweeps).
-pub fn evaluate_all(effort: SweepEffort) -> Vec<ConfigEval> {
-    let constraints = ServerConstraints::paper_1p5u();
-    let mut result = Vec::new();
-    for core in table3_cores() {
-        for family in Family::ALL {
-            let sweep = sweep_sizes(&family.sim_config(core.clone()), effort);
-            result.extend(evaluate_family(core.clone(), family, &sweep, &constraints));
-        }
-    }
-    result
+pub fn evaluate_all(effort: SweepEffort, jobs: Jobs) -> Vec<ConfigEval> {
+    let pairs: Vec<(CoreConfig, Family)> = table3_cores()
+        .into_iter()
+        .flat_map(|core| Family::ALL.map(|family| (core.clone(), family)))
+        .collect();
+    evaluate_grid(pairs, effort, jobs)
 }
 
 /// Evaluates only the A7 column (Table 4 needs nothing else) — much
 /// cheaper than [`evaluate_all`].
-pub fn evaluate_a7(effort: SweepEffort) -> Vec<ConfigEval> {
-    let constraints = ServerConstraints::paper_1p5u();
+pub fn evaluate_a7(effort: SweepEffort, jobs: Jobs) -> Vec<ConfigEval> {
     let core = CoreConfig::a7_1ghz();
-    let mut result = Vec::new();
-    for family in Family::ALL {
-        let sweep = sweep_sizes(&family.sim_config(core.clone()), effort);
-        result.extend(evaluate_family(core.clone(), family, &sweep, &constraints));
-    }
-    result
+    let pairs: Vec<(CoreConfig, Family)> =
+        Family::ALL.map(|family| (core.clone(), family)).to_vec();
+    evaluate_grid(pairs, effort, jobs)
 }
 
 #[cfg(test)]
@@ -169,7 +202,7 @@ mod tests {
 
     #[test]
     fn a7_grid_matches_table4_shape() {
-        let evals = evaluate_a7(SweepEffort::quick());
+        let evals = evaluate_a7(SweepEffort::quick(), Jobs::SERIAL);
         assert_eq!(evals.len(), 12);
 
         let find = |family: Family, n: u32| {
@@ -207,7 +240,7 @@ mod tests {
 
     #[test]
     fn max_power_exceeds_64b_power() {
-        let evals = evaluate_a7(SweepEffort::quick());
+        let evals = evaluate_a7(SweepEffort::quick(), Jobs::SERIAL);
         for e in &evals {
             assert!(
                 e.max_power_w >= e.at_64b.power_w - 1e-9,
@@ -220,7 +253,7 @@ mod tests {
 
     #[test]
     fn mercury_outruns_iridium_iridium_outdenses_mercury() {
-        let evals = evaluate_a7(SweepEffort::quick());
+        let evals = evaluate_a7(SweepEffort::quick(), Jobs::SERIAL);
         for n in CORE_COUNTS {
             let m = evals
                 .iter()

@@ -5,6 +5,7 @@
 //! and the network stack (which includes data transfer).
 
 use densekv_cpu::CoreConfig;
+use densekv_par::{par_map, Jobs};
 use densekv_sim::Duration;
 use densekv_workload::paper_size_sweep;
 
@@ -62,22 +63,23 @@ impl Fig4 {
     }
 }
 
-/// Runs the Fig. 4 experiment.
-pub fn run(effort: SweepEffort) -> Fig4 {
+/// Runs the Fig. 4 experiment, one worker task per size point.
+pub fn run(effort: SweepEffort, jobs: Jobs) -> Fig4 {
     // Paper §6.1: a single A15 @1 GHz, 2 MB L2, 10 ns DRAM.
     let config = CoreSimConfig::mercury(CoreConfig::a15_1ghz(), true, Duration::from_nanos(10));
+    let sizes = paper_size_sweep();
+    let points = par_map(jobs, &sizes, |&size| measure_point(&config, size, effort));
     let mut get = Vec::new();
     let mut put = Vec::new();
-    for size in paper_size_sweep() {
-        let point = measure_point(&config, size, effort);
+    for (size, point) in sizes.iter().zip(&points) {
         get.push(BreakdownBar {
-            value_bytes: size,
+            value_bytes: *size,
             network: point.get.network_share,
             store: point.get.store_share,
             hash: point.get.hash_share,
         });
         put.push(BreakdownBar {
-            value_bytes: size,
+            value_bytes: *size,
             network: point.put.network_share,
             store: point.put.store_share,
             hash: point.put.hash_share,
@@ -92,7 +94,7 @@ mod tests {
 
     #[test]
     fn breakdown_matches_paper_shape() {
-        let fig = run(SweepEffort::quick());
+        let fig = run(SweepEffort::quick(), Jobs::SERIAL);
         assert_eq!(fig.get.len(), 15);
 
         // Small GETs: network ~87%, store ~10%, hash 2-3% (paper §6.1.1).
@@ -131,7 +133,7 @@ mod tests {
 
     #[test]
     fn tables_render() {
-        let fig = run(SweepEffort::quick());
+        let fig = run(SweepEffort::quick(), Jobs::SERIAL);
         let tables = fig.tables();
         assert_eq!(tables.len(), 2);
         let text = tables[0].to_string();

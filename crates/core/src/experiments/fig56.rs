@@ -2,12 +2,13 @@
 //! sensitivity to memory latency, CPU type, and the L2.
 
 use densekv_cpu::CoreConfig;
+use densekv_par::{par_map, Jobs};
 use densekv_sim::Duration;
 use densekv_workload::paper_size_sweep;
 
 use crate::report::{size_label, TextTable};
 use crate::sim::CoreSimConfig;
-use crate::sweep::{measure_point, SweepEffort};
+use crate::sweep::{measure_point, SweepEffort, SweepPoint};
 
 /// One curve: a (cpu, L2, latency, op) series over request sizes.
 #[derive(Debug, Clone)]
@@ -110,41 +111,56 @@ fn cpu_panels() -> [(CoreConfig, bool); 4] {
 fn run_figure(
     name: &'static str,
     latencies: &[Duration],
-    make: impl Fn(CoreConfig, bool, Duration) -> CoreSimConfig,
+    make: impl Fn(CoreConfig, bool, Duration) -> CoreSimConfig + Sync,
     effort: SweepEffort,
+    jobs: Jobs,
 ) -> LatencyFigure {
+    // Flatten panels × latencies × sizes into one ordered task list so
+    // every size point of every curve is an independent worker task.
+    let sizes = paper_size_sweep();
+    let curves: Vec<(CoreConfig, bool, Duration)> = cpu_panels()
+        .into_iter()
+        .flat_map(|(core, l2)| latencies.iter().map(move |&lat| (core.clone(), l2, lat)))
+        .collect();
+    let tasks: Vec<(usize, u64)> = curves
+        .iter()
+        .enumerate()
+        .flat_map(|(ci, _)| sizes.iter().map(move |&s| (ci, s)))
+        .collect();
+    let points = par_map(jobs, &tasks, |&(ci, size)| {
+        let (core, l2, latency) = &curves[ci];
+        measure_point(&make(core.clone(), *l2, *latency), size, effort)
+    });
+
     let mut series = Vec::new();
-    for (core, l2) in cpu_panels() {
-        for &latency in latencies {
-            let config = make(core.clone(), l2, latency);
-            let mut get_points = Vec::new();
-            let mut put_points = Vec::new();
-            for size in paper_size_sweep() {
-                let p = measure_point(&config, size, effort);
-                get_points.push((size, p.get.tps));
-                put_points.push((size, p.put.tps));
-            }
-            series.push(Series {
-                cpu: core.label(),
-                l2,
-                latency,
-                op: "GET",
-                points: get_points,
-            });
-            series.push(Series {
-                cpu: core.label(),
-                l2,
-                latency,
-                op: "PUT",
-                points: put_points,
-            });
-        }
+    for ((core, l2, latency), chunk) in curves.iter().zip(points.chunks(sizes.len())) {
+        let collect = |pick: fn(&SweepPoint) -> f64| {
+            sizes
+                .iter()
+                .zip(chunk)
+                .map(|(&size, p)| (size, pick(p)))
+                .collect::<Vec<_>>()
+        };
+        series.push(Series {
+            cpu: core.label(),
+            l2: *l2,
+            latency: *latency,
+            op: "GET",
+            points: collect(|p| p.get.tps),
+        });
+        series.push(Series {
+            cpu: core.label(),
+            l2: *l2,
+            latency: *latency,
+            op: "PUT",
+            points: collect(|p| p.put.tps),
+        });
     }
     LatencyFigure { name, series }
 }
 
 /// Figure 5: Mercury-1 across DRAM latencies 10/30/50/100 ns.
-pub fn fig5(effort: SweepEffort) -> LatencyFigure {
+pub fn fig5(effort: SweepEffort, jobs: Jobs) -> LatencyFigure {
     let latencies: Vec<Duration> = [10, 30, 50, 100]
         .iter()
         .map(|&ns| Duration::from_nanos(ns))
@@ -154,11 +170,12 @@ pub fn fig5(effort: SweepEffort) -> LatencyFigure {
         &latencies,
         CoreSimConfig::mercury,
         effort,
+        jobs,
     )
 }
 
 /// Figure 6: Iridium-1 across flash read latencies 10/20 µs.
-pub fn fig6(effort: SweepEffort) -> LatencyFigure {
+pub fn fig6(effort: SweepEffort, jobs: Jobs) -> LatencyFigure {
     let latencies: Vec<Duration> = [10, 20]
         .iter()
         .map(|&us| Duration::from_micros(us))
@@ -168,6 +185,7 @@ pub fn fig6(effort: SweepEffort) -> LatencyFigure {
         &latencies,
         CoreSimConfig::iridium,
         effort,
+        jobs,
     )
 }
 

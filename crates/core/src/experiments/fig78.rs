@@ -112,12 +112,13 @@ mod tests {
     use super::*;
     use crate::experiments::evaluation::evaluate_a7;
     use crate::sweep::SweepEffort;
+    use densekv_par::Jobs;
 
     #[test]
     fn a7_density_holds_while_tps_scales() {
         // Fig. 7's A7 panel: density stays near the port-cap maximum for
         // every n while TPS climbs with n.
-        let evals = evaluate_a7(SweepEffort::quick());
+        let evals = evaluate_a7(SweepEffort::quick(), Jobs::SERIAL);
         let (mercury, iridium) = fig7(&evals);
         assert_eq!(mercury.points.len(), 6);
         assert_eq!(iridium.points.len(), 6);
@@ -138,7 +139,7 @@ mod tests {
 
     #[test]
     fn fig8_power_grows_with_cores() {
-        let evals = evaluate_a7(SweepEffort::quick());
+        let evals = evaluate_a7(SweepEffort::quick(), Jobs::SERIAL);
         let (mercury, _) = fig8(&evals);
         let p1 = mercury.points[0].power_w;
         let p32 = mercury.points[5].power_w;

@@ -74,10 +74,11 @@ mod tests {
     use crate::experiments::evaluation::evaluate_a7;
     use crate::experiments::tables::table4;
     use crate::sweep::SweepEffort;
+    use densekv_par::Jobs;
 
     #[test]
     fn headline_bands() {
-        let t4 = table4(&evaluate_a7(SweepEffort::quick()));
+        let t4 = table4(&evaluate_a7(SweepEffort::quick(), Jobs::SERIAL));
         let report = run(&t4);
 
         // Mercury: 2.9x density, 4.9x TPS/W, 10x TPS, 3.5x TPS/GB.

@@ -18,6 +18,7 @@
 //! event-driven energy meter of the same replay.
 
 use densekv_cpu::CoreConfig;
+use densekv_par::{par_map, Jobs};
 use densekv_server::{stack_working_point, PerCorePerf};
 use densekv_sim::Duration;
 use densekv_stack::power::stack_power_split;
@@ -248,45 +249,46 @@ fn measure_design(
 }
 
 /// Sweeps the tier sizes against the Mercury/Iridium baselines under
-/// both reference streams.
-pub fn run(effort: SweepEffort) -> Vec<HybridPoint> {
+/// both reference streams. Every (stream, design) replay is an
+/// independent worker task; results land in the serial nesting order.
+pub fn run(effort: SweepEffort, jobs: Jobs) -> Vec<HybridPoint> {
     let (keys, warmup, measured, tiers) = shape(effort);
     let counts = (keys, warmup, measured);
     let core = CoreConfig::a7_1ghz();
-    let mut points = Vec::new();
+    let mut tasks: Vec<(String, f64, CoreSimConfig, StackConfig, u64)> = Vec::new();
     for (label, alpha) in streams() {
         let mercury = StackConfig::mercury(core.clone(), STACK_CORES, true).expect("valid");
-        points.push(measure_design(
-            &label,
+        let mercury_mb = mercury.memory.capacity_bytes() >> 20;
+        tasks.push((
+            label.clone(),
             alpha,
-            counts,
-            &CoreSimConfig::mercury_a7(),
-            &mercury,
-            mercury.memory.capacity_bytes() >> 20,
+            CoreSimConfig::mercury_a7(),
+            mercury,
+            mercury_mb,
         ));
         let iridium = StackConfig::iridium(core.clone(), STACK_CORES).expect("valid");
-        points.push(measure_design(
-            &label,
+        tasks.push((
+            label.clone(),
             alpha,
-            counts,
-            &CoreSimConfig::iridium_a7(),
-            &iridium,
+            CoreSimConfig::iridium_a7(),
+            iridium,
             0,
         ));
         for &tier_mb in &tiers {
             let stack_tier = tier_mb << 20;
             let helios = StackConfig::helios(core.clone(), STACK_CORES, stack_tier).expect("valid");
-            points.push(measure_design(
-                &label,
+            tasks.push((
+                label.clone(),
                 alpha,
-                counts,
-                &CoreSimConfig::helios_a7(stack_tier / u64::from(STACK_CORES)),
-                &helios,
+                CoreSimConfig::helios_a7(stack_tier / u64::from(STACK_CORES)),
+                helios,
                 tier_mb,
             ));
         }
     }
-    points
+    par_map(jobs, &tasks, |(label, alpha, config, stack, tier_mb)| {
+        measure_design(label, *alpha, counts, config, stack, *tier_mb)
+    })
 }
 
 /// Renders the latency/efficiency side of the sweep (Fig. 5/6 axes plus
@@ -367,7 +369,7 @@ mod tests {
 
     #[test]
     fn helios_beats_iridium_p95_and_mercury_capacity() {
-        let points = run(SweepEffort::quick());
+        let points = run(SweepEffort::quick(), Jobs::SERIAL);
         // 2 streams x (2 baselines + 3 quick tier sizes).
         assert_eq!(points.len(), 10);
         let etc: Vec<_> = points

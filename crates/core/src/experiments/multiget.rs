@@ -6,6 +6,7 @@
 //! architectures — the "free" throughput the paper's single-GET sweeps
 //! leave on the table.
 
+use densekv_par::{par_map, Jobs};
 use densekv_workload::key_bytes;
 
 use crate::report::TextTable;
@@ -27,42 +28,50 @@ pub struct MultigetPoint {
 /// Batch sizes measured.
 pub const BATCHES: [u32; 5] = [1, 2, 4, 16, 64];
 
-/// Runs the batching sweep at 64 B values.
-pub fn run() -> Vec<MultigetPoint> {
-    let mut points = Vec::new();
-    for (system, config) in [
+/// Runs the batching sweep at 64 B values. Each (system, batch) cell
+/// builds and warms its own core so the cells are independent worker
+/// tasks; the batch = 1 cell of each system anchors the speedup column
+/// after the join.
+pub fn run(jobs: Jobs) -> Vec<MultigetPoint> {
+    let systems: [(&'static str, CoreSimConfig); 2] = [
         ("Mercury A7", CoreSimConfig::mercury_a7()),
         ("Iridium A7", CoreSimConfig::iridium_a7()),
-    ] {
-        let mut core = CoreSim::new(config).expect("valid configuration");
+    ];
+    let tasks: Vec<(usize, u32)> = (0..systems.len())
+        .flat_map(|si| BATCHES.into_iter().map(move |batch| (si, batch)))
+        .collect();
+    let rates = par_map(jobs, &tasks, |&(si, batch)| {
+        let mut core = CoreSim::new(systems[si].1.clone()).expect("valid configuration");
         core.preload(64, 128).expect("fits");
-        let mut baseline = 0.0;
-        for batch in BATCHES {
-            let keys: Vec<Vec<u8>> = (0..u64::from(batch)).map(key_bytes).collect();
-            for _ in 0..120 {
-                core.execute_multiget(&keys, 64);
-            }
-            let mut total = densekv_sim::Duration::ZERO;
-            let measured = 40;
-            for _ in 0..measured {
-                let (timing, hits) = core.execute_multiget(&keys, 64);
-                assert_eq!(hits, batch, "preloaded keys must hit");
-                total += timing.rtt;
-            }
-            let per_key = total.as_secs_f64() / f64::from(measured) / f64::from(batch);
-            let keys_per_sec = 1.0 / per_key;
-            if batch == 1 {
-                baseline = keys_per_sec;
-            }
-            points.push(MultigetPoint {
-                system,
+        let keys: Vec<Vec<u8>> = (0..u64::from(batch)).map(key_bytes).collect();
+        for _ in 0..120 {
+            core.execute_multiget(&keys, 64);
+        }
+        let mut total = densekv_sim::Duration::ZERO;
+        let measured = 40;
+        for _ in 0..measured {
+            let (timing, hits) = core.execute_multiget(&keys, 64);
+            assert_eq!(hits, batch, "preloaded keys must hit");
+            total += timing.rtt;
+        }
+        let per_key = total.as_secs_f64() / f64::from(measured) / f64::from(batch);
+        1.0 / per_key
+    });
+    tasks
+        .iter()
+        .zip(&rates)
+        .enumerate()
+        .map(|(i, (&(si, batch), &keys_per_sec))| {
+            // The first cell of each system row is its batch = 1 baseline.
+            let baseline = rates[i / BATCHES.len() * BATCHES.len()];
+            MultigetPoint {
+                system: systems[si].0,
                 batch,
                 keys_per_sec,
                 speedup: keys_per_sec / baseline,
-            });
-        }
-    }
-    points
+            }
+        })
+        .collect()
 }
 
 /// Renders the batching table.
@@ -100,7 +109,7 @@ mod tests {
 
     #[test]
     fn batching_amortizes_monotonically() {
-        let points = run();
+        let points = run(Jobs::SERIAL);
         assert_eq!(points.len(), 10);
         for system in ["Mercury A7", "Iridium A7"] {
             let series: Vec<_> = points.iter().filter(|p| p.system == system).collect();

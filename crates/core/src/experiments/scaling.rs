@@ -8,6 +8,8 @@
 //! size where the wire is idle (64 B) and one where it saturates
 //! (256 KB).
 
+use densekv_par::{par_map, Jobs};
+
 use crate::report::TextTable;
 use crate::stack_sim::{run as run_stack, StackSimConfig};
 
@@ -33,29 +35,43 @@ impl ScalingPoint {
     }
 }
 
-/// Runs the scaling validation across core counts at both sizes.
-pub fn run() -> Vec<ScalingPoint> {
-    let mut points = Vec::new();
-    for &(value_bytes, requests, warmup) in &[(64u64, 60u32, 120u32), (256 << 10, 16, 5)] {
-        let mut baseline_cfg = StackSimConfig::mercury_a7(1, value_bytes);
-        baseline_cfg.requests_per_core = requests;
-        baseline_cfg.warmup_per_core = warmup;
-        let one = run_stack(&baseline_cfg);
-        for cores in [1u32, 4, 16, 32] {
-            let mut cfg = StackSimConfig::mercury_a7(cores, value_bytes);
-            cfg.requests_per_core = requests;
-            cfg.warmup_per_core = warmup;
-            let result = run_stack(&cfg);
-            points.push(ScalingPoint {
+/// Runs the scaling validation across core counts at both sizes. Every
+/// event-driven stack run is an independent worker task; the cores = 1
+/// run of each size doubles as the analytic baseline, so no task
+/// depends on another.
+pub fn run(jobs: Jobs) -> Vec<ScalingPoint> {
+    const CORES: [u32; 4] = [1, 4, 16, 32];
+    let shapes = [(64u64, 60u32, 120u32), (256 << 10, 16, 5)];
+    let tasks: Vec<(u64, u32, u32, u32)> = shapes
+        .iter()
+        .flat_map(|&(value_bytes, requests, warmup)| {
+            CORES
+                .iter()
+                .map(move |&cores| (value_bytes, requests, warmup, cores))
+        })
+        .collect();
+    let results = par_map(jobs, &tasks, |&(value_bytes, requests, warmup, cores)| {
+        let mut cfg = StackSimConfig::mercury_a7(cores, value_bytes);
+        cfg.requests_per_core = requests;
+        cfg.warmup_per_core = warmup;
+        run_stack(&cfg)
+    });
+    tasks
+        .iter()
+        .zip(&results)
+        .enumerate()
+        .map(|(i, (&(value_bytes, _, _, cores), result))| {
+            // The first entry of each size group is its 1-core baseline.
+            let one = &results[i / CORES.len() * CORES.len()];
+            ScalingPoint {
                 value_bytes,
                 cores,
                 simulated_tps: result.aggregate_tps,
                 linear_tps: one.aggregate_tps * cores as f64,
                 wire_utilization: result.wire_out_utilization,
-            });
-        }
-    }
-    points
+            }
+        })
+        .collect()
 }
 
 /// Renders the scaling table.
@@ -88,7 +104,7 @@ mod tests {
 
     #[test]
     fn linear_at_64b_saturating_at_256k() {
-        let points = run();
+        let points = run(Jobs::SERIAL);
         let small_32 = points
             .iter()
             .find(|p| p.value_bytes == 64 && p.cores == 32)

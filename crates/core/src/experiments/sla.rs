@@ -7,6 +7,7 @@
 //! closed-loop capacity, reporting queueing-inclusive percentiles and
 //! the 1 ms SLA attainment.
 
+use densekv_par::{par_map, Jobs};
 use densekv_sim::Duration;
 
 use crate::openloop::{run as run_openloop, OpenLoopConfig};
@@ -32,31 +33,38 @@ pub struct SlaPoint {
 }
 
 /// Runs the SLA experiment for Mercury and Iridium A7 cores at 64 B.
-pub fn run(effort: SweepEffort) -> Vec<SlaPoint> {
+///
+/// Stage 1 measures each system's closed-loop capacity in parallel;
+/// stage 2 fans the (system, load) grid out, each open-loop run an
+/// independent task. Both stages collect in index order, so the output
+/// is jobs-invariant.
+pub fn run(effort: SweepEffort, jobs: Jobs) -> Vec<SlaPoint> {
     let systems: [(&'static str, CoreSimConfig); 2] = [
         ("Mercury A7", CoreSimConfig::mercury_a7()),
         ("Iridium A7", CoreSimConfig::iridium_a7()),
     ];
-    let mut points = Vec::new();
-    for (system, config) in systems {
-        // Closed-loop capacity anchors the load axis.
-        let capacity = measure_point(&config, 64, effort).get.tps;
-        for load in [0.3, 0.6, 0.9] {
-            let mut ol = OpenLoopConfig::gets(config.clone(), 64, capacity * load);
-            ol.requests = 500;
-            ol.warmup = 300;
-            let result = run_openloop(&ol);
-            points.push(SlaPoint {
-                system,
-                load_fraction: load,
-                rate: result.offered_rate,
-                p50: result.latency.percentile(0.50).expect("samples"),
-                p99: result.latency.percentile(0.99).expect("samples"),
-                sla_1ms: result.sla_1ms,
-            });
+    // Closed-loop capacity anchors the load axis.
+    let capacities = par_map(jobs, &systems, |(_, config)| {
+        measure_point(config, 64, effort).get.tps
+    });
+    let tasks: Vec<(usize, f64)> = (0..systems.len())
+        .flat_map(|si| [0.3, 0.6, 0.9].into_iter().map(move |load| (si, load)))
+        .collect();
+    par_map(jobs, &tasks, |&(si, load)| {
+        let (system, config) = &systems[si];
+        let mut ol = OpenLoopConfig::gets(config.clone(), 64, capacities[si] * load);
+        ol.requests = 500;
+        ol.warmup = 300;
+        let result = run_openloop(&ol);
+        SlaPoint {
+            system,
+            load_fraction: load,
+            rate: result.offered_rate,
+            p50: result.latency.percentile(0.50).expect("samples"),
+            p99: result.latency.percentile(0.99).expect("samples"),
+            sla_1ms: result.sla_1ms,
         }
-    }
-    points
+    })
 }
 
 /// Renders the SLA table.
@@ -89,7 +97,7 @@ mod tests {
 
     #[test]
     fn sla_curves_shape() {
-        let points = run(SweepEffort::quick());
+        let points = run(SweepEffort::quick(), Jobs::SERIAL);
         assert_eq!(points.len(), 6);
         // Within each system, p99 grows with load and the SLA attainment
         // never improves.

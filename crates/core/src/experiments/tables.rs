@@ -214,6 +214,7 @@ mod tests {
     use super::*;
     use crate::experiments::evaluation::evaluate_a7;
     use crate::sweep::SweepEffort;
+    use densekv_par::Jobs;
 
     #[test]
     fn static_tables_have_paper_rows() {
@@ -227,7 +228,7 @@ mod tests {
 
     #[test]
     fn table4_rows_and_shape() {
-        let evals = evaluate_a7(SweepEffort::quick());
+        let evals = evaluate_a7(SweepEffort::quick(), Jobs::SERIAL);
         let t4 = table4(&evals);
         assert_eq!(t4.rows.len(), 10);
 

@@ -2,6 +2,7 @@
 //! headline configurations.
 
 use densekv_cpu::CoreConfig;
+use densekv_par::{par_map, Jobs};
 use densekv_stack::area::{thermal_report, ThermalReport};
 use densekv_stack::StackConfig;
 
@@ -16,8 +17,9 @@ pub struct ThermalRow {
     pub report: ThermalReport,
 }
 
-/// Runs the thermal check across the headline stacks.
-pub fn run() -> Vec<ThermalRow> {
+/// Runs the thermal check across the headline stacks, one worker task
+/// per configuration.
+pub fn run(jobs: Jobs) -> Vec<ThermalRow> {
     let configs: Vec<(StackConfig, f64)> = vec![
         // (stack, peak memory GB/s it sustains)
         (
@@ -37,13 +39,10 @@ pub fn run() -> Vec<ThermalRow> {
             1.3,
         ),
     ];
-    configs
-        .into_iter()
-        .map(|(stack, gbps)| ThermalRow {
-            name: format!("{} ({})", stack.name(), stack.core.label()),
-            report: thermal_report(&stack, gbps),
-        })
-        .collect()
+    par_map(jobs, &configs, |(stack, gbps)| ThermalRow {
+        name: format!("{} ({})", stack.name(), stack.core.label()),
+        report: thermal_report(stack, *gbps),
+    })
 }
 
 /// Renders the thermal rows.
@@ -76,7 +75,7 @@ mod tests {
 
     #[test]
     fn a7_headline_stacks_are_coolable() {
-        let rows = run();
+        let rows = run(Jobs::SERIAL);
         let mercury = rows
             .iter()
             .find(|r| r.name.contains("Mercury-32 (A7"))
@@ -91,7 +90,7 @@ mod tests {
 
     #[test]
     fn hot_a15_stack_flagged() {
-        let rows = run();
+        let rows = run(Jobs::SERIAL);
         let hot = rows
             .iter()
             .find(|r| r.name.contains("A15 @1.5GHz"))

@@ -61,5 +61,5 @@ pub use energy::{
 };
 pub use observe::{run_observed, CoreObserver, CORE_TIMELINE_COLUMNS};
 pub use sim::{CoreSim, CoreSimConfig, PhaseBreakdown, RequestTiming};
-pub use sweep::{measure_point, OpPoint, SweepPoint};
+pub use sweep::{measure_point, sweep_get_latency, sweep_sizes, OpPoint, SweepPoint};
 pub use system::{System, SystemBuilder};

@@ -14,6 +14,7 @@
 //! ```
 
 use densekv_cpu::CoreConfig;
+use densekv_par::Jobs;
 use densekv_server::{evaluate_server, plan_server, ServerConstraints, ServerPlan, ServerReport};
 use densekv_sim::Duration;
 use densekv_stack::config::StackConfigError;
@@ -67,6 +68,7 @@ pub struct SystemBuilder {
     memory_latency: Duration,
     constraints: ServerConstraints,
     effort: SweepEffort,
+    jobs: Jobs,
 }
 
 impl SystemBuilder {
@@ -82,6 +84,7 @@ impl SystemBuilder {
             l2: true,
             constraints: ServerConstraints::paper_1p5u(),
             effort: SweepEffort::quick(),
+            jobs: Jobs::from_env(),
         }
     }
 
@@ -131,6 +134,13 @@ impl SystemBuilder {
         self
     }
 
+    /// Sets the worker count for swept evaluations (results are
+    /// bit-identical at any value; defaults to [`Jobs::from_env`]).
+    pub fn jobs(mut self, jobs: Jobs) -> Self {
+        self.jobs = jobs;
+        self
+    }
+
     /// Validates the configuration and produces a [`System`].
     ///
     /// # Errors
@@ -159,6 +169,7 @@ impl SystemBuilder {
             sim_config,
             constraints: self.constraints,
             effort: self.effort,
+            jobs: self.jobs,
         })
     }
 }
@@ -170,6 +181,7 @@ pub struct System {
     sim_config: CoreSimConfig,
     constraints: ServerConstraints,
     effort: SweepEffort,
+    jobs: Jobs,
 }
 
 impl System {
@@ -196,7 +208,7 @@ impl System {
     /// Full evaluation: sweeps every paper size, plans the box at peak
     /// bandwidth, and returns the 64 B working point plus the sweep.
     pub fn evaluate_swept(&self) -> (ServerReport, Vec<SweepPoint>) {
-        let sweep = sweep_sizes(&self.sim_config, self.effort);
+        let sweep = sweep_sizes(&self.sim_config, self.effort, self.jobs);
         let peak = sweep
             .iter()
             .map(|p| crate::experiments::evaluation::stack_mem_gbps(self.stack.cores, p.get.perf))

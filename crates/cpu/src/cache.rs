@@ -72,8 +72,20 @@ pub struct Cache {
     config: CacheConfig,
     /// Per-set tag list, most-recently-used first.
     sets: Vec<Vec<u64>>,
+    /// Set-index mask when the set count is a power of two (the common
+    /// case for every geometry in the workspace); `None` falls back to
+    /// `%`/`/` for odd set counts.
+    pow2: Option<Pow2Index>,
     hits: u64,
     misses: u64,
+}
+
+/// Precomputed mask/shift replacing the per-reference `%`/`/` pair when
+/// the set count is a power of two.
+#[derive(Debug, Clone, Copy)]
+struct Pow2Index {
+    mask: u64,
+    shift: u32,
 }
 
 impl Cache {
@@ -85,8 +97,13 @@ impl Cache {
     pub fn new(config: CacheConfig) -> Self {
         let sets = config.sets();
         assert!(sets > 0 && config.ways > 0, "degenerate cache geometry");
+        let pow2 = sets.is_power_of_two().then(|| Pow2Index {
+            mask: sets - 1,
+            shift: sets.trailing_zeros(),
+        });
         Cache {
             sets: vec![Vec::with_capacity(config.ways as usize); sets as usize],
+            pow2,
             hits: 0,
             misses: 0,
             config,
@@ -101,9 +118,19 @@ impl Cache {
     /// Looks up `line_addr`, updating LRU state and filling on miss.
     /// Returns `true` on a hit.
     pub fn access(&mut self, line_addr: u64) -> bool {
-        let nsets = self.sets.len() as u64;
-        let set = &mut self.sets[(line_addr % nsets) as usize];
-        let tag = line_addr / nsets;
+        let (set_idx, tag) = match self.pow2 {
+            Some(p) => ((line_addr & p.mask) as usize, line_addr >> p.shift),
+            None => {
+                let nsets = self.sets.len() as u64;
+                ((line_addr % nsets) as usize, line_addr / nsets)
+            }
+        };
+        let set = &mut self.sets[set_idx];
+        // Fast path: re-referencing the MRU way needs no recency shuffle.
+        if set.first() == Some(&tag) {
+            self.hits += 1;
+            return true;
+        }
         if let Some(pos) = set.iter().position(|&t| t == tag) {
             // Move to MRU position.
             let t = set.remove(pos);
@@ -234,6 +261,111 @@ mod tests {
             }
         }
         assert_eq!(c.hits(), 0);
+    }
+
+    /// A naive true-LRU model with the original `%`/`/` indexing and no
+    /// MRU fast path — the behavior contract the optimized `access`
+    /// must reproduce bit for bit.
+    struct NaiveLru {
+        sets: Vec<Vec<u64>>,
+        ways: usize,
+    }
+
+    impl NaiveLru {
+        fn new(config: &CacheConfig) -> Self {
+            NaiveLru {
+                sets: vec![Vec::new(); config.sets() as usize],
+                ways: config.ways as usize,
+            }
+        }
+
+        fn access(&mut self, line_addr: u64) -> bool {
+            let nsets = self.sets.len() as u64;
+            let set = &mut self.sets[(line_addr % nsets) as usize];
+            let tag = line_addr / nsets;
+            if let Some(pos) = set.iter().position(|&t| t == tag) {
+                let t = set.remove(pos);
+                set.insert(0, t);
+                true
+            } else {
+                if set.len() == self.ways {
+                    set.pop();
+                }
+                set.insert(0, tag);
+                false
+            }
+        }
+    }
+
+    #[test]
+    fn optimized_access_matches_naive_model_on_recorded_stream() {
+        // A recorded reference stream with the access patterns the phase
+        // engine generates: sequential instruction fetches, strided value
+        // copies, repeated kernel-structure lines (MRU re-references),
+        // and pseudo-random store lookups forcing conflicts/evictions.
+        let mut stream = Vec::new();
+        let mut state = 0x5EEDu64;
+        for i in 0..6000u64 {
+            stream.push(i % 640); // sequential with wrap
+            stream.push(1000 + (i * 8) % 4096); // strided
+            stream.push(7); // hot kernel line (MRU fast path)
+            stream.push(7); // immediate re-reference
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            stream.push(state % 100_000); // random conflict pressure
+        }
+        for config in [
+            CacheConfig::l1_32k(),
+            CacheConfig::l2_2m(),
+            // Tiny geometry to force constant eviction.
+            CacheConfig {
+                size_bytes: 64 * 2 * 4,
+                line_bytes: 64,
+                ways: 2,
+                latency: Duration::from_nanos(1),
+            },
+        ] {
+            let mut optimized = Cache::new(config.clone());
+            let mut naive = NaiveLru::new(&config);
+            let mut hits = 0u64;
+            let mut misses = 0u64;
+            for &line in &stream {
+                let expect = naive.access(line);
+                assert_eq!(
+                    optimized.access(line),
+                    expect,
+                    "line {line} diverged ({} sets)",
+                    config.sets()
+                );
+                if expect {
+                    hits += 1;
+                } else {
+                    misses += 1;
+                }
+            }
+            assert_eq!(optimized.hits(), hits);
+            assert_eq!(optimized.misses(), misses);
+            assert!(hits > 0 && misses > 0, "stream exercises both outcomes");
+        }
+    }
+
+    #[test]
+    fn non_power_of_two_sets_fall_back() {
+        // 3 sets: the mask/shift path must not engage, and behavior
+        // still matches the naive model.
+        let config = CacheConfig {
+            size_bytes: 64 * 2 * 3,
+            line_bytes: 64,
+            ways: 2,
+            latency: Duration::from_nanos(1),
+        };
+        assert_eq!(config.sets(), 3);
+        let mut optimized = Cache::new(config.clone());
+        let mut naive = NaiveLru::new(&config);
+        for line in (0..500u64).chain((0..500).map(|i| i * 7 % 64)) {
+            assert_eq!(optimized.access(line), naive.access(line), "line {line}");
+        }
     }
 
     #[test]

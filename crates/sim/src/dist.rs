@@ -8,8 +8,17 @@ use crate::rng::SplitMix64;
 /// model key popularity in Memcached-style workloads (Atikoglu et al.,
 /// SIGMETRICS '12 report highly skewed key popularity).
 ///
-/// Sampling uses a precomputed CDF with binary search: O(n) memory,
-/// O(log n) per sample, exact.
+/// Sampling uses Walker's alias method: O(n) memory, O(1) per sample.
+/// One uniform draw covers both the slot pick and the coin flip (high
+/// bits select the slot, the fractional remainder is the coin), so the
+/// generator consumes exactly one `next_f64` per sample — the same RNG
+/// budget as the CDF binary-search it replaced, keeping downstream
+/// streams (arrival gaps, op mixes) aligned across that change.
+///
+/// The old CDF inverse survives behind [`Zipf::sample_cdf`] as a
+/// test/benchmark reference; the two paths draw from the identical
+/// distribution (pinned by a chi-squared test) but map a given uniform
+/// to different ranks, so they are not sequence-interchangeable.
 ///
 /// # Examples
 ///
@@ -24,7 +33,14 @@ use crate::rng::SplitMix64;
 /// ```
 #[derive(Debug, Clone)]
 pub struct Zipf {
+    /// Normalized probability per rank (kept for `pmf` and the CDF path).
+    pmf: Vec<f64>,
+    /// CDF for the reference sampler.
     cdf: Vec<f64>,
+    /// Alias table: acceptance threshold per slot, scaled to [0, 1].
+    prob: Vec<f64>,
+    /// Alias table: redirect target per slot.
+    alias: Vec<u32>,
 }
 
 impl Zipf {
@@ -34,26 +50,35 @@ impl Zipf {
     ///
     /// # Panics
     ///
-    /// Panics if `n` is zero or `alpha` is negative or non-finite.
+    /// Panics if `n` is zero, exceeds `u32::MAX` slots, or `alpha` is
+    /// negative or non-finite.
     pub fn new(n: usize, alpha: f64) -> Self {
         assert!(n > 0, "Zipf needs at least one rank");
+        assert!(u32::try_from(n).is_ok(), "Zipf rank count exceeds u32");
         assert!(alpha.is_finite() && alpha >= 0.0, "alpha must be >= 0");
-        let mut cdf = Vec::with_capacity(n);
+        let weights: Vec<f64> = (0..n).map(|k| 1.0 / ((k + 1) as f64).powf(alpha)).collect();
+        let total: f64 = weights.iter().sum();
+        let pmf: Vec<f64> = weights.iter().map(|w| w / total).collect();
         let mut acc = 0.0;
-        for k in 0..n {
-            acc += 1.0 / ((k + 1) as f64).powf(alpha);
-            cdf.push(acc);
+        let cdf: Vec<f64> = pmf
+            .iter()
+            .map(|p| {
+                acc += p;
+                acc
+            })
+            .collect();
+        let (prob, alias) = build_alias(&pmf);
+        Zipf {
+            pmf,
+            cdf,
+            prob,
+            alias,
         }
-        let total = acc;
-        for p in &mut cdf {
-            *p /= total;
-        }
-        Zipf { cdf }
     }
 
     /// Number of ranks.
     pub fn len(&self) -> usize {
-        self.cdf.len()
+        self.pmf.len()
     }
 
     /// True if there is exactly one rank (always sampled).
@@ -61,8 +86,25 @@ impl Zipf {
         false
     }
 
-    /// Draws a rank in `0..len()`.
+    /// Draws a rank in `0..len()` via the alias table (O(1)).
     pub fn sample(&self, rng: &mut SplitMix64) -> usize {
+        let scaled = rng.next_f64() * self.pmf.len() as f64;
+        // `next_f64` is in [0, 1), so `scaled < n` and the cast is safe.
+        let slot = scaled as usize;
+        let coin = scaled - slot as f64;
+        if coin < self.prob[slot] {
+            slot
+        } else {
+            self.alias[slot] as usize
+        }
+    }
+
+    /// Draws a rank via the original CDF binary search (O(log n)).
+    ///
+    /// Retained only as the reference implementation for distribution
+    /// tests and the hot-path benchmarks; production sampling goes
+    /// through [`Zipf::sample`].
+    pub fn sample_cdf(&self, rng: &mut SplitMix64) -> usize {
         let u = rng.next_f64();
         match self
             .cdf
@@ -75,15 +117,37 @@ impl Zipf {
 
     /// The probability of rank `k`.
     pub fn pmf(&self, k: usize) -> f64 {
-        if k >= self.cdf.len() {
-            return 0.0;
-        }
-        if k == 0 {
-            self.cdf[0]
-        } else {
-            self.cdf[k] - self.cdf[k - 1]
+        self.pmf.get(k).copied().unwrap_or(0.0)
+    }
+}
+
+/// Builds Walker's alias table from a normalized pmf: every slot `i`
+/// accepts with probability `prob[i]` and redirects to `alias[i]`
+/// otherwise. Vose's stable two-worklist construction.
+fn build_alias(pmf: &[f64]) -> (Vec<f64>, Vec<u32>) {
+    let n = pmf.len();
+    let mut prob = vec![0.0f64; n];
+    let mut alias = vec![0u32; n];
+    // Scale each probability by n: slots with scaled mass < 1 need a
+    // donor; slots with > 1 donate their surplus.
+    let mut scaled: Vec<f64> = pmf.iter().map(|&p| p * n as f64).collect();
+    let mut small: Vec<usize> = (0..n).filter(|&i| scaled[i] < 1.0).collect();
+    let mut large: Vec<usize> = (0..n).filter(|&i| scaled[i] >= 1.0).collect();
+    while let (Some(&s), Some(&l)) = (small.last(), large.last()) {
+        small.pop();
+        prob[s] = scaled[s];
+        alias[s] = l as u32;
+        scaled[l] -= 1.0 - scaled[s];
+        if scaled[l] < 1.0 {
+            large.pop();
+            small.push(l);
         }
     }
+    // Numerical leftovers on either list have scaled mass ~1.
+    for &i in small.iter().chain(large.iter()) {
+        prob[i] = 1.0;
+    }
+    (prob, alias)
 }
 
 /// An exponential distribution with the given rate (events per second).
@@ -140,6 +204,22 @@ mod tests {
     }
 
     #[test]
+    fn alias_is_exact_for_alpha_zero() {
+        // Uniform weights leave every alias slot at full acceptance, so
+        // the alias draw degenerates to `floor(u * n)` exactly — the
+        // same rank a direct uniform draw over ranks would give.
+        let n = 257;
+        let zipf = Zipf::new(n, 0.0);
+        let mut rng = SplitMix64::new(0xA11A5);
+        let mut shadow = rng.clone();
+        for _ in 0..10_000 {
+            let rank = zipf.sample(&mut rng);
+            let direct = (shadow.next_f64() * n as f64) as usize;
+            assert_eq!(rank, direct);
+        }
+    }
+
+    #[test]
     fn zipf_is_skewed() {
         let zipf = Zipf::new(100, 1.0);
         assert!(zipf.pmf(0) > zipf.pmf(1));
@@ -173,6 +253,66 @@ mod tests {
                 "rank {k}: observed {observed}, expected {expected}"
             );
         }
+    }
+
+    /// Pearson chi-squared statistic of `counts` against `expected`
+    /// probabilities over `draws` samples.
+    fn chi_squared(counts: &[usize], expected: impl Fn(usize) -> f64, draws: usize) -> f64 {
+        counts
+            .iter()
+            .enumerate()
+            .map(|(k, &c)| {
+                let e = expected(k) * draws as f64;
+                (c as f64 - e).powi(2) / e
+            })
+            .sum()
+    }
+
+    #[test]
+    fn alias_and_cdf_draw_the_same_distribution() {
+        // Both samplers against the analytic pmf: with 64 ranks (63
+        // degrees of freedom) the 99.9th chi-squared percentile is
+        // ~103.4. Each path must sit under it, and their head-rank
+        // frequencies must agree closely — same distribution, different
+        // uniform-to-rank mapping.
+        let n = 64;
+        let draws = 400_000;
+        let zipf = Zipf::new(n, 0.99);
+        let mut alias_counts = vec![0usize; n];
+        let mut cdf_counts = vec![0usize; n];
+        let mut rng_a = SplitMix64::new(0xC41);
+        let mut rng_c = SplitMix64::new(0xC41);
+        for _ in 0..draws {
+            alias_counts[zipf.sample(&mut rng_a)] += 1;
+            cdf_counts[zipf.sample_cdf(&mut rng_c)] += 1;
+        }
+        let chi_alias = chi_squared(&alias_counts, |k| zipf.pmf(k), draws);
+        let chi_cdf = chi_squared(&cdf_counts, |k| zipf.pmf(k), draws);
+        assert!(chi_alias < 103.4, "alias chi-squared {chi_alias:.1}");
+        assert!(chi_cdf < 103.4, "cdf chi-squared {chi_cdf:.1}");
+        for k in 0..8 {
+            let a = alias_counts[k] as f64 / draws as f64;
+            let c = cdf_counts[k] as f64 / draws as f64;
+            assert!(
+                (a - c).abs() < 0.005,
+                "rank {k}: alias {a:.4} vs cdf {c:.4}"
+            );
+        }
+    }
+
+    #[test]
+    fn alias_consumes_one_draw_per_sample() {
+        // Downstream generators interleave Zipf ranks with arrival gaps;
+        // the alias path must consume exactly the one uniform the CDF
+        // path did, or every interleaved stream shifts.
+        let zipf = Zipf::new(1000, 0.99);
+        let mut rng = SplitMix64::new(77);
+        let mut counter = SplitMix64::new(77);
+        for _ in 0..1000 {
+            zipf.sample(&mut rng);
+            counter.next_f64();
+        }
+        assert_eq!(rng, counter);
     }
 
     #[test]

@@ -1,0 +1,130 @@
+//! CI smoke tests for the live front-end: an in-process server driven
+//! through the pool client, and the two `serve_*` binaries end-to-end
+//! in quick mode.
+//!
+//! Everything here carries a hard timeout — a wedged accept loop or a
+//! lost shutdown wakeup must fail the suite, not hang it.
+
+use std::path::Path;
+use std::process::Command;
+use std::time::{Duration, Instant};
+
+use densekv_serve::{
+    preload, run_closed_loop, spawn, ClosedLoopConfig, LoadMix, Pool, ServeConfig,
+};
+
+/// Runs `body` on a watched thread; panics if it outlives `limit`.
+fn with_deadline<F: FnOnce() + Send + 'static>(limit: Duration, body: F) {
+    let (tx, rx) = std::sync::mpsc::channel();
+    let worker = std::thread::spawn(move || {
+        body();
+        let _ = tx.send(());
+    });
+    match rx.recv_timeout(limit) {
+        Ok(()) => worker.join().expect("smoke body panicked"),
+        Err(_) => panic!("smoke test exceeded its {limit:?} deadline"),
+    }
+}
+
+#[test]
+fn serve_smoke_mixed_traffic_over_an_ephemeral_port() {
+    with_deadline(Duration::from_secs(60), || {
+        let server = spawn(ServeConfig::ephemeral()).expect("bind ephemeral port");
+        let addr = server.addr();
+        let mix = LoadMix::etc(128, 128, 42);
+        preload(addr, &mix).expect("preload");
+
+        // Mixed get/set through the pool client.
+        let mut pool = Pool::connect(addr, 4).expect("pool");
+        for i in 0..50u32 {
+            let key = format!("smoke{i}");
+            assert!(pool.checkout().set(key.as_bytes(), b"v").unwrap());
+            assert!(pool.checkout().get(key.as_bytes()).unwrap().is_some());
+        }
+
+        // A load-generator pass fills a non-empty latency histogram.
+        let report = run_closed_loop(&ClosedLoopConfig {
+            addr,
+            workers: 2,
+            requests_per_worker: 100,
+            mix,
+        })
+        .expect("closed loop");
+        assert_eq!(report.requests, 200);
+        assert_eq!(report.errors, 0);
+        assert!(report.latency.count() == 200, "histogram filled");
+        assert!(report.latency.percentile(0.99).is_some());
+
+        // Clean shutdown, with the counters accounting for the traffic.
+        let stats = server.shutdown();
+        assert!(stats.commands >= 300);
+        assert_eq!(stats.rejected_busy, 0);
+    });
+}
+
+#[test]
+fn serve_run_binary_emits_its_artifact() {
+    with_deadline(Duration::from_secs(120), || {
+        let results = Path::new(env!("CARGO_TARGET_TMPDIR")).join("serve_run_results");
+        let started = Instant::now();
+        let status = Command::new(env!("CARGO_BIN_EXE_serve_run"))
+            .env("DENSEKV_QUICK", "1")
+            .env(densekv_bench::RESULTS_DIR_ENV, &results)
+            .args(["--jobs", "2"])
+            .status()
+            .expect("serve_run starts");
+        assert!(status.success(), "serve_run exits cleanly");
+        eprintln!("[serve_smoke] serve_run took {:?}", started.elapsed());
+
+        let csv = std::fs::read_to_string(results.join("serve_run.csv")).expect("serve_run.csv");
+        let mut lines = csv.lines();
+        assert!(lines
+            .next()
+            .expect("header")
+            .starts_with("mode,workers,offered_rps"));
+        let rows: Vec<_> = lines.collect();
+        assert!(rows.len() >= 4, "closed + 3 open-loop rows: {rows:?}");
+        for line in &rows {
+            let fields: Vec<_> = line.split(',').collect();
+            assert_eq!(fields.len(), 12, "malformed row: {line}");
+            let achieved: f64 = fields[3].parse().expect("achieved_rps parses");
+            let p99: f64 = fields[10].parse().expect("p99 parses");
+            assert!(achieved > 0.0 && p99 > 0.0, "degenerate row: {line}");
+        }
+    });
+}
+
+#[test]
+fn serve_validate_binary_compares_both_planes() {
+    with_deadline(Duration::from_secs(180), || {
+        let results = Path::new(env!("CARGO_TARGET_TMPDIR")).join("serve_validate_results");
+        let status = Command::new(env!("CARGO_BIN_EXE_serve_validate"))
+            .env("DENSEKV_QUICK", "1")
+            .env(densekv_bench::RESULTS_DIR_ENV, &results)
+            .args(["--jobs", "2"])
+            .status()
+            .expect("serve_validate starts");
+        assert!(status.success(), "serve_validate exits cleanly");
+
+        let csv = std::fs::read_to_string(results.join("serve_validate.csv"))
+            .expect("serve_validate.csv");
+        let mut lines = csv.lines();
+        assert!(lines
+            .next()
+            .expect("header")
+            .starts_with("family,value_bytes,load_fraction"));
+        let mut families = std::collections::HashSet::new();
+        let mut rows = 0usize;
+        for line in lines {
+            let fields: Vec<_> = line.split(',').collect();
+            assert_eq!(fields.len(), 16, "malformed row: {line}");
+            families.insert(fields[0].to_owned());
+            let sim_p99: f64 = fields[8].parse().expect("sim p99 parses");
+            let real_p99: f64 = fields[14].parse().expect("real p99 parses");
+            assert!(sim_p99 > 0.0 && real_p99 > 0.0, "degenerate row: {line}");
+            rows += 1;
+        }
+        assert!(rows >= 4, "at least 2 working points x 2 loads: {rows}");
+        assert!(families.contains("Mercury") && families.contains("Iridium"));
+    });
+}

@@ -106,6 +106,38 @@ impl RequestBuilder {
         self
     }
 
+    /// Queues a `touch` (reset `key`'s TTL to `exptime` seconds).
+    pub fn touch(&mut self, key: &[u8], exptime: u64) -> &mut Self {
+        self.buf.put_slice(b"touch ");
+        self.buf.put_slice(key);
+        self.buf.put_slice(format!(" {exptime}\r\n").as_bytes());
+        self
+    }
+
+    /// Queues a `version` probe (the cheapest liveness check a pool can
+    /// run against a real server).
+    pub fn version(&mut self) -> &mut Self {
+        self.buf.put_slice(b"version\r\n");
+        self
+    }
+
+    /// Queues a `flush_all`.
+    pub fn flush_all(&mut self) -> &mut Self {
+        self.buf.put_slice(b"flush_all\r\n");
+        self
+    }
+
+    /// Queues a `quit` (the server closes the connection after this).
+    pub fn quit(&mut self) -> &mut Self {
+        self.buf.put_slice(b"quit\r\n");
+        self
+    }
+
+    /// True when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
     /// Takes the queued bytes, leaving the builder empty.
     pub fn take(&mut self) -> Bytes {
         self.buf.split().freeze()
@@ -241,7 +273,9 @@ fn parse_value_block(buf: &mut BytesMut) -> Result<Option<Reply>, BadReply> {
         let nbytes: usize = words
             .next()
             .and_then(|w| w.parse().ok())
-            .filter(|&n: &usize| n <= 64 << 20)
+            // Mirror the server's item cap: a length beyond it can only
+            // be a corrupt or hostile reply, so fail instead of buffering.
+            .filter(|&n: &usize| n as u64 <= crate::protocol::MAX_VALUE_BYTES)
             .ok_or_else(|| BadReply(line.clone()))?;
         let cas: Option<u64> = words.next().and_then(|w| w.parse().ok());
         let data_start = line_end + 2;
@@ -276,11 +310,17 @@ mod tests {
     #[test]
     fn builder_produces_protocol_bytes() {
         let mut b = RequestBuilder::new();
+        assert!(b.is_empty());
         b.add(b"a", b"1", 2, 3)
             .delete(b"a")
             .gets(b"a")
             .incr_decr(b"n", 4, true)
-            .cas(b"c", b"v", 0, 0, 77);
+            .cas(b"c", b"v", 0, 0, 77)
+            .touch(b"a", 30)
+            .version()
+            .flush_all()
+            .quit();
+        assert!(!b.is_empty());
         let bytes = b.take();
         let text = String::from_utf8_lossy(&bytes).into_owned();
         assert!(text.starts_with("add a 2 3 1\r\n1\r\n"));
@@ -288,6 +328,10 @@ mod tests {
         assert!(text.contains("gets a\r\n"));
         assert!(text.contains("decr n 4\r\n"));
         assert!(text.contains("cas c 0 0 1 77\r\nv\r\n"));
+        assert!(text.contains("touch a 30\r\n"));
+        assert!(text.contains("version\r\n"));
+        assert!(text.contains("flush_all\r\n"));
+        assert!(text.ends_with("quit\r\n"));
         assert!(b.take().is_empty(), "take drains");
     }
 

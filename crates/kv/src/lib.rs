@@ -43,4 +43,5 @@ pub mod slab;
 pub mod store;
 pub mod table;
 
+pub use server::{Clock, FixedClock, WallClock};
 pub use store::{KvStore, StoreConfig, StoreError, StoreStats};

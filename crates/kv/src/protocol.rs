@@ -14,6 +14,12 @@ use crate::store::{GetHit, StoreError};
 /// Maximum accepted command-line length (Memcached rejects longer).
 pub const MAX_LINE_BYTES: usize = 2048;
 
+/// Largest data block a storage command may carry (Memcached's default
+/// 1 MB item limit). Together with [`MAX_LINE_BYTES`] this bounds how
+/// much a server must buffer per connection, no matter what a remote
+/// peer sends.
+pub const MAX_VALUE_BYTES: u64 = 1 << 20;
+
 /// Which storage semantics a data-block command carries.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum StoreVerb {
@@ -107,6 +113,8 @@ pub enum ProtocolError {
     LineTooLong,
     /// Data block wasn't terminated with CRLF.
     BadDataChunk,
+    /// Announced data block exceeds [`MAX_VALUE_BYTES`].
+    ValueTooLarge,
 }
 
 impl core::fmt::Display for ProtocolError {
@@ -116,6 +124,7 @@ impl core::fmt::Display for ProtocolError {
             ProtocolError::BadArguments(what) => write!(f, "bad arguments: {what}"),
             ProtocolError::LineTooLong => write!(f, "command line too long"),
             ProtocolError::BadDataChunk => write!(f, "bad data chunk"),
+            ProtocolError::ValueTooLarge => write!(f, "object too large for cache"),
         }
     }
 }
@@ -201,9 +210,10 @@ pub fn parse_command(buf: &mut BytesMut) -> Result<Parsed, ProtocolError> {
             let exptime = parse_u64(parts.next(), "exptime")?;
             let nbytes = parse_u64(parts.next(), "bytes")?;
             // Memcached rejects oversized items up front; the bound also
-            // keeps the length arithmetic below overflow-safe.
-            if nbytes > 64 << 20 {
-                return Err(ProtocolError::BadArguments("data block too large"));
+            // keeps the length arithmetic below overflow-safe and caps
+            // how far a server buffer can grow waiting for the block.
+            if nbytes > MAX_VALUE_BYTES {
+                return Err(ProtocolError::ValueTooLarge);
             }
             let nbytes = nbytes as usize;
             let cas = if store_verb == StoreVerb::Cas {
@@ -371,6 +381,10 @@ pub fn render_number(out: &mut BytesMut, value: u64) {
 pub fn render_error(out: &mut BytesMut, err: &ProtocolError) {
     match err {
         ProtocolError::UnknownCommand(_) => out.put_slice(b"ERROR\r\n"),
+        ProtocolError::ValueTooLarge => {
+            // Memcached's wording for its item-size cap.
+            out.put_slice(b"SERVER_ERROR object too large for cache\r\n");
+        }
         other => {
             out.put_slice(b"CLIENT_ERROR ");
             out.put_slice(other.to_string().as_bytes());
@@ -600,6 +614,111 @@ mod tests {
             parse_one(b"incr counter notanumber\r\n"),
             Err(ProtocolError::BadArguments(_))
         ));
+    }
+
+    #[test]
+    fn oversized_value_announcement_is_rejected_cleanly() {
+        // One byte over the cap: rejected before any data is buffered.
+        let over = MAX_VALUE_BYTES + 1;
+        assert_eq!(
+            parse_one(format!("set k 0 0 {over}\r\n").as_bytes()),
+            Err(ProtocolError::ValueTooLarge)
+        );
+        // Exactly at the cap the parser waits for the block instead.
+        let at = MAX_VALUE_BYTES;
+        assert_eq!(
+            parse_one(format!("set k 0 0 {at}\r\n").as_bytes()).unwrap(),
+            Parsed::Incomplete
+        );
+        // The rejection renders as Memcached's SERVER_ERROR, not a panic.
+        let mut out = BytesMut::new();
+        render_error(&mut out, &ProtocolError::ValueTooLarge);
+        assert_eq!(&out[..], b"SERVER_ERROR object too large for cache\r\n");
+    }
+
+    #[test]
+    fn unterminated_garbage_is_bounded_by_line_limit() {
+        // No CRLF ever arrives: the parser must flag the line instead of
+        // buffering without bound.
+        let mut buf = BytesMut::new();
+        buf.extend_from_slice(&vec![b'x'; MAX_LINE_BYTES + 1]);
+        assert_eq!(parse_command(&mut buf), Err(ProtocolError::LineTooLong));
+    }
+
+    /// One pseudo-protocol fragment for the chunked fuzz test: a mix of
+    /// well-formed commands, truncated commands, raw bytes, and framing
+    /// noise.
+    fn fragment() -> impl proptest::Strategy<Value = Vec<u8>> {
+        use proptest::Strategy as _;
+        (0u8..10, proptest::any::<u8>(), 0usize..12).prop_map(|(kind, byte, n)| match kind {
+            0 => b"get k\r\n".to_vec(),
+            1 => format!("set k 0 0 {n}\r\n").into_bytes(),
+            2 => vec![byte; n],
+            3 => b"\r\n".to_vec(),
+            4 => b"set k 0 0 184467440737095516\r\n".to_vec(),
+            5 => format!("incr k {}\r\n", u64::from(byte) * 7).into_bytes(),
+            6 => b"gets a b c\r\n".to_vec(),
+            7 => vec![b' '; n],
+            8 => b"cas k 1 0 2 99\r\nhi\r\n".to_vec(),
+            _ => b"delete \x00\xff\r\n".to_vec(),
+        })
+    }
+
+    proptest::proptest! {
+        /// Adversarial bytes from a real socket: random fragments fed at
+        /// random split points never panic the parser, and every call
+        /// makes progress — a complete command consumes bytes, an
+        /// incomplete parse leaves the buffer untouched, and an error
+        /// lets the caller resynchronize or close.
+        #[test]
+        fn parser_survives_random_chunked_bytes(
+            fragments in proptest::collection::vec(fragment(), 1..32),
+            splits in proptest::collection::vec(1usize..17, 1..32)
+        ) {
+            let stream: Vec<u8> = fragments.concat();
+            let mut buf = BytesMut::new();
+            let mut fed = 0usize;
+            let mut split = splits.iter().cycle();
+            while fed < stream.len() {
+                let take = (*split.next().unwrap()).min(stream.len() - fed);
+                buf.extend_from_slice(&stream[fed..fed + take]);
+                fed += take;
+                loop {
+                    let before = buf.len();
+                    match parse_command(&mut buf) {
+                        Ok(Parsed::Complete(_)) => {
+                            proptest::prop_assert!(
+                                buf.len() < before,
+                                "complete command must consume bytes"
+                            );
+                        }
+                        Ok(Parsed::Incomplete) => {
+                            proptest::prop_assert_eq!(
+                                buf.len(),
+                                before,
+                                "incomplete parse must leave the buffer intact"
+                            );
+                            break;
+                        }
+                        Err(_) => {
+                            // A server answers the error, then skips the
+                            // offending line or closes; either way the
+                            // buffer shrinks and the loop terminates.
+                            match buf.windows(2).position(|w| w == b"\r\n") {
+                                Some(pos) => Buf::advance(&mut buf, pos + 2),
+                                None => buf.clear(),
+                            }
+                        }
+                    }
+                }
+                // At most one incomplete command is ever buffered, so the
+                // buffer stays bounded by a command line plus the largest
+                // admissible data block.
+                proptest::prop_assert!(
+                    buf.len() <= MAX_LINE_BYTES + MAX_VALUE_BYTES as usize + 2 + 16
+                );
+            }
+        }
     }
 
     #[test]

@@ -20,14 +20,89 @@ pub enum Disposition {
     Close,
 }
 
-/// Executes one parsed command against `store` at time `now` (seconds),
-/// appending any response to `out`.
+/// Where "now" comes from, in whole seconds (the store's TTL
+/// granularity).
+///
+/// The same command loop serves two time domains: the simulator drives
+/// it with simulated seconds ([`FixedClock`]), a real TCP front-end with
+/// wall-clock seconds ([`WallClock`]). Keeping the loop generic over the
+/// clock is what lets the simulator act as the timing oracle for a live
+/// server — identical dispatch, expiry, and rendering either way.
+pub trait Clock {
+    /// Current time in whole seconds.
+    fn now_secs(&self) -> u64;
+}
+
+/// A clock pinned to one instant — simulated time, or a test's chosen
+/// "now".
+///
+/// # Examples
+///
+/// ```
+/// use densekv_kv::server::{Clock, FixedClock};
+///
+/// assert_eq!(FixedClock(42).now_secs(), 42);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FixedClock(pub u64);
+
+impl Clock for FixedClock {
+    fn now_secs(&self) -> u64 {
+        self.0
+    }
+}
+
+/// Wall time: seconds elapsed since the clock was created (plus an
+/// optional epoch offset, so tests can start "mid-life").
+///
+/// Relative time keeps the arithmetic identical to the simulator's
+/// (`now` starts near zero) and immune to host clock adjustments, which
+/// `SystemTime` is not.
+#[derive(Debug, Clone)]
+pub struct WallClock {
+    start: std::time::Instant,
+    epoch_secs: u64,
+}
+
+impl WallClock {
+    /// A clock reading 0 seconds at creation.
+    #[must_use]
+    pub fn new() -> Self {
+        WallClock::starting_at(0)
+    }
+
+    /// A clock reading `epoch_secs` at creation and advancing in real
+    /// time from there.
+    #[must_use]
+    pub fn starting_at(epoch_secs: u64) -> Self {
+        WallClock {
+            start: std::time::Instant::now(),
+            epoch_secs,
+        }
+    }
+}
+
+impl Default for WallClock {
+    fn default() -> Self {
+        WallClock::new()
+    }
+}
+
+impl Clock for WallClock {
+    fn now_secs(&self) -> u64 {
+        self.epoch_secs + self.start.elapsed().as_secs()
+    }
+}
+
+/// Executes one parsed command against `store` at the clock's current
+/// time, appending any response to `out`.
 pub fn handle_command(
     store: &mut KvStore,
     command: Command,
-    now: u64,
+    clock: &dyn Clock,
     out: &mut BytesMut,
 ) -> Disposition {
+    let now = clock.now_secs();
     match command {
         Command::Get { keys, with_cas } => {
             for key in &keys {
@@ -102,25 +177,29 @@ pub fn handle_command(
             store.flush_all();
             out.extend_from_slice(b"OK\r\n");
         }
-        Command::Stats => {
-            let stats = store.stats();
-            for (name, value) in [
-                ("get_hits", stats.get_hits),
-                ("get_misses", stats.get_misses),
-                ("cmd_set", stats.sets),
-                ("evictions", stats.evictions),
-                ("expired_unfetched", stats.expirations),
-                ("curr_items", stats.items),
-                ("bytes", stats.bytes),
-            ] {
-                out.extend_from_slice(format!("STAT {name} {value}\r\n").as_bytes());
-            }
-            render_end(out);
-        }
+        Command::Stats => render_stats(&store.stats(), out),
         Command::Version => out.extend_from_slice(b"VERSION 1.4.15-densekv\r\n"),
         Command::Quit => return Disposition::Close,
     }
     Disposition::KeepAlive
+}
+
+/// Renders the `stats` reply for the given counters. Shared by the
+/// single-store loop above and sharded front-ends, which merge their
+/// per-shard counters before rendering.
+pub fn render_stats(stats: &crate::store::StoreStats, out: &mut BytesMut) {
+    for (name, value) in [
+        ("get_hits", stats.get_hits),
+        ("get_misses", stats.get_misses),
+        ("cmd_set", stats.sets),
+        ("evictions", stats.evictions),
+        ("expired_unfetched", stats.expirations),
+        ("curr_items", stats.items),
+        ("bytes", stats.bytes),
+    ] {
+        out.extend_from_slice(format!("STAT {name} {value}\r\n").as_bytes());
+    }
+    render_end(out);
 }
 
 /// Drains every complete command in `input` through `store`, returning
@@ -141,17 +220,18 @@ pub fn handle_command(
 pub fn serve_buffer(store: &mut KvStore, input: &[u8], now: u64) -> Vec<u8> {
     let mut buf = BytesMut::from(input);
     let mut out = BytesMut::new();
+    let clock = FixedClock(now);
     loop {
         match parse_command(&mut buf) {
             Ok(Parsed::Complete(command)) => {
-                if handle_command(store, command, now, &mut out) == Disposition::Close {
+                if handle_command(store, command, &clock, &mut out) == Disposition::Close {
                     break;
                 }
             }
             Ok(Parsed::Incomplete) => break,
             Err(err) => {
                 render_error(&mut out, &err);
-                if !resync(&mut buf, &err) {
+                if !resync_after_error(&mut buf, &err) {
                     break;
                 }
             }
@@ -161,11 +241,17 @@ pub fn serve_buffer(store: &mut KvStore, input: &[u8], now: u64) -> Vec<u8> {
 }
 
 /// Skips past the offending line after a protocol error; returns whether
-/// parsing can continue.
-fn resync(buf: &mut BytesMut, err: &ProtocolError) -> bool {
+/// parsing can continue on this byte stream.
+///
+/// Errors that lose framing ([`ProtocolError::BadDataChunk`],
+/// [`ProtocolError::LineTooLong`], [`ProtocolError::ValueTooLarge`])
+/// return `false` — a real server answers and closes the connection,
+/// because the following bytes can no longer be trusted to start at a
+/// command boundary.
+pub fn resync_after_error(buf: &mut BytesMut, err: &ProtocolError) -> bool {
     if matches!(
         err,
-        ProtocolError::BadDataChunk | ProtocolError::LineTooLong
+        ProtocolError::BadDataChunk | ProtocolError::LineTooLong | ProtocolError::ValueTooLarge
     ) {
         // Framing is lost; a real server closes the connection.
         return false;
@@ -265,5 +351,77 @@ mod tests {
         let mut s = store();
         let out = text(&mut s, b"quit\r\nget k\r\n");
         assert_eq!(out, "");
+    }
+
+    /// Runs one already-parsed command through `handle_command` under an
+    /// arbitrary clock and returns the rendered reply.
+    fn run_at(s: &mut KvStore, input: &[u8], clock: &dyn Clock) -> String {
+        let mut buf = BytesMut::from(input);
+        let mut out = BytesMut::new();
+        while let Ok(Parsed::Complete(cmd)) = parse_command(&mut buf) {
+            handle_command(s, cmd, clock, &mut out);
+        }
+        String::from_utf8(out.to_vec()).expect("ascii")
+    }
+
+    #[test]
+    fn touch_expiry_under_sim_clock() {
+        let mut s = store();
+        // Store immortal, then touch down to a 5-second TTL at t=100.
+        run_at(&mut s, b"set k 0 0 1\r\nx\r\n", &FixedClock(100));
+        assert_eq!(
+            run_at(&mut s, b"touch k 5\r\n", &FixedClock(100)),
+            "TOUCHED\r\n"
+        );
+        // Alive just inside the TTL, gone just past it.
+        assert!(run_at(&mut s, b"get k\r\n", &FixedClock(104)).contains("VALUE"));
+        assert_eq!(run_at(&mut s, b"get k\r\n", &FixedClock(106)), "END\r\n");
+    }
+
+    #[test]
+    fn touch_expiry_under_wall_clock() {
+        let mut s = store();
+        // Start the wall clock "mid-life" so TTL arithmetic sees a
+        // realistic nonzero now, then age the item past its TTL by
+        // really waiting: the wall clock is the unit under test.
+        let clock = WallClock::starting_at(1_000_000);
+        run_at(&mut s, b"set k 0 0 1\r\nx\r\n", &clock);
+        assert_eq!(run_at(&mut s, b"touch k 1\r\n", &clock), "TOUCHED\r\n");
+        assert!(run_at(&mut s, b"get k\r\n", &clock).contains("VALUE"));
+        std::thread::sleep(std::time::Duration::from_millis(2_100));
+        assert_eq!(run_at(&mut s, b"get k\r\n", &clock), "END\r\n");
+    }
+
+    #[test]
+    fn flush_all_under_both_clocks() {
+        for clock in [
+            &FixedClock(7) as &dyn Clock,
+            &WallClock::starting_at(7) as &dyn Clock,
+        ] {
+            let mut s = store();
+            run_at(&mut s, b"set a 0 0 1\r\nx\r\nset b 0 0 1\r\ny\r\n", clock);
+            assert_eq!(run_at(&mut s, b"flush_all\r\n", clock), "OK\r\n");
+            assert_eq!(run_at(&mut s, b"get a b\r\n", clock), "END\r\n");
+        }
+    }
+
+    #[test]
+    fn wall_clock_advances_from_its_epoch() {
+        let clock = WallClock::starting_at(500);
+        let first = clock.now_secs();
+        assert!(first >= 500);
+        assert!(clock.now_secs() >= first, "monotonic");
+        assert_eq!(WallClock::new().now_secs(), 0, "fresh clock starts at 0");
+    }
+
+    #[test]
+    fn resync_is_public_and_closes_on_lost_framing() {
+        let mut buf = BytesMut::from(&b"rest\r\n"[..]);
+        assert!(!resync_after_error(&mut buf, &ProtocolError::ValueTooLarge));
+        assert!(resync_after_error(
+            &mut buf,
+            &ProtocolError::UnknownCommand("x".into())
+        ));
+        assert!(buf.is_empty(), "skipped past the offending line");
     }
 }

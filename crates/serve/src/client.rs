@@ -1,0 +1,281 @@
+//! A blocking client over the [`densekv_kv::client`] codec: one
+//! [`Connection`] per socket, and a round-robin [`Pool`] of them for
+//! the load generators.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+
+use bytes::BytesMut;
+
+use densekv_kv::client::{parse_reply, BadReply, Reply, RequestBuilder, Value};
+
+/// Read size per syscall on the client side.
+const READ_CHUNK: usize = 16 << 10;
+
+/// Why a client call failed.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Socket-level failure.
+    Io(std::io::Error),
+    /// The server's bytes did not parse as a protocol reply.
+    Protocol(BadReply),
+    /// The server answered with an in-band error line
+    /// (`ERROR` / `CLIENT_ERROR …` / `SERVER_ERROR …`).
+    Server(String),
+    /// The server closed the connection mid-reply.
+    Closed,
+}
+
+impl core::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "socket error: {e}"),
+            ClientError::Protocol(e) => write!(f, "{e}"),
+            ClientError::Server(line) => write!(f, "server error: {line}"),
+            ClientError::Closed => write!(f, "server closed the connection"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<BadReply> for ClientError {
+    fn from(e: BadReply) -> Self {
+        ClientError::Protocol(e)
+    }
+}
+
+/// One blocking protocol connection.
+pub struct Connection {
+    stream: TcpStream,
+    rx: BytesMut,
+    builder: RequestBuilder,
+    chunk: Vec<u8>,
+}
+
+impl Connection {
+    /// Connects and disables Nagle (request/response traffic).
+    ///
+    /// # Errors
+    ///
+    /// Propagates connect failures.
+    pub fn connect(addr: SocketAddr) -> Result<Self, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Connection {
+            stream,
+            rx: BytesMut::with_capacity(4096),
+            builder: RequestBuilder::new(),
+            chunk: vec![0u8; READ_CHUNK],
+        })
+    }
+
+    fn send(&mut self) -> Result<(), ClientError> {
+        let bytes = self.builder.take();
+        self.stream.write_all(&bytes)?;
+        Ok(())
+    }
+
+    /// Reads one reply, turning in-band error lines into
+    /// [`ClientError::Server`].
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError`] on socket failure, malformed output, an error
+    /// reply, or the server closing mid-reply.
+    pub fn read_reply(&mut self) -> Result<Reply, ClientError> {
+        loop {
+            if let Some(reply) = parse_reply(&mut self.rx)? {
+                if let Reply::Error(line) = reply {
+                    return Err(ClientError::Server(line));
+                }
+                return Ok(reply);
+            }
+            match self.stream.read(&mut self.chunk)? {
+                0 => return Err(ClientError::Closed),
+                n => self.rx.extend_from_slice(&self.chunk[..n]),
+            }
+        }
+    }
+
+    /// `set` with zero flags and no expiry; true on `STORED`.
+    ///
+    /// # Errors
+    ///
+    /// See [`Connection::read_reply`].
+    pub fn set(&mut self, key: &[u8], value: &[u8]) -> Result<bool, ClientError> {
+        self.builder.set(key, value, 0, 0);
+        self.send()?;
+        Ok(self.read_reply()? == Reply::Stored)
+    }
+
+    /// Single-key `get`; `None` on a miss.
+    ///
+    /// # Errors
+    ///
+    /// See [`Connection::read_reply`].
+    pub fn get(&mut self, key: &[u8]) -> Result<Option<Value>, ClientError> {
+        self.builder.get(key);
+        self.send()?;
+        match self.read_reply()? {
+            Reply::Values(mut values) => Ok(values.pop()),
+            other => Err(ClientError::Protocol(BadReply(format!(
+                "expected VALUE block, got {other:?}"
+            )))),
+        }
+    }
+
+    /// `delete`; true when the key existed.
+    ///
+    /// # Errors
+    ///
+    /// See [`Connection::read_reply`].
+    pub fn delete(&mut self, key: &[u8]) -> Result<bool, ClientError> {
+        self.builder.delete(key);
+        self.send()?;
+        Ok(self.read_reply()? == Reply::Deleted)
+    }
+
+    /// `touch`; true when the key existed.
+    ///
+    /// # Errors
+    ///
+    /// See [`Connection::read_reply`].
+    pub fn touch(&mut self, key: &[u8], exptime: u64) -> Result<bool, ClientError> {
+        self.builder.touch(key, exptime);
+        self.send()?;
+        Ok(self.read_reply()? == Reply::Touched)
+    }
+
+    /// `version`; the server's version string.
+    ///
+    /// # Errors
+    ///
+    /// See [`Connection::read_reply`].
+    pub fn version(&mut self) -> Result<String, ClientError> {
+        self.builder.version();
+        self.send()?;
+        match self.read_reply()? {
+            Reply::Version(v) => Ok(v),
+            other => Err(ClientError::Protocol(BadReply(format!(
+                "expected VERSION, got {other:?}"
+            )))),
+        }
+    }
+
+    /// `flush_all`.
+    ///
+    /// # Errors
+    ///
+    /// See [`Connection::read_reply`].
+    pub fn flush_all(&mut self) -> Result<(), ClientError> {
+        self.builder.flush_all();
+        self.send()?;
+        match self.read_reply()? {
+            Reply::Ok => Ok(()),
+            other => Err(ClientError::Protocol(BadReply(format!(
+                "expected OK, got {other:?}"
+            )))),
+        }
+    }
+
+    /// Sends `quit`; the server closes the socket without replying.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the write failure.
+    pub fn quit(mut self) -> Result<(), ClientError> {
+        self.builder.quit();
+        self.send()
+    }
+
+    /// Writes raw bytes and returns the next reply *line* verbatim —
+    /// for poking the server with traffic the builder refuses to emit.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError`] on socket failure or the server closing before
+    /// a full line arrives.
+    pub fn raw_roundtrip(&mut self, bytes: &[u8]) -> Result<String, ClientError> {
+        self.stream.write_all(bytes)?;
+        loop {
+            if let Some(end) = self.rx.windows(2).position(|w| w == b"\r\n") {
+                let line = self.rx.split_to(end + 2);
+                return Ok(String::from_utf8_lossy(&line[..end]).into_owned());
+            }
+            match self.stream.read(&mut self.chunk)? {
+                0 => return Err(ClientError::Closed),
+                n => self.rx.extend_from_slice(&self.chunk[..n]),
+            }
+        }
+    }
+}
+
+/// A fixed-size set of connections handed out round-robin.
+///
+/// # Examples
+///
+/// ```
+/// use densekv_serve::{spawn, Pool, ServeConfig};
+///
+/// let server = spawn(ServeConfig::ephemeral()).unwrap();
+/// let mut pool = Pool::connect(server.addr(), 4).unwrap();
+/// assert!(pool.checkout().set(b"k", b"v").unwrap());
+/// assert!(pool.checkout().get(b"k").unwrap().is_some());
+/// server.shutdown();
+/// ```
+pub struct Pool {
+    conns: Vec<Connection>,
+    next: usize,
+}
+
+impl Pool {
+    /// Opens `size` connections to `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first connect failure.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is zero.
+    pub fn connect(addr: SocketAddr, size: usize) -> Result<Self, ClientError> {
+        assert!(size > 0, "a pool needs at least one connection");
+        let conns = (0..size)
+            .map(|_| Connection::connect(addr))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Pool { conns, next: 0 })
+    }
+
+    /// Number of pooled connections.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.conns.len()
+    }
+
+    /// True when the pool holds no connections (never, by construction).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.conns.is_empty()
+    }
+
+    /// The next connection, round-robin.
+    pub fn checkout(&mut self) -> &mut Connection {
+        let i = self.next;
+        self.next = (self.next + 1) % self.conns.len();
+        &mut self.conns[i]
+    }
+
+    /// Dissolves the pool into its connections — the load generators
+    /// hand one to each worker thread.
+    #[must_use]
+    pub fn into_connections(self) -> Vec<Connection> {
+        self.conns
+    }
+}

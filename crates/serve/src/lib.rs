@@ -1,0 +1,63 @@
+//! A real TCP data plane over the densekv key-value store.
+//!
+//! Every other crate in this workspace *simulates* the paper's
+//! 3D-stacked server; this one serves actual traffic. It binds a
+//! `std::net` listener (no async runtime — the vendored-deps build must
+//! stay offline), speaks the Memcached text protocol already
+//! implemented in [`densekv_kv::protocol`], and dispatches commands to
+//! a shared store behind the striped-lock design the paper's §3.6
+//! scaling discussion (and the memcached threading-model survey in
+//! SNIPPETS.md §3) describes:
+//!
+//! * [`shard`] — [`ShardedStore`]: the hash space split over
+//!   independently locked [`densekv_kv::KvStore`]s. One shard is
+//!   Memcached 1.4's global cache lock; many shards are the 1.6-style
+//!   striped design.
+//! * [`server`] — the front-end itself: a listener thread plus one
+//!   worker thread per connection (memcached's threading model, with
+//!   the worker pool degenerated to thread-per-connection since the
+//!   experiments cap connections anyway). Enforces a max-connections
+//!   cap (`SERVER_ERROR busy`) and a per-connection read timeout so an
+//!   adversarial or stalled peer can never wedge the process.
+//! * [`client`] — a blocking connection-pool client over
+//!   [`densekv_kv::client`]'s codec.
+//! * [`loadgen`] — closed-loop and open-loop (paced Poisson) load
+//!   generators with seeded Zipf key popularity; per-request wall-clock
+//!   latencies land in [`densekv_telemetry::LogHistogram`]s, the same
+//!   histogram type the simulator fills, so real and simulated
+//!   percentile curves are directly comparable. That comparison — the
+//!   simulator as timing oracle behind a live front-end — is the
+//!   `serve_validate` experiment in `densekv-bench`.
+//!
+//! The command loop itself is byte-identical to the simulator's: both
+//! run [`densekv_kv::server::handle_command`], differing only in the
+//! [`densekv_kv::server::Clock`] they pass (simulated seconds there,
+//! [`densekv_kv::server::WallClock`] here).
+//!
+//! # Examples
+//!
+//! ```
+//! use densekv_serve::{spawn, Connection, ServeConfig};
+//!
+//! let server = spawn(ServeConfig::ephemeral()).unwrap();
+//! let mut conn = Connection::connect(server.addr()).unwrap();
+//! assert!(conn.set(b"k", b"hello").unwrap());
+//! let hit = conn.get(b"k").unwrap().expect("resident");
+//! assert_eq!(hit.data, b"hello");
+//! server.shutdown();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod loadgen;
+pub mod server;
+pub mod shard;
+
+pub use client::{ClientError, Connection, Pool};
+pub use loadgen::{
+    preload, run_closed_loop, run_open_loop, ClosedLoopConfig, LoadMix, LoadReport, OpenLoopConfig,
+};
+pub use server::{spawn, ServeConfig, ServeStats, ServerHandle};
+pub use shard::ShardedStore;

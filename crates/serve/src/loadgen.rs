@@ -1,0 +1,387 @@
+//! Closed-loop and open-loop load generators for the live front-end.
+//!
+//! Both drive the server with the same deterministic
+//! [`MixedWorkload`] streams the simulator replays (seeded Zipf key
+//! popularity, fixed GET fraction): every worker derives its own seed
+//! from [`LoadMix::seed`], so the *operations and keys* of a run are
+//! exactly reproducible even though the wall-clock timings are not.
+//!
+//! The closed loop issues the next request the moment the previous
+//! reply lands — its throughput is the server's capacity at that
+//! concurrency. The open loop paces requests on a Poisson schedule at
+//! an offered rate and measures each latency **from the request's
+//! scheduled send time**, so queueing delay a slow server causes is
+//! charged to the server, not silently absorbed by the generator
+//! (coordinated omission).
+//!
+//! Latencies land in [`LogHistogram`]s — the same mergeable histogram
+//! the simulator fills — which is what makes the `serve_validate`
+//! experiment's real-vs-simulated percentile comparison a one-liner.
+
+use std::net::SocketAddr;
+use std::time::Instant;
+
+use densekv_sim::dist::Exponential;
+use densekv_sim::{Duration as SimDuration, SplitMix64};
+use densekv_telemetry::LogHistogram;
+use densekv_workload::{MixedWorkload, Op, RequestGenerator};
+
+use crate::client::{ClientError, Connection};
+
+/// A request mix: the key space, skew, and op blend every worker draws
+/// from (each with its own derived seed).
+#[derive(Debug, Clone)]
+pub struct LoadMix {
+    /// Distinct keys.
+    pub keys: usize,
+    /// Zipf popularity skew (0 = uniform, ~1 = memcached-like).
+    pub zipf_alpha: f64,
+    /// Fraction of GETs; the rest are SETs.
+    pub get_fraction: f64,
+    /// Value size (one fixed size keeps the capacity comparison clean).
+    pub value_bytes: u64,
+    /// Base seed; worker `w` uses a seed derived from this and `w`.
+    pub seed: u64,
+}
+
+impl LoadMix {
+    /// The ETC-like point the validation runs use: Zipf(0.99), 95 %
+    /// GETs, at one value size.
+    #[must_use]
+    pub fn etc(keys: usize, value_bytes: u64, seed: u64) -> Self {
+        LoadMix {
+            keys,
+            zipf_alpha: densekv_workload::ETC_ZIPF_ALPHA,
+            get_fraction: densekv_workload::ETC_GET_FRACTION,
+            value_bytes,
+            seed,
+        }
+    }
+
+    /// The deterministic request stream for worker `worker`.
+    #[must_use]
+    pub fn stream(&self, worker: usize) -> MixedWorkload {
+        // Distinct streams per worker; splitting via SplitMix keeps the
+        // derived seeds well-separated even for adjacent worker ids.
+        let mut splitter = SplitMix64::new(self.seed ^ (worker as u64).wrapping_add(1));
+        MixedWorkload::new(
+            self.keys,
+            self.zipf_alpha,
+            self.get_fraction,
+            &[(self.value_bytes, 1.0)],
+            splitter.next_u64(),
+            &format!("serve worker {worker}"),
+        )
+    }
+}
+
+/// A closed-loop run: `workers` connections, each firing
+/// `requests_per_worker` back-to-back requests.
+#[derive(Debug, Clone)]
+pub struct ClosedLoopConfig {
+    /// Server address.
+    pub addr: SocketAddr,
+    /// Concurrent connections, one thread each.
+    pub workers: usize,
+    /// Requests each worker issues.
+    pub requests_per_worker: u64,
+    /// What the workers send.
+    pub mix: LoadMix,
+}
+
+/// An open-loop run: requests paced on a Poisson schedule at
+/// `offered_rps` total across `workers` connections.
+#[derive(Debug, Clone)]
+pub struct OpenLoopConfig {
+    /// Server address.
+    pub addr: SocketAddr,
+    /// Concurrent connections, one thread each.
+    pub workers: usize,
+    /// Offered load, requests per second, summed over all workers.
+    pub offered_rps: f64,
+    /// How long to keep offering load.
+    pub duration: std::time::Duration,
+    /// What the workers send.
+    pub mix: LoadMix,
+}
+
+/// What a load run measured.
+#[derive(Debug, Clone, Default)]
+pub struct LoadReport {
+    /// Per-request latency (sim-typed picosecond histogram, directly
+    /// mergeable/comparable with the simulator's).
+    pub latency: LogHistogram,
+    /// Requests completed.
+    pub requests: u64,
+    /// Requests that failed (socket or protocol errors).
+    pub errors: u64,
+    /// GETs that found the key.
+    pub get_hits: u64,
+    /// GETs that missed.
+    pub get_misses: u64,
+    /// Wall-clock span of the run.
+    pub elapsed: std::time::Duration,
+    /// Offered rate (open loop only; 0 for closed loop).
+    pub offered_rps: f64,
+    /// Completed requests per second of wall clock.
+    pub achieved_rps: f64,
+    /// Open loop only: fraction of requests that left more than 1 ms
+    /// after their scheduled time — the generator falling behind, which
+    /// means the measured curve under-states queueing at this load.
+    pub late_fraction: f64,
+}
+
+impl LoadReport {
+    fn fold(mut reports: Vec<LoadReport>, elapsed: std::time::Duration) -> LoadReport {
+        let mut total = LoadReport {
+            elapsed,
+            ..LoadReport::default()
+        };
+        let mut late = 0.0f64;
+        for r in reports.drain(..) {
+            total.latency.merge(&r.latency);
+            total.requests += r.requests;
+            total.errors += r.errors;
+            total.get_hits += r.get_hits;
+            total.get_misses += r.get_misses;
+            late += r.late_fraction * r.requests as f64;
+        }
+        if total.requests > 0 {
+            total.late_fraction = late / total.requests as f64;
+        }
+        let secs = elapsed.as_secs_f64();
+        if secs > 0.0 {
+            total.achieved_rps = total.requests as f64 / secs;
+        }
+        total
+    }
+}
+
+/// How far behind schedule an open-loop send may be before it counts
+/// as late.
+const LATE_BOUND: std::time::Duration = std::time::Duration::from_millis(1);
+
+/// Sets every key of `mix` once so subsequent GETs are warm — the live
+/// analogue of the simulator's preload. Returns the keys written.
+///
+/// # Errors
+///
+/// [`ClientError`] on the first failed store.
+pub fn preload(addr: SocketAddr, mix: &LoadMix) -> Result<u64, ClientError> {
+    let mut conn = Connection::connect(addr)?;
+    let value = vec![b'v'; mix.value_bytes as usize];
+    let mut stored = 0u64;
+    for key in mix.stream(0).all_keys() {
+        if conn.set(&key, &value)? {
+            stored += 1;
+        }
+    }
+    Ok(stored)
+}
+
+/// One request against the server; the caller times it.
+fn fire(
+    conn: &mut Connection,
+    gen: &mut MixedWorkload,
+    value: &[u8],
+    report: &mut LoadReport,
+) -> Result<(), ClientError> {
+    let req = gen.next_request();
+    match req.op {
+        Op::Get => match conn.get(&req.key)? {
+            Some(_) => report.get_hits += 1,
+            None => report.get_misses += 1,
+        },
+        Op::Put => {
+            conn.set(&req.key, value)?;
+        }
+    }
+    report.requests += 1;
+    Ok(())
+}
+
+/// Runs a closed loop and folds the per-worker reports together.
+///
+/// # Errors
+///
+/// [`ClientError`] when a worker cannot connect or its connection
+/// fails mid-run.
+pub fn run_closed_loop(config: &ClosedLoopConfig) -> Result<LoadReport, ClientError> {
+    let start = Instant::now();
+    let reports = run_workers(config.workers, |worker| {
+        let mut conn = Connection::connect(config.addr)?;
+        let mut gen = config.mix.stream(worker);
+        let value = vec![b'v'; config.mix.value_bytes as usize];
+        let mut report = LoadReport::default();
+        for _ in 0..config.requests_per_worker {
+            let begin = Instant::now();
+            fire(&mut conn, &mut gen, &value, &mut report)?;
+            report
+                .latency
+                .record(SimDuration::from_std(begin.elapsed()));
+        }
+        Ok(report)
+    })?;
+    Ok(LoadReport::fold(reports, start.elapsed()))
+}
+
+/// Runs an open loop at `config.offered_rps` and folds the per-worker
+/// reports. Latency is measured from each request's **scheduled** send
+/// time, so server-side queueing shows up even when the generator had
+/// to wait in line behind it.
+///
+/// # Errors
+///
+/// [`ClientError`] when a worker cannot connect or its connection
+/// fails mid-run.
+pub fn run_open_loop(config: &OpenLoopConfig) -> Result<LoadReport, ClientError> {
+    let per_worker_rate = config.offered_rps / config.workers.max(1) as f64;
+    let start = Instant::now();
+    let reports = run_workers(config.workers, |worker| {
+        let mut conn = Connection::connect(config.addr)?;
+        let mut gen = config.mix.stream(worker);
+        let value = vec![b'v'; config.mix.value_bytes as usize];
+        let gaps = Exponential::from_rate_per_sec(per_worker_rate);
+        let mut rng = SplitMix64::new(config.mix.seed.wrapping_mul(31).wrapping_add(worker as u64));
+        let mut report = LoadReport::default();
+        let begin = Instant::now();
+        // The Poisson schedule, accumulated as an offset from `begin`.
+        let mut scheduled = std::time::Duration::ZERO;
+        loop {
+            scheduled += to_std(gaps.sample(&mut rng));
+            if scheduled >= config.duration {
+                break;
+            }
+            let target = begin + scheduled;
+            let now = Instant::now();
+            if let Some(wait) = target.checked_duration_since(now) {
+                std::thread::sleep(wait);
+            } else if now.duration_since(target) > LATE_BOUND {
+                // Running behind: count it, then send immediately.
+                report.late_fraction += 1.0;
+            }
+            fire(&mut conn, &mut gen, &value, &mut report)?;
+            // Scheduled-time latency: includes any time spent waiting
+            // for the connection to come free of the previous request.
+            report
+                .latency
+                .record(SimDuration::from_std(target.elapsed()));
+        }
+        if report.requests > 0 {
+            report.late_fraction /= report.requests as f64;
+        }
+        Ok(report)
+    })?;
+    let mut total = LoadReport::fold(reports, start.elapsed());
+    total.offered_rps = config.offered_rps;
+    Ok(total)
+}
+
+/// Sim → std duration (ps → ns, floor).
+fn to_std(d: SimDuration) -> std::time::Duration {
+    std::time::Duration::from_nanos(d.as_ps() / 1_000)
+}
+
+/// Spawns `workers` threads running `body` and collects their reports,
+/// surfacing the first error.
+fn run_workers<F>(workers: usize, body: F) -> Result<Vec<LoadReport>, ClientError>
+where
+    F: Fn(usize) -> Result<LoadReport, ClientError> + Sync,
+{
+    assert!(workers > 0, "need at least one worker");
+    let body = &body;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|worker| scope.spawn(move || body(worker)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("load worker panicked"))
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::{spawn, ServeConfig};
+
+    fn small_mix() -> LoadMix {
+        LoadMix::etc(64, 128, 7)
+    }
+
+    #[test]
+    fn preload_warms_every_key() {
+        let server = spawn(ServeConfig::ephemeral()).unwrap();
+        let stored = preload(server.addr(), &small_mix()).unwrap();
+        assert_eq!(stored, 64);
+        assert_eq!(server.items(), 64);
+        server.shutdown();
+    }
+
+    #[test]
+    fn closed_loop_completes_every_request_and_mostly_hits() {
+        let server = spawn(ServeConfig::ephemeral()).unwrap();
+        let mix = small_mix();
+        preload(server.addr(), &mix).unwrap();
+        let report = run_closed_loop(&ClosedLoopConfig {
+            addr: server.addr(),
+            workers: 3,
+            requests_per_worker: 200,
+            mix,
+        })
+        .unwrap();
+        assert_eq!(report.requests, 600);
+        assert_eq!(report.errors, 0);
+        assert_eq!(report.latency.count(), 600);
+        // Preloaded keys at ~95% GETs: essentially everything hits.
+        assert!(report.get_hits > report.get_misses * 10);
+        assert!(report.achieved_rps > 0.0);
+        server.shutdown();
+    }
+
+    #[test]
+    fn open_loop_paces_near_the_offered_rate() {
+        let server = spawn(ServeConfig::ephemeral()).unwrap();
+        let mix = small_mix();
+        preload(server.addr(), &mix).unwrap();
+        let report = run_open_loop(&OpenLoopConfig {
+            addr: server.addr(),
+            workers: 2,
+            offered_rps: 2_000.0,
+            duration: std::time::Duration::from_millis(500),
+            mix,
+        })
+        .unwrap();
+        assert!(report.requests > 0);
+        assert_eq!(report.offered_rps, 2_000.0);
+        // Loopback serves far below 2 k rps of capacity, so the achieved
+        // rate lands near the offered one (Poisson draws keep it fuzzy).
+        assert!(
+            report.achieved_rps > 2_000.0 * 0.5,
+            "achieved {} rps",
+            report.achieved_rps
+        );
+        assert!(report.latency.percentile(0.99).is_some());
+        server.shutdown();
+    }
+
+    #[test]
+    fn workload_streams_are_deterministic_per_worker() {
+        let mix = small_mix();
+        let mut s0 = mix.stream(3);
+        let a: Vec<_> = (0..50).map(|_| s0.next_request()).collect();
+        let mut s1 = mix.stream(3);
+        let mut s2 = mix.stream(4);
+        let b: Vec<_> = (0..50).map(|_| s1.next_request()).collect();
+        let c: Vec<_> = (0..50).map(|_| s2.next_request()).collect();
+        // Same worker: identical stream. Different worker: different.
+        let first: Vec<_> = a.iter().map(|r| r.key.clone()).collect();
+        let second: Vec<_> = b.iter().map(|r| r.key.clone()).collect();
+        assert_ne!(
+            b.iter().map(|r| &r.key).collect::<Vec<_>>(),
+            c.iter().map(|r| &r.key).collect::<Vec<_>>()
+        );
+        assert_eq!(first, second);
+    }
+}

@@ -1,0 +1,487 @@
+//! The TCP front-end: a `std::net` listener thread dispatching
+//! connections to worker threads, memcached-style.
+//!
+//! Graceful degradation is part of the contract, not an afterthought:
+//!
+//! * **Max-connections cap** — a connection beyond
+//!   [`ServeConfig::max_connections`] is answered `SERVER_ERROR busy`
+//!   and closed instead of being accepted unboundedly.
+//! * **Per-connection read timeout** — a peer that goes silent
+//!   mid-command is disconnected after [`ServeConfig::read_timeout`],
+//!   so stalled or adversarial clients cannot pin worker threads.
+//! * **Bounded buffering** — the parser's [`MAX_LINE_BYTES`] /
+//!   [`MAX_VALUE_BYTES`] limits cap the per-connection receive buffer;
+//!   framing-losing protocol errors answer in-band and close.
+//!
+//! [`MAX_LINE_BYTES`]: densekv_kv::protocol::MAX_LINE_BYTES
+//! [`MAX_VALUE_BYTES`]: densekv_kv::protocol::MAX_VALUE_BYTES
+
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use bytes::BytesMut;
+use parking_lot::Mutex;
+
+use densekv_kv::protocol::{parse_command, render_error, Parsed};
+use densekv_kv::server::{resync_after_error, Disposition, WallClock};
+use densekv_kv::store::StoreConfig;
+
+use crate::shard::ShardedStore;
+
+/// Read size per syscall in the connection loop.
+const READ_CHUNK: usize = 16 << 10;
+
+/// Configuration of one front-end instance.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Address to bind; port 0 picks an ephemeral port.
+    pub addr: SocketAddr,
+    /// Total store bytes, split evenly across `shards`.
+    pub store_bytes: u64,
+    /// Lock stripes: 1 = global lock (Memcached 1.4), more = striped.
+    pub shards: usize,
+    /// Connections served concurrently; the next one is told
+    /// `SERVER_ERROR busy` and closed.
+    pub max_connections: usize,
+    /// How long a worker blocks waiting for the next bytes of a
+    /// connection before disconnecting it. Also bounds shutdown
+    /// latency: a worker notices the shutdown flag at least this often.
+    pub read_timeout: Duration,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".parse().expect("literal addr"),
+            store_bytes: 64 << 20,
+            shards: 8,
+            max_connections: 64,
+            read_timeout: Duration::from_secs(2),
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Localhost on an ephemeral port with defaults — what tests and
+    /// the load-generation experiments want.
+    #[must_use]
+    pub fn ephemeral() -> Self {
+        ServeConfig::default()
+    }
+}
+
+/// Counters the front-end accumulates over its lifetime.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServeStats {
+    /// Connections accepted into a worker thread.
+    pub accepted: u64,
+    /// Connections refused with `SERVER_ERROR busy` (over the cap).
+    pub rejected_busy: u64,
+    /// Commands executed.
+    pub commands: u64,
+    /// Bytes read off sockets.
+    pub bytes_in: u64,
+    /// Bytes written to sockets.
+    pub bytes_out: u64,
+    /// Connections dropped by the read timeout.
+    pub timeouts: u64,
+    /// Protocol errors answered in-band.
+    pub protocol_errors: u64,
+}
+
+#[derive(Default)]
+struct Counters {
+    accepted: AtomicU64,
+    rejected_busy: AtomicU64,
+    commands: AtomicU64,
+    bytes_in: AtomicU64,
+    bytes_out: AtomicU64,
+    timeouts: AtomicU64,
+    protocol_errors: AtomicU64,
+}
+
+/// State shared between the accept loop, workers, and the handle.
+struct Shared {
+    store: ShardedStore,
+    clock: WallClock,
+    config: ServeConfig,
+    shutdown: AtomicBool,
+    active: AtomicUsize,
+    counters: Counters,
+    /// Clones of live connection sockets, so shutdown can interrupt
+    /// blocked reads immediately instead of waiting out the timeout.
+    conns: Mutex<HashMap<u64, TcpStream>>,
+}
+
+/// A running front-end. Dropping the handle shuts the server down.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept: Option<JoinHandle<()>>,
+}
+
+/// Binds the listener and starts the accept loop.
+///
+/// # Errors
+///
+/// Propagates the bind/local-addr I/O errors.
+///
+/// # Examples
+///
+/// ```
+/// use densekv_serve::{spawn, ServeConfig};
+///
+/// let server = spawn(ServeConfig::ephemeral()).unwrap();
+/// assert_ne!(server.addr().port(), 0);
+/// server.shutdown();
+/// ```
+pub fn spawn(config: ServeConfig) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(config.addr)?;
+    let addr = listener.local_addr()?;
+    let store = ShardedStore::new(
+        StoreConfig::with_capacity(config.store_bytes),
+        config.shards,
+    );
+    let shared = Arc::new(Shared {
+        store,
+        clock: WallClock::new(),
+        config,
+        shutdown: AtomicBool::new(false),
+        active: AtomicUsize::new(0),
+        counters: Counters::default(),
+        conns: Mutex::new(HashMap::new()),
+    });
+    let accept = {
+        let shared = Arc::clone(&shared);
+        std::thread::Builder::new()
+            .name("densekv-serve-accept".into())
+            .spawn(move || accept_loop(&listener, &shared))?
+    };
+    Ok(ServerHandle {
+        addr,
+        shared,
+        accept: Some(accept),
+    })
+}
+
+impl ServerHandle {
+    /// The bound address (with the real port when 0 was requested).
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Lifetime counters so far.
+    #[must_use]
+    pub fn stats(&self) -> ServeStats {
+        let c = &self.shared.counters;
+        ServeStats {
+            accepted: c.accepted.load(Ordering::Relaxed),
+            rejected_busy: c.rejected_busy.load(Ordering::Relaxed),
+            commands: c.commands.load(Ordering::Relaxed),
+            bytes_in: c.bytes_in.load(Ordering::Relaxed),
+            bytes_out: c.bytes_out.load(Ordering::Relaxed),
+            timeouts: c.timeouts.load(Ordering::Relaxed),
+            protocol_errors: c.protocol_errors.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Connections currently being served.
+    #[must_use]
+    pub fn active_connections(&self) -> usize {
+        self.shared.active.load(Ordering::Relaxed)
+    }
+
+    /// Live items in the shared store.
+    #[must_use]
+    pub fn items(&self) -> u64 {
+        self.shared.store.len()
+    }
+
+    /// Store counters (the same numbers the `stats` verb reports).
+    #[must_use]
+    pub fn store_stats(&self) -> densekv_kv::StoreStats {
+        self.shared.store.stats()
+    }
+
+    /// Stops accepting, interrupts every live connection, joins the
+    /// accept loop (which joins the workers), and returns the final
+    /// counters.
+    pub fn shutdown(mut self) -> ServeStats {
+        self.stop();
+        self.stats()
+    }
+
+    fn stop(&mut self) {
+        let Some(accept) = self.accept.take() else {
+            return;
+        };
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        // Wake the blocked accept() with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        // Interrupt blocked reads so workers exit now, not at timeout.
+        for (_, conn) in self.shared.conns.lock().drain() {
+            let _ = conn.shutdown(Shutdown::Both);
+        }
+        let _ = accept.join();
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
+    let mut workers: Vec<JoinHandle<()>> = Vec::new();
+    let mut next_id = 0u64;
+    for conn in listener.incoming() {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = conn else { continue };
+        if shared.active.load(Ordering::SeqCst) >= shared.config.max_connections {
+            // Over the cap: answer and close instead of queueing work we
+            // cannot serve — the degradation mode the SLA experiments
+            // rely on.
+            shared
+                .counters
+                .rejected_busy
+                .fetch_add(1, Ordering::Relaxed);
+            let mut stream = stream;
+            let _ = stream.write_all(b"SERVER_ERROR busy\r\n");
+            let _ = stream.shutdown(Shutdown::Both);
+            continue;
+        }
+        shared.active.fetch_add(1, Ordering::SeqCst);
+        shared.counters.accepted.fetch_add(1, Ordering::Relaxed);
+        let id = next_id;
+        next_id += 1;
+        if let Ok(clone) = stream.try_clone() {
+            shared.conns.lock().insert(id, clone);
+        }
+        let worker_shared = Arc::clone(shared);
+        match std::thread::Builder::new()
+            .name(format!("densekv-serve-conn-{id}"))
+            .spawn(move || serve_connection(stream, id, &worker_shared))
+        {
+            Ok(handle) => workers.push(handle),
+            Err(_) => {
+                // Thread exhaustion: treat like an over-cap connection.
+                shared.conns.lock().remove(&id);
+                shared.active.fetch_sub(1, Ordering::SeqCst);
+                shared
+                    .counters
+                    .rejected_busy
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        // Reap finished workers so the handle list stays bounded by the
+        // connection cap rather than the connection count.
+        workers.retain(|h| !h.is_finished());
+    }
+    for worker in workers {
+        let _ = worker.join();
+    }
+}
+
+/// Writes and drains `out`; false when the peer is gone.
+fn flush(stream: &mut TcpStream, out: &mut BytesMut, shared: &Shared) -> bool {
+    if out.is_empty() {
+        return true;
+    }
+    let ok = stream.write_all(out).is_ok();
+    shared
+        .counters
+        .bytes_out
+        .fetch_add(out.len() as u64, Ordering::Relaxed);
+    out.clear();
+    ok
+}
+
+fn serve_connection(mut stream: TcpStream, id: u64, shared: &Arc<Shared>) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(shared.config.read_timeout));
+    let mut rx = BytesMut::with_capacity(4096);
+    let mut out = BytesMut::with_capacity(4096);
+    let mut chunk = vec![0u8; READ_CHUNK];
+
+    'conn: loop {
+        // Drain every complete command currently buffered.
+        loop {
+            match parse_command(&mut rx) {
+                Ok(Parsed::Complete(command)) => {
+                    shared.counters.commands.fetch_add(1, Ordering::Relaxed);
+                    if shared.store.dispatch(command, &shared.clock, &mut out) == Disposition::Close
+                    {
+                        flush(&mut stream, &mut out, shared);
+                        break 'conn;
+                    }
+                }
+                Ok(Parsed::Incomplete) => break,
+                Err(err) => {
+                    shared
+                        .counters
+                        .protocol_errors
+                        .fetch_add(1, Ordering::Relaxed);
+                    render_error(&mut out, &err);
+                    if !resync_after_error(&mut rx, &err) {
+                        // Framing lost: answer, then close.
+                        flush(&mut stream, &mut out, shared);
+                        break 'conn;
+                    }
+                }
+            }
+        }
+        if !flush(&mut stream, &mut out, shared) {
+            break;
+        }
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => break, // peer closed
+            Ok(n) => {
+                shared
+                    .counters
+                    .bytes_in
+                    .fetch_add(n as u64, Ordering::Relaxed);
+                rx.extend_from_slice(&chunk[..n]);
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                if !shared.shutdown.load(Ordering::SeqCst) {
+                    shared.counters.timeouts.fetch_add(1, Ordering::Relaxed);
+                }
+                break; // idle or stalled peer: disconnect
+            }
+            Err(_) => break,
+        }
+    }
+    shared.conns.lock().remove(&id);
+    shared.active.fetch_sub(1, Ordering::SeqCst);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::Connection;
+
+    fn quick_config() -> ServeConfig {
+        ServeConfig {
+            read_timeout: Duration::from_millis(400),
+            ..ServeConfig::ephemeral()
+        }
+    }
+
+    #[test]
+    fn serves_a_full_verb_tour_over_tcp() {
+        let server = spawn(quick_config()).unwrap();
+        let mut conn = Connection::connect(server.addr()).unwrap();
+        assert!(conn.set(b"k", b"hello").unwrap());
+        let hit = conn.get(b"k").unwrap().expect("stored value is resident");
+        assert_eq!(hit.data, b"hello");
+        assert!(conn.delete(b"k").unwrap());
+        assert!(conn.get(b"k").unwrap().is_none());
+        assert!(conn.version().unwrap().contains("densekv"));
+        let stats = server.shutdown();
+        assert_eq!(stats.accepted, 1);
+        assert!(stats.commands >= 5);
+        assert!(stats.bytes_in > 0 && stats.bytes_out > 0);
+    }
+
+    #[test]
+    fn over_cap_connections_get_busy_then_closed() {
+        let config = ServeConfig {
+            max_connections: 3,
+            ..quick_config()
+        };
+        let server = spawn(config).unwrap();
+        // Fill the cap and prove each connection is live with a
+        // round-trip (connect() alone returns before accept()).
+        let mut held: Vec<Connection> = (0..3)
+            .map(|_| {
+                let mut c = Connection::connect(server.addr()).unwrap();
+                c.version().unwrap();
+                c
+            })
+            .collect();
+        // The cap+1-th connection is told busy and dropped; the server
+        // volunteers the error, so read without sending (writing first
+        // could race the server's close into a reset).
+        let mut over = Connection::connect(server.addr()).unwrap();
+        let err = over.read_reply().expect_err("over-cap must not be served");
+        let crate::client::ClientError::Server(msg) = err else {
+            panic!("expected an in-band busy error, got {err:?}");
+        };
+        assert!(msg.contains("busy"), "{msg}");
+        // The held connections still work.
+        for conn in &mut held {
+            assert!(conn.set(b"x", b"1").unwrap());
+        }
+        drop(held);
+        let stats = server.shutdown();
+        assert_eq!(stats.rejected_busy, 1);
+        assert_eq!(stats.accepted, 3);
+    }
+
+    #[test]
+    fn read_timeout_disconnects_stalled_peers() {
+        let config = ServeConfig {
+            read_timeout: Duration::from_millis(100),
+            ..ServeConfig::ephemeral()
+        };
+        let server = spawn(config).unwrap();
+        let mut conn = Connection::connect(server.addr()).unwrap();
+        conn.version().unwrap();
+        // Go silent; the server must reclaim the worker.
+        std::thread::sleep(Duration::from_millis(400));
+        assert_eq!(server.active_connections(), 0);
+        let stats = server.shutdown();
+        assert_eq!(stats.timeouts, 1);
+    }
+
+    #[test]
+    fn adversarial_bytes_answer_in_band_and_never_wedge() {
+        let server = spawn(quick_config()).unwrap();
+        let addr = server.addr();
+        // A framing-losing error closes the connection after replying.
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream
+            .write_all(format!("set k 0 0 {}\r\n", (1 << 20) + 1).as_bytes())
+            .unwrap();
+        let mut reply = String::new();
+        stream.read_to_string(&mut reply).unwrap();
+        assert!(reply.contains("SERVER_ERROR object too large"), "{reply}");
+
+        // An unknown verb answers ERROR and keeps serving.
+        let mut conn = Connection::connect(addr).unwrap();
+        let err = conn.raw_roundtrip(b"frobnicate\r\n").unwrap();
+        assert!(err.contains("ERROR"));
+        assert!(conn.set(b"k", b"v").unwrap(), "connection still serves");
+        let stats = server.shutdown();
+        assert_eq!(stats.protocol_errors, 2);
+    }
+
+    #[test]
+    fn shutdown_interrupts_blocked_readers_quickly() {
+        let config = ServeConfig {
+            read_timeout: Duration::from_secs(30),
+            ..ServeConfig::ephemeral()
+        };
+        let server = spawn(config).unwrap();
+        let mut conn = Connection::connect(server.addr()).unwrap();
+        conn.version().unwrap();
+        let start = std::time::Instant::now();
+        server.shutdown(); // must not wait out the 30 s read timeout
+        assert!(start.elapsed() < Duration::from_secs(5));
+    }
+}

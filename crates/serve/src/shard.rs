@@ -1,0 +1,259 @@
+//! The shared store behind the front-end: the hash space striped over
+//! independently locked [`KvStore`]s.
+//!
+//! This is the live-traffic counterpart of
+//! [`densekv_kv::concurrent::StripedStore`]: same shard-by-upper-hash-
+//! bits layout, but dispatching full protocol [`Command`]s through
+//! [`handle_command`] instead of a narrow get/set trait, so every verb
+//! the simulator's functional path supports works over a real socket
+//! too. One shard reproduces Memcached 1.4's global cache lock; many
+//! shards are the 1.6-style striped design whose contention difference
+//! the paper's §3.6 (and Table 4's "Bags" row) turns on.
+
+use bytes::BytesMut;
+use parking_lot::Mutex;
+
+use densekv_kv::hash::jenkins_oaat;
+use densekv_kv::protocol::{render_end, render_value, Command};
+use densekv_kv::server::{handle_command, render_stats, Clock, Disposition};
+use densekv_kv::store::{KvStore, StoreConfig, StoreStats};
+
+/// A thread-safe store sharded across independently locked [`KvStore`]s.
+///
+/// # Examples
+///
+/// ```
+/// use bytes::BytesMut;
+/// use densekv_kv::protocol::{parse_command, Parsed};
+/// use densekv_kv::server::FixedClock;
+/// use densekv_kv::store::StoreConfig;
+/// use densekv_serve::ShardedStore;
+///
+/// let store = ShardedStore::new(StoreConfig::with_capacity(16 << 20), 4);
+/// let mut buf = BytesMut::from(&b"set k 0 0 2\r\nhi\r\n"[..]);
+/// let Ok(Parsed::Complete(cmd)) = parse_command(&mut buf) else {
+///     panic!("complete command");
+/// };
+/// let mut out = BytesMut::new();
+/// store.dispatch(cmd, &FixedClock(0), &mut out);
+/// assert_eq!(&out[..], b"STORED\r\n");
+/// ```
+#[derive(Debug)]
+pub struct ShardedStore {
+    shards: Vec<Mutex<KvStore>>,
+}
+
+impl ShardedStore {
+    /// Creates `shards` independent stores splitting `config.memory_bytes`
+    /// evenly. `shards == 1` is the global-lock (Memcached 1.4) design.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero.
+    #[must_use]
+    pub fn new(config: StoreConfig, shards: usize) -> Self {
+        assert!(shards > 0, "need at least one shard");
+        let per_shard = StoreConfig {
+            memory_bytes: config.memory_bytes / shards as u64,
+            ..config
+        };
+        ShardedStore {
+            shards: (0..shards)
+                .map(|_| Mutex::new(KvStore::new(per_shard.clone())))
+                .collect(),
+        }
+    }
+
+    /// Number of lock stripes.
+    #[must_use]
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard owning `key`: upper hash bits, like
+    /// [`densekv_kv::concurrent::StripedStore`], so shard choice stays
+    /// independent of the per-shard bucket index (low bits).
+    fn shard_of(&self, key: &[u8]) -> usize {
+        (jenkins_oaat(key) >> 32) as usize % self.shards.len()
+    }
+
+    /// Executes one parsed command, appending any response to `out`.
+    ///
+    /// Single-key commands lock exactly their key's shard and run the
+    /// same [`handle_command`] loop the simulator uses. Multi-key GETs
+    /// lock one shard at a time (no deadlock possible: at most one lock
+    /// is ever held). `stats` and `flush_all` visit every shard.
+    pub fn dispatch(&self, command: Command, clock: &dyn Clock, out: &mut BytesMut) -> Disposition {
+        match command {
+            Command::Get { keys, with_cas } => {
+                let now = clock.now_secs();
+                for key in &keys {
+                    let mut shard = self.shards[self.shard_of(key)].lock();
+                    if let Some(hit) = shard.get(key, now) {
+                        render_value(out, key, &hit, with_cas);
+                    }
+                }
+                render_end(out);
+                Disposition::KeepAlive
+            }
+            Command::Stats => {
+                render_stats(&self.stats(), out);
+                Disposition::KeepAlive
+            }
+            Command::FlushAll => {
+                for shard in &self.shards {
+                    shard.lock().flush_all();
+                }
+                out.extend_from_slice(b"OK\r\n");
+                Disposition::KeepAlive
+            }
+            Command::Set { ref key, .. }
+            | Command::IncrDecr { ref key, .. }
+            | Command::Delete { ref key, .. }
+            | Command::Touch { ref key, .. } => {
+                let shard = self.shard_of(key);
+                handle_command(&mut self.shards[shard].lock(), command, clock, out)
+            }
+            // Version/Quit touch no data; any shard's loop renders them.
+            Command::Version | Command::Quit => {
+                handle_command(&mut self.shards[0].lock(), command, clock, out)
+            }
+        }
+    }
+
+    /// Counters summed across shards (rendered by the `stats` verb).
+    #[must_use]
+    pub fn stats(&self) -> StoreStats {
+        let mut total = StoreStats::default();
+        for shard in &self.shards {
+            let s = shard.lock().stats();
+            total.get_hits += s.get_hits;
+            total.get_misses += s.get_misses;
+            total.sets += s.sets;
+            total.deletes += s.deletes;
+            total.evictions += s.evictions;
+            total.expirations += s.expirations;
+            total.items += s.items;
+            total.bytes += s.bytes;
+        }
+        total
+    }
+
+    /// Total live items across shards.
+    #[must_use]
+    pub fn len(&self) -> u64 {
+        self.shards.iter().map(|s| s.lock().len()).sum()
+    }
+
+    /// True when no items are stored.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use densekv_kv::protocol::{parse_command, Parsed};
+    use densekv_kv::server::FixedClock;
+
+    fn run(store: &ShardedStore, input: &[u8], now: u64) -> String {
+        let mut buf = BytesMut::from(input);
+        let mut out = BytesMut::new();
+        while let Ok(Parsed::Complete(cmd)) = parse_command(&mut buf) {
+            if store.dispatch(cmd, &FixedClock(now), &mut out) == Disposition::Close {
+                break;
+            }
+        }
+        String::from_utf8(out.to_vec()).expect("ascii")
+    }
+
+    #[test]
+    fn sharded_dispatch_matches_single_store_semantics() {
+        let store = ShardedStore::new(StoreConfig::with_capacity(16 << 20), 4);
+        let out = run(
+            &store,
+            b"set k 0 0 3\r\nfoo\r\nadd k 0 0 3\r\nbar\r\nget k\r\nset n 0 0 1\r\n5\r\nincr n 10\r\ndelete k\r\n",
+            0,
+        );
+        assert_eq!(
+            out,
+            "STORED\r\nNOT_STORED\r\nVALUE k 0 3\r\nfoo\r\nEND\r\n\
+             STORED\r\n15\r\nDELETED\r\n"
+        );
+    }
+
+    #[test]
+    fn multi_key_get_spans_shards() {
+        let store = ShardedStore::new(StoreConfig::with_capacity(16 << 20), 8);
+        for i in 0..32u32 {
+            run(
+                &store,
+                format!("set key{i} 0 0 2\r\nv{}\r\n", i % 10).as_bytes(),
+                0,
+            );
+        }
+        let out = run(&store, b"get key0 key7 key21 missing\r\n", 0);
+        assert!(out.contains("VALUE key0"));
+        assert!(out.contains("VALUE key7"));
+        assert!(out.contains("VALUE key21"));
+        assert!(!out.contains("missing"));
+        assert!(out.ends_with("END\r\n"));
+    }
+
+    #[test]
+    fn stats_and_flush_cover_every_shard() {
+        let store = ShardedStore::new(StoreConfig::with_capacity(16 << 20), 4);
+        for i in 0..40u32 {
+            run(&store, format!("set key{i} 0 0 1\r\nx\r\n").as_bytes(), 0);
+        }
+        assert_eq!(store.len(), 40);
+        let out = run(&store, b"stats\r\n", 0);
+        assert!(out.contains("STAT cmd_set 40"));
+        assert!(out.contains("STAT curr_items 40"));
+        assert_eq!(run(&store, b"flush_all\r\n", 0), "OK\r\n");
+        assert!(store.is_empty());
+    }
+
+    #[test]
+    fn expiry_follows_the_clock_across_shards() {
+        let store = ShardedStore::new(StoreConfig::with_capacity(16 << 20), 4);
+        for i in 0..8u32 {
+            run(&store, format!("set key{i} 0 5 1\r\nx\r\n").as_bytes(), 100);
+        }
+        assert!(run(&store, b"get key0 key5\r\n", 104).contains("VALUE"));
+        assert_eq!(run(&store, b"get key0 key5\r\n", 200), "END\r\n");
+    }
+
+    #[test]
+    fn single_shard_is_the_global_lock_design() {
+        let store = ShardedStore::new(StoreConfig::with_capacity(8 << 20), 1);
+        assert_eq!(store.shard_count(), 1);
+        assert_eq!(run(&store, b"set k 0 0 1\r\nx\r\n", 0), "STORED\r\n");
+        assert!(run(&store, b"quit\r\n", 0).is_empty());
+    }
+
+    #[test]
+    fn concurrent_mixed_traffic_is_safe() {
+        use std::sync::Arc;
+        let store = Arc::new(ShardedStore::new(StoreConfig::with_capacity(32 << 20), 8));
+        let threads: Vec<_> = (0..4)
+            .map(|t| {
+                let store = Arc::clone(&store);
+                std::thread::spawn(move || {
+                    for i in 0..300u32 {
+                        let set = format!("set t{t}k{i} 0 0 2\r\nhi\r\n");
+                        run(&store, set.as_bytes(), 0);
+                        let get = format!("get t{t}k{i}\r\n");
+                        assert!(run(&store, get.as_bytes(), 0).contains("VALUE"));
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(store.len(), 1200);
+    }
+}

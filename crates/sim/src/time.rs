@@ -79,6 +79,25 @@ impl Duration {
         Duration((ns * PS_PER_NS as f64).round() as u64)
     }
 
+    /// Converts a wall-clock [`std::time::Duration`] into simulated time,
+    /// saturating if the span exceeds what `u64` picoseconds can hold
+    /// (~214 days). This is the bridge a live server uses to feed real
+    /// measured latencies into the same histograms the simulator fills.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use densekv_sim::Duration;
+    ///
+    /// let wall = std::time::Duration::from_micros(15);
+    /// assert_eq!(Duration::from_std(wall), Duration::from_micros(15));
+    /// ```
+    #[must_use]
+    pub fn from_std(d: std::time::Duration) -> Self {
+        let ps = d.as_nanos().saturating_mul(u128::from(PS_PER_NS));
+        Duration(u64::try_from(ps).unwrap_or(u64::MAX))
+    }
+
     /// The duration in picoseconds.
     pub const fn as_ps(self) -> u64 {
         self.0

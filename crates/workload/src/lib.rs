@@ -264,6 +264,12 @@ impl MixedWorkload {
     pub fn key_count(&self) -> usize {
         self.popularity.len()
     }
+
+    /// The keys this workload draws from, for pre-loading a store (a
+    /// real server wants every GET warm, like the simulator's preload).
+    pub fn all_keys(&self) -> impl Iterator<Item = Vec<u8>> + '_ {
+        (0..self.key_count() as u64).map(key_bytes)
+    }
 }
 
 impl RequestGenerator for MixedWorkload {
@@ -394,6 +400,16 @@ mod tests {
     #[test]
     fn key_bytes_are_fixed_width() {
         assert_eq!(key_bytes(0).len(), key_bytes(u32::MAX as u64).len());
+    }
+
+    #[test]
+    fn mixed_workload_draws_only_preloadable_keys() {
+        let mut gen = MixedWorkload::etc_fixed_size(50, 64, 8);
+        let keys: std::collections::HashSet<_> = gen.all_keys().collect();
+        assert_eq!(keys.len(), 50);
+        for _ in 0..200 {
+            assert!(keys.contains(&gen.next_request().key));
+        }
     }
 
     #[test]

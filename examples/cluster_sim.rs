@@ -185,4 +185,10 @@ fn main() {
          queueing tails under load and a brief cold-miss transient, not an\n\
          outage, when a stack dies."
     );
+
+    println!(
+        "\nEvery number above is simulated. To check the queueing model\n\
+         against real sockets, run the live front-end validation:\n\
+         `cargo run --release -p densekv-bench --bin serve_validate`."
+    );
 }

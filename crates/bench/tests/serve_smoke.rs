@@ -95,6 +95,70 @@ fn serve_run_binary_emits_its_artifact() {
 }
 
 #[test]
+fn serve_obs_binary_cross_checks_server_and_client_percentiles() {
+    with_deadline(Duration::from_secs(120), || {
+        let results = Path::new(env!("CARGO_TARGET_TMPDIR")).join("serve_obs_results");
+        let status = Command::new(env!("CARGO_BIN_EXE_serve_obs"))
+            .env("DENSEKV_QUICK", "1")
+            .env("DENSEKV_OBS_GATE", "1")
+            .env(densekv_bench::RESULTS_DIR_ENV, &results)
+            .args(["--jobs", "2"])
+            .status()
+            .expect("serve_obs starts");
+        assert!(status.success(), "serve_obs exits cleanly (gate passed)");
+
+        let csv =
+            std::fs::read_to_string(results.join("serve_metrics.csv")).expect("serve_metrics.csv");
+        let mut lines = csv.lines();
+        assert!(lines
+            .next()
+            .expect("header")
+            .starts_with("source,name,count,p50_us"));
+        let p95_of = |source: &str, name: &str| -> Option<f64> {
+            csv.lines()
+                .find(|l| l.starts_with(&format!("{source},{name},")))
+                .map(|l| l.split(',').nth(5).expect("p95 column").parse().unwrap())
+        };
+        // Both instruments saw the same fixed-seed traffic, and the
+        // server-side p95 (in-server time) nests inside the client-side
+        // p95 (full scheduled round trip) — the agreement the plane's
+        // honesty rests on.
+        let server_p95 = p95_of("server", "all").expect("server row");
+        let client_p95 = p95_of("client", "all").expect("client row");
+        assert!(server_p95 > 0.0, "server-side percentiles are live");
+        assert!(client_p95 > 0.0, "client-side percentiles are live");
+        assert!(
+            server_p95 <= client_p95,
+            "server p95 {server_p95} us must nest inside client p95 {client_p95} us"
+        );
+        // Per-verb server rows exist for the mix's verbs.
+        for verb in ["get", "set"] {
+            assert!(
+                p95_of("server", verb).is_some_and(|p| p > 0.0),
+                "missing server-side {verb} row"
+            );
+        }
+        // Overhead rows carry throughput for both plane settings.
+        for name in ["metrics_on", "metrics_off"] {
+            let row = csv
+                .lines()
+                .find(|l| l.starts_with(&format!("overhead,{name},")))
+                .unwrap_or_else(|| panic!("missing overhead row {name}"));
+            let rps: f64 = row.split(',').next_back().unwrap().parse().unwrap();
+            assert!(rps > 0.0, "degenerate overhead row: {row}");
+        }
+
+        // The sampled trace is valid Chrome-trace JSON with phase events.
+        let trace =
+            std::fs::read_to_string(results.join("serve_trace.json")).expect("serve_trace.json");
+        densekv_telemetry::validate_json(&trace).expect("trace parses as JSON");
+        for phase in ["recv", "parse", "shard-lock", "store", "write"] {
+            assert!(trace.contains(&format!("\"name\":\"{phase}\"")), "{phase}");
+        }
+    });
+}
+
+#[test]
 fn serve_validate_binary_compares_both_planes() {
     with_deadline(Duration::from_secs(180), || {
         let results = Path::new(env!("CARGO_TARGET_TMPDIR")).join("serve_validate_results");

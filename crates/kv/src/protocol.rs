@@ -94,8 +94,16 @@ pub enum Command {
     },
     /// `flush_all`.
     FlushAll,
-    /// `stats`.
-    Stats,
+    /// `stats [<sub>]` — plain `stats` carries no argument; extended
+    /// introspection (`stats latency`, `stats shards`, `stats reset`)
+    /// carries the sub-command verbatim for the serving layer to route.
+    Stats {
+        /// The sub-command after `stats`, if any.
+        arg: Option<Bytes>,
+    },
+    /// `metrics` — Prometheus text exposition of every live metric
+    /// (a densekv extension; not part of the Memcached protocol).
+    Metrics,
     /// `version`.
     Version,
     /// `quit`.
@@ -290,8 +298,13 @@ pub fn parse_command(buf: &mut BytesMut) -> Result<Parsed, ProtocolError> {
             Ok(Parsed::Complete(Command::FlushAll))
         }
         b"stats" => {
+            let arg = parts.next().map(Bytes::copy_from_slice);
             buf.advance(line_end + 2);
-            Ok(Parsed::Complete(Command::Stats))
+            Ok(Parsed::Complete(Command::Stats { arg }))
+        }
+        b"metrics" => {
+            buf.advance(line_end + 2);
+            Ok(Parsed::Complete(Command::Metrics))
         }
         b"version" => {
             buf.advance(line_end + 2);
@@ -510,7 +523,17 @@ mod tests {
         ));
         assert!(matches!(
             parse_one(b"stats\r\n").unwrap(),
-            Parsed::Complete(Command::Stats)
+            Parsed::Complete(Command::Stats { arg: None })
+        ));
+        match parse_one(b"stats latency\r\n").unwrap() {
+            Parsed::Complete(Command::Stats { arg: Some(arg) }) => {
+                assert_eq!(&arg[..], b"latency");
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(matches!(
+            parse_one(b"metrics\r\n").unwrap(),
+            Parsed::Complete(Command::Metrics)
         ));
         assert!(matches!(
             parse_one(b"version\r\n").unwrap(),

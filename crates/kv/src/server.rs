@@ -177,7 +177,14 @@ pub fn handle_command(
             store.flush_all();
             out.extend_from_slice(b"OK\r\n");
         }
-        Command::Stats => render_stats(&store.stats(), out),
+        Command::Stats { arg } => match arg.as_deref() {
+            None => render_stats(&store.stats(), out),
+            // Extended sub-commands (`stats latency` …) are served by the
+            // front-end layers that own the relevant state; a bare store
+            // answers like Memcached answers unknown stats args.
+            Some(_) => out.extend_from_slice(b"ERROR\r\n"),
+        },
+        Command::Metrics => render_store_metrics(&store.stats(), out),
         Command::Version => out.extend_from_slice(b"VERSION 1.4.15-densekv\r\n"),
         Command::Quit => return Disposition::Close,
     }
@@ -188,16 +195,48 @@ pub fn handle_command(
 /// single-store loop above and sharded front-ends, which merge their
 /// per-shard counters before rendering.
 pub fn render_stats(stats: &crate::store::StoreStats, out: &mut BytesMut) {
-    for (name, value) in [
+    for (name, value) in stat_lines(stats) {
+        out.extend_from_slice(format!("STAT {name} {value}\r\n").as_bytes());
+    }
+    render_end(out);
+}
+
+/// The `stats` reply as (name, value) pairs, Memcached naming where a
+/// Memcached counterpart exists. Public so sharded front-ends can fold
+/// the same lines into their own report formats (Prometheus, per-shard
+/// breakdowns) without re-stating the mapping.
+pub fn stat_lines(stats: &crate::store::StoreStats) -> [(&'static str, u64); 12] {
+    [
+        ("cmd_get", stats.get_hits + stats.get_misses),
         ("get_hits", stats.get_hits),
         ("get_misses", stats.get_misses),
         ("cmd_set", stats.sets),
+        ("cmd_touch", stats.touches),
         ("evictions", stats.evictions),
         ("expired_unfetched", stats.expirations),
+        ("expired_bytes", stats.expired_bytes),
+        ("bytes_read", stats.bytes_read),
+        ("bytes_written", stats.bytes_written),
         ("curr_items", stats.items),
         ("bytes", stats.bytes),
-    ] {
-        out.extend_from_slice(format!("STAT {name} {value}\r\n").as_bytes());
+    ]
+}
+
+/// Renders the store's counters in the Prometheus text exposition format
+/// (the `metrics` verb of a bare store), terminated by `END\r\n` so text
+/// protocol clients can frame the reply.
+pub fn render_store_metrics(stats: &crate::store::StoreStats, out: &mut BytesMut) {
+    for (name, value) in stat_lines(stats) {
+        // `curr_items`/`bytes` are instantaneous; everything else counts.
+        let kind = if matches!(name, "curr_items" | "bytes") {
+            "gauge"
+        } else {
+            "counter"
+        };
+        out.extend_from_slice(
+            format!("# TYPE densekv_store_{name} {kind}\ndensekv_store_{name} {value}\n")
+                .as_bytes(),
+        );
     }
     render_end(out);
 }
@@ -337,6 +376,42 @@ mod tests {
         assert!(out.contains("STAT curr_items 1"));
         assert!(out.contains("OK\r\n"));
         assert!(out.ends_with("END\r\n"));
+    }
+
+    #[test]
+    fn stats_report_byte_and_touch_counters() {
+        let mut s = store();
+        let out = text(
+            &mut s,
+            b"set k 0 0 5\r\nhello\r\nget k\r\nget k\r\ntouch k 60\r\nstats\r\n",
+        );
+        assert!(out.contains("STAT cmd_get 2"), "{out}");
+        assert!(out.contains("STAT cmd_touch 1"), "{out}");
+        assert!(out.contains("STAT bytes_read 10"), "{out}");
+        assert!(out.contains("STAT bytes_written 5"), "{out}");
+        assert!(out.contains("STAT expired_bytes 0"), "{out}");
+    }
+
+    #[test]
+    fn stats_subcommands_error_at_the_bare_store() {
+        let mut s = store();
+        assert_eq!(text(&mut s, b"stats latency\r\n"), "ERROR\r\n");
+        assert_eq!(text(&mut s, b"stats nonsense\r\n"), "ERROR\r\n");
+    }
+
+    #[test]
+    fn metrics_verb_renders_prometheus_text() {
+        let mut s = store();
+        let out = text(&mut s, b"set k 0 0 2\r\nhi\r\nget k\r\nmetrics\r\n");
+        assert!(
+            out.contains("# TYPE densekv_store_get_hits counter\ndensekv_store_get_hits 1\n"),
+            "{out}"
+        );
+        assert!(
+            out.contains("# TYPE densekv_store_curr_items gauge"),
+            "{out}"
+        );
+        assert!(out.ends_with("END\r\n"), "framed for text clients: {out}");
     }
 
     #[test]

@@ -109,6 +109,15 @@ pub struct StoreStats {
     pub evictions: u64,
     /// Items dropped because their TTL lapsed (lazy expiry).
     pub expirations: u64,
+    /// Successful `touch`es (TTL updates on live items).
+    pub touches: u64,
+    /// Value bytes served by GET hits (the store-side `bytes_read`).
+    pub bytes_read: u64,
+    /// Value bytes accepted by successful stores (`bytes_written`).
+    pub bytes_written: u64,
+    /// Item bytes (headers + keys + values) freed by lazy expiry —
+    /// distinguishes TTL churn from eviction pressure.
+    pub expired_bytes: u64,
     /// Live items.
     pub items: u64,
     /// Bytes of live item data (keys + values + headers).
@@ -140,6 +149,10 @@ impl StoreStats {
             deletes: self.deletes - earlier.deletes,
             evictions: self.evictions - earlier.evictions,
             expirations: self.expirations - earlier.expirations,
+            touches: self.touches - earlier.touches,
+            bytes_read: self.bytes_read - earlier.bytes_read,
+            bytes_written: self.bytes_written - earlier.bytes_written,
+            expired_bytes: self.expired_bytes - earlier.expired_bytes,
             items: self.items,
             bytes: self.bytes,
         }
@@ -353,8 +366,10 @@ impl KvStore {
             }
             trace.chain_offsets.push(self.header_offset(item.addr));
             if Self::is_expired(item, now) {
+                let freed = item.footprint();
                 self.remove_slot(slot, hash);
                 self.stats.expirations += 1;
+                self.stats.expired_bytes += freed;
                 return (None, trace);
             }
             return (Some(slot), trace);
@@ -376,6 +391,7 @@ impl KvStore {
                 self.policies[class as usize].on_access(slot);
                 self.stats.get_hits += 1;
                 let item = self.items[slot as usize].as_ref().expect("live");
+                self.stats.bytes_read += item.value.len() as u64;
                 Some(GetHit {
                     value: item.value.clone(),
                     flags: item.flags,
@@ -454,6 +470,7 @@ impl KvStore {
         self.stats.bytes += item.footprint();
         self.stats.items += 1;
         self.stats.sets += 1;
+        self.stats.bytes_written += item.value.len() as u64;
 
         let slot = match self.free_slots.pop() {
             Some(slot) => {
@@ -622,6 +639,7 @@ impl KvStore {
             Some(slot) => {
                 let item = self.items[slot as usize].as_mut().expect("live");
                 item.expires_at = ttl_secs.map(|t| now + t);
+                self.stats.touches += 1;
                 true
             }
             None => false,
@@ -716,6 +734,31 @@ mod tests {
         assert_eq!(d.sets, 0);
         assert_eq!(d.hit_rate(), 0.5);
         assert_eq!(d.items, end.items); // gauges carry the latest value
+    }
+
+    #[test]
+    fn byte_and_expiry_counters_track_traffic() {
+        let mut s = small();
+        s.set(b"k", b"hello".to_vec(), None, 0).unwrap(); // 5 bytes in
+        s.get(b"k", 0).unwrap(); // 5 bytes out
+        s.get(b"k", 0).unwrap(); // 5 more
+        assert!(s.touch(b"k", Some(10), 0));
+        s.set(b"t", b"xy".to_vec(), Some(5), 0).unwrap(); // 2 bytes in
+        assert!(s.get(b"t", 10).is_none(), "expired");
+        let stats = s.stats();
+        assert_eq!(stats.bytes_written, 7);
+        assert_eq!(stats.bytes_read, 10);
+        assert_eq!(stats.touches, 1);
+        assert_eq!(stats.expirations, 1);
+        assert_eq!(stats.expired_bytes, ITEM_HEADER_BYTES + 1 + 2);
+        // Deltas subtract the monotonic counters.
+        let before = stats;
+        s.get(b"k", 0).unwrap();
+        let d = s.stats().delta(&before);
+        assert_eq!(d.bytes_read, 5);
+        assert_eq!(d.bytes_written, 0);
+        assert_eq!(d.touches, 0);
+        assert_eq!(d.expired_bytes, 0);
     }
 
     #[test]

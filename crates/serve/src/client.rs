@@ -195,6 +195,38 @@ impl Connection {
         self.send()
     }
 
+    /// Sends a raw request and collects the multi-line text reply the
+    /// introspection verbs produce: every line up to (excluding) the
+    /// `END` terminator, without line endings. Splits on `\n` and trims
+    /// a trailing `\r`, so it reads both the CRLF `stats …` replies and
+    /// the LF Prometheus exposition of `metrics`.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError`] on socket failure or the server closing before
+    /// `END` arrives.
+    pub fn text_block(&mut self, request: &[u8]) -> Result<Vec<String>, ClientError> {
+        self.stream.write_all(request)?;
+        let mut lines = Vec::new();
+        loop {
+            while let Some(end) = self.rx.iter().position(|&b| b == b'\n') {
+                let raw = self.rx.split_to(end + 1);
+                let mut line = &raw[..end];
+                if line.last() == Some(&b'\r') {
+                    line = &line[..line.len() - 1];
+                }
+                if line == b"END" {
+                    return Ok(lines);
+                }
+                lines.push(String::from_utf8_lossy(line).into_owned());
+            }
+            match self.stream.read(&mut self.chunk)? {
+                0 => return Err(ClientError::Closed),
+                n => self.rx.extend_from_slice(&self.chunk[..n]),
+            }
+        }
+    }
+
     /// Writes raw bytes and returns the next reply *line* verbatim —
     /// for poking the server with traffic the builder refuses to emit.
     ///

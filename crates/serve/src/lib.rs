@@ -19,6 +19,14 @@
 //!   experiments cap connections anyway). Enforces a max-connections
 //!   cap (`SERVER_ERROR busy`) and a per-connection read timeout so an
 //!   adversarial or stalled peer can never wedge the process.
+//! * [`metrics`] — the live observability plane: per-verb wall-clock
+//!   latency histograms and counters in a
+//!   [`densekv_telemetry::MetricsRegistry`], shard-lock contention
+//!   accounting, every-Nth request-span sampling into a
+//!   [`densekv_telemetry::Tracer`] (Chrome-trace exportable), a
+//!   bounded slow-request log, and Prometheus text exposition — served
+//!   in-band via `stats latency` / `stats shards` / `stats reset` and
+//!   the `metrics` verb. Disabled, the data path stays byte-identical.
 //! * [`client`] — a blocking connection-pool client over
 //!   [`densekv_kv::client`]'s codec.
 //! * [`loadgen`] — closed-loop and open-loop (paced Poisson) load
@@ -52,6 +60,7 @@
 
 pub mod client;
 pub mod loadgen;
+pub mod metrics;
 pub mod server;
 pub mod shard;
 
@@ -59,5 +68,9 @@ pub use client::{ClientError, Connection, Pool};
 pub use loadgen::{
     preload, run_closed_loop, run_open_loop, ClosedLoopConfig, LoadMix, LoadReport, OpenLoopConfig,
 };
+pub use metrics::{
+    render_prometheus, MetricsConfig, RequestPhases, ServeMetrics, ShardLockSnapshot, SlowRequest,
+    Verb,
+};
 pub use server::{spawn, ServeConfig, ServeStats, ServerHandle};
-pub use shard::ShardedStore;
+pub use shard::{ShardTiming, ShardedStore};

@@ -1,0 +1,880 @@
+//! The live observability plane: per-verb counters and latency
+//! histograms, shard-lock contention accounting, deterministic span
+//! sampling, and a slow-request log — all fed by real wall-clock
+//! measurements from the TCP front-end.
+//!
+//! The instruments are the *same types* the simulator fills
+//! ([`MetricsRegistry`], [`LogHistogram`], [`Tracer`]), bridged to wall
+//! time by [`Stopwatch`]. That is the point: a `stats latency` reply
+//! from the live server and a percentile row from the simulator are
+//! directly comparable numbers, which is what lets `serve_validate`
+//! treat the simulator as a timing oracle and what lets the
+//! `serve_obs` experiment cross-check server-side percentiles against
+//! the load generator's client-side view.
+//!
+//! Observability here is **opt-out passive**: with
+//! [`MetricsConfig::enabled`] false every record call is a branch and
+//! the data path produces byte-identical responses — the live analogue
+//! of the simulator's "telemetry cannot change results" invariant.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use bytes::BytesMut;
+use parking_lot::Mutex;
+
+use densekv_kv::protocol::{Command, StoreVerb};
+use densekv_sim::{Duration as SimDuration, SimTime};
+use densekv_telemetry::{
+    CounterId, GaugeId, HistogramId, MetricsRegistry, Quantiles, SpanBuilder, Stopwatch, Tracer,
+};
+
+use crate::server::ServeStats;
+
+/// Number of protocol verbs the plane tracks (every [`Verb`] variant).
+pub const VERB_COUNT: usize = 16;
+
+/// A protocol verb as the observability plane classifies it: one label
+/// per distinct command shape, with the six storage verbs split out so
+/// `set` and `cas` latency are not blended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Verb {
+    /// `get` / `gets`.
+    Get,
+    /// `set`.
+    Set,
+    /// `add`.
+    Add,
+    /// `replace`.
+    Replace,
+    /// `append`.
+    Append,
+    /// `prepend`.
+    Prepend,
+    /// `cas`.
+    Cas,
+    /// `incr`.
+    Incr,
+    /// `decr`.
+    Decr,
+    /// `delete`.
+    Delete,
+    /// `touch`.
+    Touch,
+    /// `flush_all`.
+    FlushAll,
+    /// `stats` and its sub-commands.
+    Stats,
+    /// The `metrics` exposition verb.
+    Metrics,
+    /// `version`.
+    Version,
+    /// `quit`.
+    Quit,
+}
+
+impl Verb {
+    /// Every verb, in the order `stats latency` reports them.
+    pub const ALL: [Verb; VERB_COUNT] = [
+        Verb::Get,
+        Verb::Set,
+        Verb::Add,
+        Verb::Replace,
+        Verb::Append,
+        Verb::Prepend,
+        Verb::Cas,
+        Verb::Incr,
+        Verb::Decr,
+        Verb::Delete,
+        Verb::Touch,
+        Verb::FlushAll,
+        Verb::Stats,
+        Verb::Metrics,
+        Verb::Version,
+        Verb::Quit,
+    ];
+
+    /// Classifies a parsed command.
+    #[must_use]
+    pub fn of(command: &Command) -> Verb {
+        match command {
+            Command::Get { .. } => Verb::Get,
+            Command::Set { verb, .. } => match verb {
+                StoreVerb::Set => Verb::Set,
+                StoreVerb::Add => Verb::Add,
+                StoreVerb::Replace => Verb::Replace,
+                StoreVerb::Append => Verb::Append,
+                StoreVerb::Prepend => Verb::Prepend,
+                StoreVerb::Cas => Verb::Cas,
+            },
+            Command::IncrDecr {
+                decrement: false, ..
+            } => Verb::Incr,
+            Command::IncrDecr { .. } => Verb::Decr,
+            Command::Delete { .. } => Verb::Delete,
+            Command::Touch { .. } => Verb::Touch,
+            Command::FlushAll => Verb::FlushAll,
+            Command::Stats { .. } => Verb::Stats,
+            Command::Metrics => Verb::Metrics,
+            Command::Version => Verb::Version,
+            Command::Quit => Verb::Quit,
+        }
+    }
+
+    /// The wire-level verb name (also the trace span label).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Verb::Get => "get",
+            Verb::Set => "set",
+            Verb::Add => "add",
+            Verb::Replace => "replace",
+            Verb::Append => "append",
+            Verb::Prepend => "prepend",
+            Verb::Cas => "cas",
+            Verb::Incr => "incr",
+            Verb::Decr => "decr",
+            Verb::Delete => "delete",
+            Verb::Touch => "touch",
+            Verb::FlushAll => "flush_all",
+            Verb::Stats => "stats",
+            Verb::Metrics => "metrics",
+            Verb::Version => "version",
+            Verb::Quit => "quit",
+        }
+    }
+
+    /// Registry name of this verb's command counter.
+    #[must_use]
+    pub fn counter_name(self) -> &'static str {
+        match self {
+            Verb::Get => "serve.cmd.get",
+            Verb::Set => "serve.cmd.set",
+            Verb::Add => "serve.cmd.add",
+            Verb::Replace => "serve.cmd.replace",
+            Verb::Append => "serve.cmd.append",
+            Verb::Prepend => "serve.cmd.prepend",
+            Verb::Cas => "serve.cmd.cas",
+            Verb::Incr => "serve.cmd.incr",
+            Verb::Decr => "serve.cmd.decr",
+            Verb::Delete => "serve.cmd.delete",
+            Verb::Touch => "serve.cmd.touch",
+            Verb::FlushAll => "serve.cmd.flush_all",
+            Verb::Stats => "serve.cmd.stats",
+            Verb::Metrics => "serve.cmd.metrics",
+            Verb::Version => "serve.cmd.version",
+            Verb::Quit => "serve.cmd.quit",
+        }
+    }
+
+    /// Registry name of this verb's latency histogram.
+    #[must_use]
+    pub fn histogram_name(self) -> &'static str {
+        match self {
+            Verb::Get => "serve.latency.get",
+            Verb::Set => "serve.latency.set",
+            Verb::Add => "serve.latency.add",
+            Verb::Replace => "serve.latency.replace",
+            Verb::Append => "serve.latency.append",
+            Verb::Prepend => "serve.latency.prepend",
+            Verb::Cas => "serve.latency.cas",
+            Verb::Incr => "serve.latency.incr",
+            Verb::Decr => "serve.latency.decr",
+            Verb::Delete => "serve.latency.delete",
+            Verb::Touch => "serve.latency.touch",
+            Verb::FlushAll => "serve.latency.flush_all",
+            Verb::Stats => "serve.latency.stats",
+            Verb::Metrics => "serve.latency.metrics",
+            Verb::Version => "serve.latency.version",
+            Verb::Quit => "serve.latency.quit",
+        }
+    }
+
+    /// Dense index into the per-verb handle arrays.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+}
+
+/// How the front-end's observability plane is shaped.
+#[derive(Debug, Clone)]
+pub struct MetricsConfig {
+    /// Master switch. Off = every instrument call is one branch and the
+    /// data path is byte-identical to an uninstrumented server.
+    pub enabled: bool,
+    /// Trace every Nth request as a phase span (0 disables tracing
+    /// while keeping counters/histograms on).
+    pub sample_every: u64,
+    /// Requests at or above this wall-clock latency land in the
+    /// slow-request log.
+    pub slow_threshold: std::time::Duration,
+    /// Bounded slow-log length; the oldest entry is dropped first.
+    pub slow_log_capacity: usize,
+}
+
+impl Default for MetricsConfig {
+    fn default() -> Self {
+        MetricsConfig {
+            enabled: true,
+            sample_every: 1024,
+            slow_threshold: std::time::Duration::from_millis(10),
+            slow_log_capacity: 64,
+        }
+    }
+}
+
+impl MetricsConfig {
+    /// A fully inert plane (the byte-identity baseline).
+    #[must_use]
+    pub fn disabled() -> Self {
+        MetricsConfig {
+            enabled: false,
+            ..MetricsConfig::default()
+        }
+    }
+}
+
+/// Per-shard lock accounting, updated lock-free by workers.
+#[derive(Debug, Default)]
+struct ShardLockStats {
+    acquisitions: AtomicU64,
+    contended: AtomicU64,
+    wait_ns: AtomicU64,
+    hold_ns: AtomicU64,
+    hold_max_ns: AtomicU64,
+}
+
+/// A point-in-time copy of one shard's lock counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShardLockSnapshot {
+    /// Times the shard lock was taken.
+    pub acquisitions: u64,
+    /// Acquisitions where `try_lock` failed first (another worker held
+    /// the shard) — the live analogue of the paper's §3.6 contention.
+    pub contended: u64,
+    /// Total nanoseconds spent waiting for the lock.
+    pub wait_ns: u64,
+    /// Total nanoseconds the lock was held.
+    pub hold_ns: u64,
+    /// Longest single hold, nanoseconds.
+    pub hold_max_ns: u64,
+}
+
+/// One entry of the slow-request log.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SlowRequest {
+    /// Global request sequence number.
+    pub seq: u64,
+    /// The verb that was slow.
+    pub verb: Verb,
+    /// Measured wall latency.
+    pub latency: SimDuration,
+    /// Server uptime when the request finished.
+    pub at: SimDuration,
+}
+
+/// The wall-clock phase breakdown of one sampled request, mirroring the
+/// simulator's NIC→TCP→kv→memory decomposition (paper Fig. 4) with the
+/// phases a real socket server actually has.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RequestPhases {
+    /// The socket read that delivered this request's bytes.
+    pub recv: std::time::Duration,
+    /// Protocol parse.
+    pub parse: std::time::Duration,
+    /// Waiting for the shard lock(s).
+    pub lock_wait: std::time::Duration,
+    /// Store execution (lock held) plus response rendering.
+    pub store: std::time::Duration,
+    /// Writing the response back to the socket.
+    pub write: std::time::Duration,
+}
+
+impl RequestPhases {
+    fn total(&self) -> std::time::Duration {
+        self.recv + self.parse + self.lock_wait + self.store + self.write
+    }
+}
+
+/// The front-end's live observability plane.
+///
+/// Shared by every worker thread: the registry and tracer sit behind
+/// short-critical-section mutexes (one lock per completed request, not
+/// per byte), shard-lock stats are plain atomics. All of it is inert
+/// when constructed from a disabled [`MetricsConfig`].
+pub struct ServeMetrics {
+    enabled: bool,
+    sample_every: u64,
+    slow_threshold: std::time::Duration,
+    slow_capacity: usize,
+    start: Stopwatch,
+    seq: AtomicU64,
+    registry: Mutex<MetricsRegistry>,
+    verb_counters: [CounterId; VERB_COUNT],
+    verb_histograms: [HistogramId; VERB_COUNT],
+    gauge_bytes_in: GaugeId,
+    gauge_bytes_out: GaugeId,
+    gauge_active: GaugeId,
+    gauge_rejected: GaugeId,
+    shards: Vec<ShardLockStats>,
+    tracer: Mutex<Tracer>,
+    slow: Mutex<VecDeque<SlowRequest>>,
+}
+
+impl std::fmt::Debug for ServeMetrics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServeMetrics")
+            .field("enabled", &self.enabled)
+            .field("sample_every", &self.sample_every)
+            .field("shards", &self.shards.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl ServeMetrics {
+    /// Builds the plane for a server with `shards` lock stripes.
+    #[must_use]
+    pub fn new(config: &MetricsConfig, shards: usize) -> Self {
+        let mut registry = if config.enabled {
+            MetricsRegistry::enabled()
+        } else {
+            MetricsRegistry::disabled()
+        };
+        let verb_counters = std::array::from_fn(|i| registry.counter(Verb::ALL[i].counter_name()));
+        let verb_histograms =
+            std::array::from_fn(|i| registry.histogram(Verb::ALL[i].histogram_name()));
+        let gauge_bytes_in = registry.gauge("serve.bytes_in");
+        let gauge_bytes_out = registry.gauge("serve.bytes_out");
+        let gauge_active = registry.gauge("serve.connections.active");
+        let gauge_rejected = registry.gauge("serve.connections.rejected");
+        let tracer = if config.enabled && config.sample_every > 0 {
+            Tracer::every(config.sample_every)
+        } else {
+            Tracer::disabled()
+        };
+        ServeMetrics {
+            enabled: config.enabled,
+            sample_every: config.sample_every,
+            slow_threshold: config.slow_threshold,
+            slow_capacity: config.slow_log_capacity,
+            start: Stopwatch::start(),
+            seq: AtomicU64::new(0),
+            registry: Mutex::new(registry),
+            verb_counters,
+            verb_histograms,
+            gauge_bytes_in,
+            gauge_bytes_out,
+            gauge_active,
+            gauge_rejected,
+            shards: (0..shards).map(|_| ShardLockStats::default()).collect(),
+            tracer: Mutex::new(tracer),
+            slow: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    /// A fully inert plane.
+    #[must_use]
+    pub fn disabled(shards: usize) -> Self {
+        ServeMetrics::new(&MetricsConfig::disabled(), shards)
+    }
+
+    /// Whether any instrument records.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Wall time since the plane (= the server) started.
+    #[must_use]
+    pub fn uptime(&self) -> SimDuration {
+        self.start.elapsed()
+    }
+
+    /// Next global request sequence number (drives trace sampling).
+    pub fn next_seq(&self) -> u64 {
+        self.seq.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Whether request `seq` should record a phase span.
+    #[must_use]
+    pub fn samples(&self, seq: u64) -> bool {
+        self.enabled && self.sample_every > 0 && seq.is_multiple_of(self.sample_every)
+    }
+
+    /// Records one completed request: bumps the verb counter, lands the
+    /// latency in the verb's histogram, and logs it if slow.
+    pub fn record_command(&self, verb: Verb, latency: std::time::Duration, seq: u64) {
+        if !self.enabled {
+            return;
+        }
+        let d = SimDuration::from_std(latency);
+        {
+            let mut registry = self.registry.lock();
+            registry.inc(self.verb_counters[verb.index()], 1);
+            registry.observe(self.verb_histograms[verb.index()], d);
+        }
+        if latency >= self.slow_threshold && self.slow_capacity > 0 {
+            let mut slow = self.slow.lock();
+            if slow.len() == self.slow_capacity {
+                slow.pop_front();
+            }
+            slow.push_back(SlowRequest {
+                seq,
+                verb,
+                latency: d,
+                at: self.start.elapsed(),
+            });
+        }
+    }
+
+    /// Records one shard-lock acquisition: how long the worker waited,
+    /// how long it held, and whether `try_lock` lost the race.
+    pub fn record_shard(
+        &self,
+        shard: usize,
+        wait: std::time::Duration,
+        hold: std::time::Duration,
+        contended: bool,
+    ) {
+        if !self.enabled {
+            return;
+        }
+        let Some(s) = self.shards.get(shard) else {
+            return;
+        };
+        s.acquisitions.fetch_add(1, Ordering::Relaxed);
+        if contended {
+            s.contended.fetch_add(1, Ordering::Relaxed);
+        }
+        let wait_ns = u64::try_from(wait.as_nanos()).unwrap_or(u64::MAX);
+        let hold_ns = u64::try_from(hold.as_nanos()).unwrap_or(u64::MAX);
+        s.wait_ns.fetch_add(wait_ns, Ordering::Relaxed);
+        s.hold_ns.fetch_add(hold_ns, Ordering::Relaxed);
+        s.hold_max_ns.fetch_max(hold_ns, Ordering::Relaxed);
+    }
+
+    /// Builds and stores the phase span of sampled request `seq`. The
+    /// span is timestamped by server uptime (end minus the measured
+    /// phase total), `pid` 1, `tid` = the connection id, so Perfetto
+    /// shows per-connection lanes just like the simulator's traces.
+    pub fn record_span(&self, seq: u64, verb: Verb, connection: u32, phases: &RequestPhases) {
+        if !self.enabled {
+            return;
+        }
+        let total = SimDuration::from_std(phases.total());
+        let end = self.start.elapsed();
+        let offset = if end > total {
+            end - total
+        } else {
+            SimDuration::ZERO
+        };
+        let mut span = SpanBuilder::new(seq, verb.name(), 1, connection, SimTime::ZERO + offset);
+        span.phase("recv", SimDuration::from_std(phases.recv))
+            .phase("parse", SimDuration::from_std(phases.parse))
+            .phase("shard-lock", SimDuration::from_std(phases.lock_wait))
+            .phase("store", SimDuration::from_std(phases.store))
+            .phase("write", SimDuration::from_std(phases.write));
+        self.tracer.lock().push(span.build());
+    }
+
+    /// Number of spans collected so far.
+    #[must_use]
+    pub fn spans_recorded(&self) -> usize {
+        self.tracer.lock().spans().len()
+    }
+
+    /// The collected spans as Chrome trace-event JSON (Perfetto-ready).
+    #[must_use]
+    pub fn trace_chrome_json(&self) -> String {
+        self.tracer.lock().to_chrome_json()
+    }
+
+    /// The slow-request log, oldest first.
+    #[must_use]
+    pub fn slow_requests(&self) -> Vec<SlowRequest> {
+        self.slow.lock().iter().copied().collect()
+    }
+
+    /// Quantiles of one verb's latency histogram (zeros when no
+    /// requests of that verb have completed).
+    #[must_use]
+    pub fn verb_quantiles(&self, verb: Verb) -> Quantiles {
+        self.registry
+            .lock()
+            .histogram_value(self.verb_histograms[verb.index()])
+            .quantiles()
+    }
+
+    /// Quantiles over every verb's samples folded into one histogram —
+    /// the server-side "all traffic" view the `serve_obs` experiment
+    /// cross-checks against the load generator's client-side histogram.
+    #[must_use]
+    pub fn overall_quantiles(&self) -> Quantiles {
+        let registry = self.registry.lock();
+        let mut all = densekv_telemetry::LogHistogram::new();
+        for verb in Verb::ALL {
+            all.merge(registry.histogram_value(self.verb_histograms[verb.index()]));
+        }
+        all.quantiles()
+    }
+
+    /// Lifetime count of one verb.
+    #[must_use]
+    pub fn verb_count(&self, verb: Verb) -> u64 {
+        self.registry
+            .lock()
+            .counter_value(self.verb_counters[verb.index()])
+    }
+
+    /// Point-in-time copies of every shard's lock counters.
+    #[must_use]
+    pub fn shard_snapshots(&self) -> Vec<ShardLockSnapshot> {
+        self.shards
+            .iter()
+            .map(|s| ShardLockSnapshot {
+                acquisitions: s.acquisitions.load(Ordering::Relaxed),
+                contended: s.contended.load(Ordering::Relaxed),
+                wait_ns: s.wait_ns.load(Ordering::Relaxed),
+                hold_ns: s.hold_ns.load(Ordering::Relaxed),
+                hold_max_ns: s.hold_max_ns.load(Ordering::Relaxed),
+            })
+            .collect()
+    }
+
+    /// Copies the front-end's own counters into the registry's gauges
+    /// (called when rendering, so the exposition is always current).
+    pub fn sync_gauges(&self, stats: &ServeStats, active: usize) {
+        let mut registry = self.registry.lock();
+        registry.set(self.gauge_bytes_in, stats.bytes_in as f64);
+        registry.set(self.gauge_bytes_out, stats.bytes_out as f64);
+        registry.set(self.gauge_active, active as f64);
+        registry.set(self.gauge_rejected, stats.rejected_busy as f64);
+    }
+
+    /// The `stats reset` semantics: zero counters and histograms and
+    /// clear the slow log, keeping handles, spans, and the sequence
+    /// counter (so sampling cadence is unaffected).
+    pub fn reset(&self) {
+        self.registry.lock().reset();
+        for s in &self.shards {
+            s.acquisitions.store(0, Ordering::Relaxed);
+            s.contended.store(0, Ordering::Relaxed);
+            s.wait_ns.store(0, Ordering::Relaxed);
+            s.hold_ns.store(0, Ordering::Relaxed);
+            s.hold_max_ns.store(0, Ordering::Relaxed);
+        }
+        self.slow.lock().clear();
+    }
+
+    /// Renders the `stats latency` reply: per-verb count, mean, and
+    /// p50/p90/p95/p99/p999/max in microseconds, only for verbs that
+    /// have traffic, terminated by `END`.
+    pub fn render_stats_latency(&self, out: &mut BytesMut) {
+        let registry = self.registry.lock();
+        for verb in Verb::ALL {
+            let h = registry.histogram_value(self.verb_histograms[verb.index()]);
+            if h.count() == 0 {
+                continue;
+            }
+            let q = h.quantiles();
+            let n = verb.name();
+            out.extend_from_slice(format!("STAT {n}_count {}\r\n", q.count).as_bytes());
+            for (stat, d) in [
+                ("mean", q.mean),
+                ("p50", q.p50),
+                ("p90", q.p90),
+                ("p95", q.p95),
+                ("p99", q.p99),
+                ("p999", q.p999),
+                ("max", q.max),
+            ] {
+                out.extend_from_slice(
+                    format!("STAT {n}_{stat}_us {:.2}\r\n", d.as_micros_f64()).as_bytes(),
+                );
+            }
+        }
+        drop(registry);
+        out.extend_from_slice(b"END\r\n");
+    }
+
+    /// Renders the `stats shards` reply: per-shard item/byte occupancy
+    /// plus lock acquisition, contention, wait, and hold accounting.
+    pub fn render_stats_shards(
+        &self,
+        per_shard: &[densekv_kv::store::StoreStats],
+        out: &mut BytesMut,
+    ) {
+        let locks = self.shard_snapshots();
+        for (i, stats) in per_shard.iter().enumerate() {
+            let lock = locks.get(i).copied().unwrap_or_default();
+            for (stat, v) in [
+                ("items", stats.items),
+                ("bytes", stats.bytes),
+                ("get_hits", stats.get_hits),
+                ("lock_acquisitions", lock.acquisitions),
+                ("lock_contended", lock.contended),
+                ("lock_hold_max_ns", lock.hold_max_ns),
+            ] {
+                out.extend_from_slice(format!("STAT shard_{i}_{stat} {v}\r\n").as_bytes());
+            }
+            for (stat, ns) in [
+                ("lock_wait_us", lock.wait_ns),
+                ("lock_hold_us", lock.hold_ns),
+            ] {
+                out.extend_from_slice(
+                    format!("STAT shard_{i}_{stat} {:.1}\r\n", ns as f64 / 1e3).as_bytes(),
+                );
+            }
+        }
+        out.extend_from_slice(b"END\r\n");
+    }
+
+    /// The registry plus shard-lock series in Prometheus text format.
+    /// Shard locks become labeled series (`{shard="i"}`) so a scrape
+    /// sees contention per stripe without N distinct metric names.
+    #[must_use]
+    pub fn to_prometheus(&self) -> String {
+        let mut out = self.registry.lock().to_prometheus();
+        let locks = self.shard_snapshots();
+        for (metric, get) in [
+            (
+                "densekv_shard_lock_acquisitions",
+                (|l: &ShardLockSnapshot| l.acquisitions) as fn(&ShardLockSnapshot) -> u64,
+            ),
+            ("densekv_shard_lock_contended", |l| l.contended),
+            ("densekv_shard_lock_wait_ns", |l| l.wait_ns),
+            ("densekv_shard_lock_hold_ns", |l| l.hold_ns),
+            ("densekv_shard_lock_hold_max_ns", |l| l.hold_max_ns),
+        ] {
+            out.push_str(&format!("# TYPE {metric} counter\n"));
+            for (i, lock) in locks.iter().enumerate() {
+                out.push_str(&format!("{metric}{{shard=\"{i}\"}} {}\n", get(lock)));
+            }
+        }
+        out
+    }
+}
+
+/// Renders the full `metrics` verb body: front-end counters, store
+/// counters, then the registry (per-verb counters/histograms, gauges)
+/// and shard-lock series — one scrape-ready Prometheus text block.
+#[must_use]
+pub fn render_prometheus(
+    metrics: &ServeMetrics,
+    serve: &ServeStats,
+    active: usize,
+    store: &densekv_kv::store::StoreStats,
+) -> String {
+    metrics.sync_gauges(serve, active);
+    let mut out = String::new();
+    for (name, v) in [
+        ("accepted", serve.accepted),
+        ("rejected_busy", serve.rejected_busy),
+        ("commands", serve.commands),
+        ("bytes_in", serve.bytes_in),
+        ("bytes_out", serve.bytes_out),
+        ("timeouts", serve.timeouts),
+        ("protocol_errors", serve.protocol_errors),
+    ] {
+        out.push_str(&format!(
+            "# TYPE densekv_serve_{name} counter\ndensekv_serve_{name} {v}\n"
+        ));
+    }
+    out.push_str(&format!(
+        "# TYPE densekv_serve_uptime_seconds gauge\ndensekv_serve_uptime_seconds {:.3}\n",
+        metrics.uptime().as_secs_f64()
+    ));
+    for (name, v) in densekv_kv::server::stat_lines(store) {
+        let kind = if matches!(name, "curr_items" | "bytes") {
+            "gauge"
+        } else {
+            "counter"
+        };
+        out.push_str(&format!(
+            "# TYPE densekv_store_{name} {kind}\ndensekv_store_{name} {v}\n"
+        ));
+    }
+    out.push_str(&metrics.to_prometheus());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn verb_classification_covers_the_protocol() {
+        use bytes::Bytes;
+        let get = Command::Get {
+            keys: vec![Bytes::from_static(b"k")],
+            with_cas: false,
+        };
+        assert_eq!(Verb::of(&get), Verb::Get);
+        assert_eq!(Verb::of(&Command::Metrics), Verb::Metrics);
+        assert_eq!(Verb::of(&Command::Stats { arg: None }), Verb::Stats);
+        // Names, counter names, and indices are all distinct.
+        let mut names: Vec<_> = Verb::ALL.iter().map(|v| v.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), VERB_COUNT);
+        for (i, v) in Verb::ALL.iter().enumerate() {
+            assert_eq!(v.index(), i);
+            assert!(v.counter_name().ends_with(v.name()));
+            assert!(v.histogram_name().contains("latency"));
+        }
+    }
+
+    #[test]
+    fn record_and_render_latency_stats() {
+        let m = ServeMetrics::new(&MetricsConfig::default(), 4);
+        for us in [100u64, 200, 300] {
+            m.record_command(Verb::Get, std::time::Duration::from_micros(us), 0);
+        }
+        m.record_command(Verb::Set, std::time::Duration::from_micros(50), 1);
+        assert_eq!(m.verb_count(Verb::Get), 3);
+        let q = m.verb_quantiles(Verb::Get);
+        assert_eq!(q.count, 3);
+        assert!(q.p50 >= SimDuration::from_micros(200));
+        let mut out = BytesMut::new();
+        m.render_stats_latency(&mut out);
+        let text = String::from_utf8(out.to_vec()).unwrap();
+        assert!(text.contains("STAT get_count 3\r\n"), "{text}");
+        assert!(text.contains("STAT get_p99_us "), "{text}");
+        assert!(text.contains("STAT set_count 1\r\n"), "{text}");
+        // Untouched verbs are omitted entirely.
+        assert!(!text.contains("STAT cas_"), "{text}");
+        assert!(text.ends_with("END\r\n"), "{text}");
+    }
+
+    #[test]
+    fn disabled_plane_is_inert() {
+        let m = ServeMetrics::disabled(2);
+        assert!(!m.is_enabled());
+        m.record_command(Verb::Get, std::time::Duration::from_micros(10), 0);
+        m.record_shard(0, Default::default(), Default::default(), true);
+        m.record_span(0, Verb::Get, 7, &RequestPhases::default());
+        assert_eq!(m.verb_count(Verb::Get), 0);
+        assert_eq!(m.verb_quantiles(Verb::Get).count, 0);
+        assert_eq!(m.shard_snapshots()[0], ShardLockSnapshot::default());
+        assert_eq!(m.spans_recorded(), 0);
+        assert!(!m.samples(0));
+    }
+
+    #[test]
+    fn sampling_is_deterministic_every_nth() {
+        let m = ServeMetrics::new(
+            &MetricsConfig {
+                sample_every: 4,
+                ..MetricsConfig::default()
+            },
+            1,
+        );
+        let sampled: Vec<u64> = (0..10).filter(|&s| m.samples(s)).collect();
+        assert_eq!(sampled, vec![0, 4, 8]);
+        assert_eq!(m.next_seq(), 0);
+        assert_eq!(m.next_seq(), 1);
+    }
+
+    #[test]
+    fn spans_tile_the_phase_breakdown() {
+        let m = ServeMetrics::new(&MetricsConfig::default(), 1);
+        let phases = RequestPhases {
+            recv: std::time::Duration::from_micros(5),
+            parse: std::time::Duration::from_micros(2),
+            lock_wait: std::time::Duration::from_micros(1),
+            store: std::time::Duration::from_micros(10),
+            write: std::time::Duration::from_micros(3),
+        };
+        m.record_span(42, Verb::Get, 7, &phases);
+        assert_eq!(m.spans_recorded(), 1);
+        let json = m.trace_chrome_json();
+        for phase in ["recv", "parse", "shard-lock", "store", "write"] {
+            assert!(json.contains(&format!("\"name\":\"{phase}\"")), "{json}");
+        }
+        assert!(json.contains("\"tid\":7"), "{json}");
+        densekv_telemetry::validate_json(&json).expect("trace must be valid JSON");
+    }
+
+    #[test]
+    fn shard_lock_accounting_accumulates_and_resets() {
+        let m = ServeMetrics::new(&MetricsConfig::default(), 2);
+        let us = std::time::Duration::from_micros;
+        m.record_shard(0, us(5), us(10), true);
+        m.record_shard(0, us(0), us(20), false);
+        m.record_shard(1, us(1), us(2), false);
+        let snaps = m.shard_snapshots();
+        assert_eq!(snaps[0].acquisitions, 2);
+        assert_eq!(snaps[0].contended, 1);
+        assert_eq!(snaps[0].wait_ns, 5_000);
+        assert_eq!(snaps[0].hold_ns, 30_000);
+        assert_eq!(snaps[0].hold_max_ns, 20_000);
+        assert_eq!(snaps[1].acquisitions, 1);
+        m.record_command(Verb::Get, us(100), 0);
+        m.reset();
+        assert_eq!(m.shard_snapshots()[0], ShardLockSnapshot::default());
+        assert_eq!(m.verb_count(Verb::Get), 0);
+        // Handles survive the reset.
+        m.record_command(Verb::Get, us(10), 1);
+        assert_eq!(m.verb_count(Verb::Get), 1);
+    }
+
+    #[test]
+    fn slow_log_is_bounded_and_ordered() {
+        let m = ServeMetrics::new(
+            &MetricsConfig {
+                slow_threshold: std::time::Duration::from_micros(100),
+                slow_log_capacity: 2,
+                ..MetricsConfig::default()
+            },
+            1,
+        );
+        m.record_command(Verb::Get, std::time::Duration::from_micros(50), 0);
+        for seq in 1..=3 {
+            m.record_command(Verb::Set, std::time::Duration::from_micros(200), seq);
+        }
+        let slow = m.slow_requests();
+        assert_eq!(slow.len(), 2, "capacity bound");
+        assert_eq!((slow[0].seq, slow[1].seq), (2, 3), "oldest dropped first");
+        assert_eq!(slow[0].verb, Verb::Set);
+        assert!(slow[0].latency >= SimDuration::from_micros(200));
+    }
+
+    #[test]
+    fn prometheus_block_has_every_layer() {
+        let m = ServeMetrics::new(&MetricsConfig::default(), 2);
+        m.record_command(Verb::Get, std::time::Duration::from_micros(120), 0);
+        m.record_shard(
+            1,
+            Default::default(),
+            std::time::Duration::from_micros(3),
+            false,
+        );
+        let serve = ServeStats {
+            accepted: 4,
+            bytes_in: 128,
+            ..ServeStats::default()
+        };
+        let store = densekv_kv::store::StoreStats {
+            items: 7,
+            ..Default::default()
+        };
+        let text = render_prometheus(&m, &serve, 2, &store);
+        assert!(text.contains("densekv_serve_accepted 4\n"), "{text}");
+        assert!(
+            text.contains("# TYPE densekv_store_curr_items gauge"),
+            "{text}"
+        );
+        assert!(text.contains("densekv_store_curr_items 7\n"), "{text}");
+        assert!(text.contains("serve_cmd_get 1\n"), "{text}");
+        assert!(
+            text.contains("serve_latency_get{quantile=\"0.99\"}"),
+            "{text}"
+        );
+        assert!(text.contains("serve_connections_active 2\n"), "{text}");
+        assert!(
+            text.contains("densekv_shard_lock_acquisitions{shard=\"1\"} 1\n"),
+            "{text}"
+        );
+    }
+}

@@ -22,16 +22,17 @@ use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use bytes::BytesMut;
 use parking_lot::Mutex;
 
-use densekv_kv::protocol::{parse_command, render_error, Parsed};
+use densekv_kv::protocol::{parse_command, render_error, Command, Parsed};
 use densekv_kv::server::{resync_after_error, Disposition, WallClock};
 use densekv_kv::store::StoreConfig;
 
-use crate::shard::ShardedStore;
+use crate::metrics::{render_prometheus, MetricsConfig, RequestPhases, ServeMetrics, Verb};
+use crate::shard::{ShardTiming, ShardedStore};
 
 /// Read size per syscall in the connection loop.
 const READ_CHUNK: usize = 16 << 10;
@@ -52,6 +53,9 @@ pub struct ServeConfig {
     /// connection before disconnecting it. Also bounds shutdown
     /// latency: a worker notices the shutdown flag at least this often.
     pub read_timeout: Duration,
+    /// The observability plane: per-verb latency histograms, span
+    /// sampling, slow log. Disabled keeps the data path byte-identical.
+    pub metrics: MetricsConfig,
 }
 
 impl Default for ServeConfig {
@@ -62,6 +66,7 @@ impl Default for ServeConfig {
             shards: 8,
             max_connections: 64,
             read_timeout: Duration::from_secs(2),
+            metrics: MetricsConfig::default(),
         }
     }
 }
@@ -72,6 +77,74 @@ impl ServeConfig {
     #[must_use]
     pub fn ephemeral() -> Self {
         ServeConfig::default()
+    }
+
+    /// Defaults with every `DENSEKV_SERVE_*` environment override
+    /// applied — how the bench bins pick up deployment knobs without
+    /// growing a flag parser.
+    #[must_use]
+    pub fn from_env() -> Self {
+        ServeConfig::default().env_overrides()
+    }
+
+    /// Sets the concurrent-connection cap.
+    #[must_use]
+    pub fn with_max_connections(mut self, max_connections: usize) -> Self {
+        self.max_connections = max_connections;
+        self
+    }
+
+    /// Sets the per-connection read timeout.
+    #[must_use]
+    pub fn with_read_timeout(mut self, read_timeout: Duration) -> Self {
+        self.read_timeout = read_timeout;
+        self
+    }
+
+    /// Sets the lock-stripe count.
+    #[must_use]
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
+        self
+    }
+
+    /// Replaces the observability configuration.
+    #[must_use]
+    pub fn with_metrics(mut self, metrics: MetricsConfig) -> Self {
+        self.metrics = metrics;
+        self
+    }
+
+    /// Applies any `DENSEKV_SERVE_*` environment variables on top of
+    /// this config: `MAX_CONNECTIONS`, `READ_TIMEOUT_MS`, `SHARDS`,
+    /// `METRICS` (`0`/`1`), `SAMPLE_EVERY`, and `SLOW_US`. Unset or
+    /// unparseable values leave the current setting untouched.
+    #[must_use]
+    pub fn env_overrides(mut self) -> Self {
+        fn parse<T: std::str::FromStr>(var: &str) -> Option<T> {
+            std::env::var(var).ok()?.trim().parse().ok()
+        }
+        if let Some(v) = parse::<usize>("DENSEKV_SERVE_MAX_CONNECTIONS") {
+            self.max_connections = v;
+        }
+        if let Some(v) = parse::<u64>("DENSEKV_SERVE_READ_TIMEOUT_MS") {
+            self.read_timeout = Duration::from_millis(v);
+        }
+        if let Some(v) = parse::<usize>("DENSEKV_SERVE_SHARDS") {
+            if v > 0 {
+                self.shards = v;
+            }
+        }
+        if let Some(v) = parse::<u8>("DENSEKV_SERVE_METRICS") {
+            self.metrics.enabled = v != 0;
+        }
+        if let Some(v) = parse::<u64>("DENSEKV_SERVE_SAMPLE_EVERY") {
+            self.metrics.sample_every = v;
+        }
+        if let Some(v) = parse::<u64>("DENSEKV_SERVE_SLOW_US") {
+            self.metrics.slow_threshold = Duration::from_micros(v);
+        }
+        self
     }
 }
 
@@ -113,9 +186,24 @@ struct Shared {
     shutdown: AtomicBool,
     active: AtomicUsize,
     counters: Counters,
+    metrics: ServeMetrics,
     /// Clones of live connection sockets, so shutdown can interrupt
     /// blocked reads immediately instead of waiting out the timeout.
     conns: Mutex<HashMap<u64, TcpStream>>,
+}
+
+/// Reads the lifetime counters out of `counters` (shared by the handle
+/// and the in-band `metrics` verb).
+fn stats_of(counters: &Counters) -> ServeStats {
+    ServeStats {
+        accepted: counters.accepted.load(Ordering::Relaxed),
+        rejected_busy: counters.rejected_busy.load(Ordering::Relaxed),
+        commands: counters.commands.load(Ordering::Relaxed),
+        bytes_in: counters.bytes_in.load(Ordering::Relaxed),
+        bytes_out: counters.bytes_out.load(Ordering::Relaxed),
+        timeouts: counters.timeouts.load(Ordering::Relaxed),
+        protocol_errors: counters.protocol_errors.load(Ordering::Relaxed),
+    }
 }
 
 /// A running front-end. Dropping the handle shuts the server down.
@@ -147,6 +235,7 @@ pub fn spawn(config: ServeConfig) -> std::io::Result<ServerHandle> {
         StoreConfig::with_capacity(config.store_bytes),
         config.shards,
     );
+    let metrics = ServeMetrics::new(&config.metrics, config.shards);
     let shared = Arc::new(Shared {
         store,
         clock: WallClock::new(),
@@ -154,6 +243,7 @@ pub fn spawn(config: ServeConfig) -> std::io::Result<ServerHandle> {
         shutdown: AtomicBool::new(false),
         active: AtomicUsize::new(0),
         counters: Counters::default(),
+        metrics,
         conns: Mutex::new(HashMap::new()),
     });
     let accept = {
@@ -179,16 +269,14 @@ impl ServerHandle {
     /// Lifetime counters so far.
     #[must_use]
     pub fn stats(&self) -> ServeStats {
-        let c = &self.shared.counters;
-        ServeStats {
-            accepted: c.accepted.load(Ordering::Relaxed),
-            rejected_busy: c.rejected_busy.load(Ordering::Relaxed),
-            commands: c.commands.load(Ordering::Relaxed),
-            bytes_in: c.bytes_in.load(Ordering::Relaxed),
-            bytes_out: c.bytes_out.load(Ordering::Relaxed),
-            timeouts: c.timeouts.load(Ordering::Relaxed),
-            protocol_errors: c.protocol_errors.load(Ordering::Relaxed),
-        }
+        stats_of(&self.shared.counters)
+    }
+
+    /// The observability plane: per-verb latency quantiles, shard-lock
+    /// accounting, sampled spans, slow log — live while serving.
+    #[must_use]
+    pub fn metrics(&self) -> &ServeMetrics {
+        &self.shared.metrics
     }
 
     /// Connections currently being served.
@@ -305,22 +393,122 @@ fn flush(stream: &mut TcpStream, out: &mut BytesMut, shared: &Shared) -> bool {
     ok
 }
 
+/// Flushes and, if a sampled request is pending its write phase, times
+/// the flush as that phase and commits the span.
+fn finish_flush(
+    stream: &mut TcpStream,
+    out: &mut BytesMut,
+    shared: &Shared,
+    pending: &mut Option<(u64, Verb, RequestPhases)>,
+    id: u64,
+) -> bool {
+    let write_t0 = pending.is_some().then(Instant::now);
+    let ok = flush(stream, out, shared);
+    if let Some((seq, verb, mut phases)) = pending.take() {
+        phases.write = write_t0.map(|t| t.elapsed()).unwrap_or_default();
+        shared.metrics.record_span(seq, verb, id as u32, &phases);
+    }
+    ok
+}
+
+/// Executes one parsed command: the observability verbs (`stats
+/// latency|shards|reset`, `metrics`) are answered from the plane;
+/// everything else goes to the sharded store — through the lock-timed
+/// path when the plane records, the plain path when it is off.
+fn execute(shared: &Shared, command: Command, out: &mut BytesMut) -> (Disposition, ShardTiming) {
+    match command {
+        Command::Stats { arg: Some(arg) } => {
+            match arg.as_ref() {
+                b"latency" => shared.metrics.render_stats_latency(out),
+                b"shards" => shared
+                    .metrics
+                    .render_stats_shards(&shared.store.shard_stats(), out),
+                b"reset" => {
+                    shared.metrics.reset();
+                    out.extend_from_slice(b"RESET\r\n");
+                }
+                _ => out.extend_from_slice(b"ERROR\r\n"),
+            }
+            (Disposition::KeepAlive, ShardTiming::default())
+        }
+        Command::Metrics => {
+            let text = render_prometheus(
+                &shared.metrics,
+                &stats_of(&shared.counters),
+                shared.active.load(Ordering::Relaxed),
+                &shared.store.stats(),
+            );
+            out.extend_from_slice(text.as_bytes());
+            out.extend_from_slice(b"END\r\n");
+            (Disposition::KeepAlive, ShardTiming::default())
+        }
+        command if shared.metrics.is_enabled() => {
+            shared
+                .store
+                .dispatch_timed(command, &shared.clock, out, &shared.metrics)
+        }
+        command => (
+            shared.store.dispatch(command, &shared.clock, out),
+            ShardTiming::default(),
+        ),
+    }
+}
+
 fn serve_connection(mut stream: TcpStream, id: u64, shared: &Arc<Shared>) {
     let _ = stream.set_nodelay(true);
     let _ = stream.set_read_timeout(Some(shared.config.read_timeout));
     let mut rx = BytesMut::with_capacity(4096);
     let mut out = BytesMut::with_capacity(4096);
     let mut chunk = vec![0u8; READ_CHUNK];
+    let metrics = &shared.metrics;
+    let instrument = metrics.is_enabled();
+    // Wall time of the socket read that delivered the bytes currently
+    // buffered — the sampled span's recv phase.
+    let mut last_read = Duration::ZERO;
+    // A sampled request waiting for its write phase (the flush that
+    // sends its response).
+    let mut pending: Option<(u64, Verb, RequestPhases)> = None;
 
     'conn: loop {
         // Drain every complete command currently buffered.
         loop {
+            let parse_t0 = instrument.then(Instant::now);
             match parse_command(&mut rx) {
                 Ok(Parsed::Complete(command)) => {
                     shared.counters.commands.fetch_add(1, Ordering::Relaxed);
-                    if shared.store.dispatch(command, &shared.clock, &mut out) == Disposition::Close
-                    {
-                        flush(&mut stream, &mut out, shared);
+                    let disposition = if instrument {
+                        let parse = parse_t0.map(|t| t.elapsed()).unwrap_or_default();
+                        let verb = Verb::of(&command);
+                        let seq = metrics.next_seq();
+                        let exec_t0 = Instant::now();
+                        let (disposition, timing) = execute(shared, command, &mut out);
+                        let exec = exec_t0.elapsed();
+                        metrics.record_command(verb, parse + exec, seq);
+                        if metrics.samples(seq) {
+                            // A second sampled request in one batch
+                            // commits the first with a zero write phase
+                            // rather than losing it.
+                            if let Some((s, v, p)) = pending.take() {
+                                metrics.record_span(s, v, id as u32, &p);
+                            }
+                            pending = Some((
+                                seq,
+                                verb,
+                                RequestPhases {
+                                    recv: std::mem::take(&mut last_read),
+                                    parse,
+                                    lock_wait: timing.lock_wait,
+                                    store: exec.saturating_sub(timing.lock_wait),
+                                    write: Duration::ZERO,
+                                },
+                            ));
+                        }
+                        disposition
+                    } else {
+                        execute(shared, command, &mut out).0
+                    };
+                    if disposition == Disposition::Close {
+                        finish_flush(&mut stream, &mut out, shared, &mut pending, id);
                         break 'conn;
                     }
                 }
@@ -333,21 +521,23 @@ fn serve_connection(mut stream: TcpStream, id: u64, shared: &Arc<Shared>) {
                     render_error(&mut out, &err);
                     if !resync_after_error(&mut rx, &err) {
                         // Framing lost: answer, then close.
-                        flush(&mut stream, &mut out, shared);
+                        finish_flush(&mut stream, &mut out, shared, &mut pending, id);
                         break 'conn;
                     }
                 }
             }
         }
-        if !flush(&mut stream, &mut out, shared) {
+        if !finish_flush(&mut stream, &mut out, shared, &mut pending, id) {
             break;
         }
         if shared.shutdown.load(Ordering::SeqCst) {
             break;
         }
+        let read_t0 = instrument.then(Instant::now);
         match stream.read(&mut chunk) {
             Ok(0) => break, // peer closed
             Ok(n) => {
+                last_read = read_t0.map(|t| t.elapsed()).unwrap_or_default();
                 shared
                     .counters
                     .bytes_in
@@ -469,6 +659,192 @@ mod tests {
         assert!(conn.set(b"k", b"v").unwrap(), "connection still serves");
         let stats = server.shutdown();
         assert_eq!(stats.protocol_errors, 2);
+    }
+
+    #[test]
+    fn config_builders_and_env_overrides_compose() {
+        let config = ServeConfig::ephemeral()
+            .with_max_connections(5)
+            .with_read_timeout(Duration::from_millis(250))
+            .with_shards(2)
+            .with_metrics(MetricsConfig {
+                sample_every: 8,
+                ..MetricsConfig::default()
+            });
+        assert_eq!(config.max_connections, 5);
+        assert_eq!(config.read_timeout, Duration::from_millis(250));
+        assert_eq!(config.shards, 2);
+        assert_eq!(config.metrics.sample_every, 8);
+
+        std::env::set_var("DENSEKV_SERVE_MAX_CONNECTIONS", "2");
+        std::env::set_var("DENSEKV_SERVE_READ_TIMEOUT_MS", "300");
+        std::env::set_var("DENSEKV_SERVE_METRICS", "0");
+        std::env::set_var("DENSEKV_SERVE_SLOW_US", "2500");
+        std::env::set_var("DENSEKV_SERVE_SHARDS", "not-a-number");
+        let config = config.env_overrides();
+        std::env::remove_var("DENSEKV_SERVE_MAX_CONNECTIONS");
+        std::env::remove_var("DENSEKV_SERVE_READ_TIMEOUT_MS");
+        std::env::remove_var("DENSEKV_SERVE_METRICS");
+        std::env::remove_var("DENSEKV_SERVE_SLOW_US");
+        std::env::remove_var("DENSEKV_SERVE_SHARDS");
+        assert_eq!(config.max_connections, 2);
+        assert_eq!(config.read_timeout, Duration::from_millis(300));
+        assert!(!config.metrics.enabled);
+        assert_eq!(config.metrics.slow_threshold, Duration::from_micros(2500));
+        assert_eq!(config.shards, 2, "unparseable override is ignored");
+
+        // The env-derived cap is enforced end to end: with the cap at
+        // 2, the third concurrent connection is told busy.
+        let server = spawn(ServeConfig {
+            read_timeout: Duration::from_millis(400),
+            ..config
+        })
+        .unwrap();
+        let mut held: Vec<Connection> = (0..2)
+            .map(|_| {
+                let mut c = Connection::connect(server.addr()).unwrap();
+                c.version().unwrap();
+                c
+            })
+            .collect();
+        let mut over = Connection::connect(server.addr()).unwrap();
+        let err = over.read_reply().expect_err("over-cap must be refused");
+        assert!(matches!(err, crate::client::ClientError::Server(ref m) if m.contains("busy")));
+        for conn in &mut held {
+            assert!(conn.set(b"x", b"1").unwrap());
+        }
+        drop(held);
+        let stats = server.shutdown();
+        assert_eq!((stats.accepted, stats.rejected_busy), (2, 1));
+    }
+
+    #[test]
+    fn stats_latency_and_shards_report_live_traffic() {
+        let config = quick_config().with_metrics(MetricsConfig {
+            sample_every: 1,
+            ..MetricsConfig::default()
+        });
+        let server = spawn(config).unwrap();
+        let mut conn = Connection::connect(server.addr()).unwrap();
+        for i in 0..20u32 {
+            assert!(conn.set(format!("k{i}").as_bytes(), b"value").unwrap());
+            assert!(conn.get(format!("k{i}").as_bytes()).unwrap().is_some());
+        }
+        let latency = conn.text_block(b"stats latency\r\n").unwrap();
+        let text = latency.join("\n");
+        assert!(text.contains("STAT get_count 20"), "{text}");
+        assert!(text.contains("STAT set_count 20"), "{text}");
+        for stat in ["get_p50_us", "get_p95_us", "get_p999_us", "set_p99_us"] {
+            assert!(text.contains(stat), "missing {stat}: {text}");
+        }
+        // Percentiles are real microsecond numbers, not zeros: a TCP
+        // round trip cannot complete in 0 µs.
+        let p50: f64 = latency
+            .iter()
+            .find_map(|l| l.strip_prefix("STAT get_p50_us "))
+            .unwrap()
+            .parse()
+            .unwrap();
+        assert!(p50 > 0.0, "p50 must be positive, got {p50}");
+
+        let shards = conn.text_block(b"stats shards\r\n").unwrap().join("\n");
+        assert!(shards.contains("STAT shard_0_items"), "{shards}");
+        assert!(
+            shards.contains("STAT shard_0_lock_acquisitions"),
+            "{shards}"
+        );
+        let total_acq: u64 = server
+            .metrics()
+            .shard_snapshots()
+            .iter()
+            .map(|s| s.acquisitions)
+            .sum();
+        assert_eq!(total_acq, 40, "20 sets + 20 single-key gets");
+
+        // Every request was sampled; spans must have accumulated.
+        assert!(server.metrics().spans_recorded() >= 40);
+        let trace = server.metrics().trace_chrome_json();
+        assert!(trace.contains("\"shard-lock\""), "{trace}");
+
+        // stats reset zeroes the plane but keeps serving.
+        let reset = conn.raw_roundtrip(b"stats reset\r\n").unwrap();
+        assert_eq!(reset, "RESET");
+        assert_eq!(server.metrics().verb_count(Verb::Get), 0);
+        assert!(conn.get(b"k0").unwrap().is_some());
+        assert_eq!(server.metrics().verb_count(Verb::Get), 1);
+
+        // Unknown stats sub-commands answer ERROR in-band.
+        let err = conn.raw_roundtrip(b"stats bogus\r\n").unwrap();
+        assert_eq!(err, "ERROR");
+        server.shutdown();
+    }
+
+    #[test]
+    fn metrics_verb_serves_prometheus_exposition() {
+        let server = spawn(quick_config()).unwrap();
+        let mut conn = Connection::connect(server.addr()).unwrap();
+        assert!(conn.set(b"k", b"v").unwrap());
+        assert!(conn.get(b"k").unwrap().is_some());
+        let body = conn.text_block(b"metrics\r\n").unwrap().join("\n");
+        assert!(
+            body.contains("# TYPE densekv_serve_accepted counter"),
+            "{body}"
+        );
+        assert!(body.contains("densekv_serve_accepted 1"), "{body}");
+        assert!(body.contains("densekv_store_curr_items 1"), "{body}");
+        assert!(body.contains("serve_cmd_get 1"), "{body}");
+        assert!(
+            body.contains("serve_latency_set{quantile=\"0.99\"}"),
+            "{body}"
+        );
+        assert!(
+            body.contains("densekv_shard_lock_acquisitions{shard=\"0\"}"),
+            "{body}"
+        );
+        server.shutdown();
+    }
+
+    #[test]
+    fn metrics_off_data_path_is_byte_identical() {
+        // The passivity invariant, live: the same request stream against
+        // a metrics-on and a metrics-off server produces byte-identical
+        // responses for every data-path verb.
+        let script: &[u8] = b"set k 0 0 5\r\nhello\r\nget k\r\ngets k\r\nincr n 1\r\n\
+                              set n 0 0 1\r\n7\r\nincr n 3\r\ndecr n 1\r\ntouch k 60\r\n\
+                              append k 0 0 2\r\n!!\r\nget k\r\ndelete k\r\nversion\r\n\
+                              flush_all\r\nquit\r\n";
+        let run_against = |metrics: MetricsConfig| -> Vec<u8> {
+            let server = spawn(quick_config().with_metrics(metrics)).unwrap();
+            let mut stream = TcpStream::connect(server.addr()).unwrap();
+            stream.write_all(script).unwrap();
+            let mut reply = Vec::new();
+            stream.read_to_end(&mut reply).unwrap();
+            server.shutdown();
+            reply
+        };
+        let on = run_against(MetricsConfig {
+            sample_every: 1,
+            ..MetricsConfig::default()
+        });
+        let off = run_against(MetricsConfig::disabled());
+        assert!(!on.is_empty());
+        assert_eq!(on, off, "instrumentation must not change the data path");
+    }
+
+    #[test]
+    fn slow_log_catches_outliers() {
+        let config = quick_config().with_metrics(MetricsConfig {
+            slow_threshold: Duration::from_nanos(1),
+            ..MetricsConfig::default()
+        });
+        let server = spawn(config).unwrap();
+        let mut conn = Connection::connect(server.addr()).unwrap();
+        assert!(conn.set(b"k", b"v").unwrap());
+        // Every request is "slow" at a 1 ns threshold.
+        let slow = server.metrics().slow_requests();
+        assert!(!slow.is_empty());
+        assert!(slow[0].latency > densekv_sim::Duration::ZERO);
+        server.shutdown();
     }
 
     #[test]

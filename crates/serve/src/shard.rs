@@ -15,8 +15,21 @@ use parking_lot::Mutex;
 
 use densekv_kv::hash::jenkins_oaat;
 use densekv_kv::protocol::{render_end, render_value, Command};
-use densekv_kv::server::{handle_command, render_stats, Clock, Disposition};
+use densekv_kv::server::{handle_command, render_stats, render_store_metrics, Clock, Disposition};
 use densekv_kv::store::{KvStore, StoreConfig, StoreStats};
+
+use crate::metrics::ServeMetrics;
+
+/// Wall time one dispatched command spent on shard locks: how long the
+/// worker waited to acquire them and how long it held them. Multi-key
+/// GETs accumulate across every shard they visit.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShardTiming {
+    /// Total lock acquisition wait.
+    pub lock_wait: std::time::Duration,
+    /// Total time holding shard locks (store work).
+    pub hold: std::time::Duration,
+}
 
 /// A thread-safe store sharded across independently locked [`KvStore`]s.
 ///
@@ -96,8 +109,20 @@ impl ShardedStore {
                 render_end(out);
                 Disposition::KeepAlive
             }
-            Command::Stats => {
+            // Plain `stats` renders the fold; sub-commands belong to the
+            // serving layer's observability plane — at this layer (no
+            // plane attached) they answer ERROR like memcached does for
+            // unknown stats args.
+            Command::Stats { arg: None } => {
                 render_stats(&self.stats(), out);
+                Disposition::KeepAlive
+            }
+            Command::Stats { arg: Some(_) } => {
+                out.extend_from_slice(b"ERROR\r\n");
+                Disposition::KeepAlive
+            }
+            Command::Metrics => {
+                render_store_metrics(&self.stats(), out);
                 Disposition::KeepAlive
             }
             Command::FlushAll => {
@@ -121,6 +146,89 @@ impl ShardedStore {
         }
     }
 
+    /// Like [`ShardedStore::dispatch`], but measuring shard-lock wait
+    /// and hold wall time into `metrics` (per shard) and the returned
+    /// [`ShardTiming`] (per request, for span phases). The instrumented
+    /// front-end calls this; everything else keeps the untimed path.
+    pub fn dispatch_timed(
+        &self,
+        command: Command,
+        clock: &dyn Clock,
+        out: &mut BytesMut,
+        metrics: &ServeMetrics,
+    ) -> (Disposition, ShardTiming) {
+        let mut timing = ShardTiming::default();
+        let disposition = match command {
+            Command::Get { keys, with_cas } => {
+                let now = clock.now_secs();
+                for key in &keys {
+                    let idx = self.shard_of(key);
+                    self.with_shard_timed(idx, metrics, &mut timing, |shard| {
+                        if let Some(hit) = shard.get(key, now) {
+                            render_value(out, key, &hit, with_cas);
+                        }
+                    });
+                }
+                render_end(out);
+                Disposition::KeepAlive
+            }
+            Command::Stats { .. } | Command::Metrics | Command::FlushAll => {
+                // Introspection and whole-store verbs take the untimed
+                // path: they visit every shard and would swamp the
+                // per-request lock accounting the plane is after.
+                self.dispatch(command, clock, out)
+            }
+            Command::Set { .. }
+            | Command::IncrDecr { .. }
+            | Command::Delete { .. }
+            | Command::Touch { .. } => {
+                let idx = match &command {
+                    Command::Set { key, .. }
+                    | Command::IncrDecr { key, .. }
+                    | Command::Delete { key, .. }
+                    | Command::Touch { key, .. } => self.shard_of(key),
+                    _ => unreachable!("outer arm is key-carrying"),
+                };
+                self.with_shard_timed(idx, metrics, &mut timing, |shard| {
+                    handle_command(shard, command, clock, out)
+                })
+            }
+            Command::Version | Command::Quit => {
+                self.with_shard_timed(0, metrics, &mut timing, |shard| {
+                    handle_command(shard, command, clock, out)
+                })
+            }
+        };
+        (disposition, timing)
+    }
+
+    /// Runs `f` under shard `idx`'s lock, timing acquisition wait and
+    /// hold and recording both into `metrics` and `timing`. Contention
+    /// is detected by `try_lock` losing the race before falling back to
+    /// a blocking `lock`.
+    fn with_shard_timed<R>(
+        &self,
+        idx: usize,
+        metrics: &ServeMetrics,
+        timing: &mut ShardTiming,
+        f: impl FnOnce(&mut KvStore) -> R,
+    ) -> R {
+        let t0 = std::time::Instant::now();
+        let (mut guard, contended) = match self.shards[idx].try_lock() {
+            Some(guard) => (guard, false),
+            None => (self.shards[idx].lock(), true),
+        };
+        let wait = t0.elapsed();
+        let t1 = std::time::Instant::now();
+        let result = f(&mut guard);
+        drop(guard);
+        let hold = t1.elapsed();
+        metrics.record_shard(idx, wait, hold, contended);
+        timing.lock_wait += wait;
+        timing.hold += hold;
+        result
+    }
+
     /// Counters summed across shards (rendered by the `stats` verb).
     #[must_use]
     pub fn stats(&self) -> StoreStats {
@@ -131,12 +239,22 @@ impl ShardedStore {
             total.get_misses += s.get_misses;
             total.sets += s.sets;
             total.deletes += s.deletes;
+            total.touches += s.touches;
             total.evictions += s.evictions;
             total.expirations += s.expirations;
             total.items += s.items;
             total.bytes += s.bytes;
+            total.bytes_read += s.bytes_read;
+            total.bytes_written += s.bytes_written;
+            total.expired_bytes += s.expired_bytes;
         }
         total
+    }
+
+    /// Each shard's counters separately (the `stats shards` view).
+    #[must_use]
+    pub fn shard_stats(&self) -> Vec<StoreStats> {
+        self.shards.iter().map(|s| s.lock().stats()).collect()
     }
 
     /// Total live items across shards.
@@ -232,6 +350,50 @@ mod tests {
         assert_eq!(store.shard_count(), 1);
         assert_eq!(run(&store, b"set k 0 0 1\r\nx\r\n", 0), "STORED\r\n");
         assert!(run(&store, b"quit\r\n", 0).is_empty());
+    }
+
+    #[test]
+    fn stats_subcommands_and_metrics_at_store_layer() {
+        let store = ShardedStore::new(StoreConfig::with_capacity(16 << 20), 2);
+        run(&store, b"set k 0 0 2\r\nhi\r\n", 0);
+        // Sub-commands need the serving layer's plane; here they ERROR.
+        assert_eq!(run(&store, b"stats latency\r\n", 0), "ERROR\r\n");
+        // The metrics verb renders store counters even without a plane.
+        let out = run(&store, b"metrics\r\n", 0);
+        assert!(out.contains("densekv_store_cmd_set 1"), "{out}");
+        assert!(out.contains("densekv_store_curr_items 1"), "{out}");
+        assert!(out.ends_with("END\r\n"), "{out}");
+    }
+
+    #[test]
+    fn dispatch_timed_matches_untimed_output_and_accounts_locks() {
+        use crate::metrics::{MetricsConfig, ServeMetrics};
+        let timed = ShardedStore::new(StoreConfig::with_capacity(16 << 20), 4);
+        let plain = ShardedStore::new(StoreConfig::with_capacity(16 << 20), 4);
+        let metrics = ServeMetrics::new(&MetricsConfig::default(), 4);
+        let script = b"set k 0 0 3\r\nfoo\r\nget k\r\nset n 0 0 1\r\n5\r\nincr n 2\r\n\
+                       touch k 10\r\ndelete k\r\nget k missing\r\nversion\r\n";
+        let mut buf = BytesMut::from(&script[..]);
+        let mut out_timed = BytesMut::new();
+        let mut total = ShardTiming::default();
+        while let Ok(Parsed::Complete(cmd)) = parse_command(&mut buf) {
+            let (disposition, timing) =
+                timed.dispatch_timed(cmd, &FixedClock(0), &mut out_timed, &metrics);
+            assert_eq!(disposition, Disposition::KeepAlive);
+            total.lock_wait += timing.lock_wait;
+            total.hold += timing.hold;
+        }
+        let out_plain = run(&plain, script, 0);
+        assert_eq!(String::from_utf8(out_timed.to_vec()).unwrap(), out_plain);
+        let acquisitions: u64 = metrics
+            .shard_snapshots()
+            .iter()
+            .map(|s| s.acquisitions)
+            .sum();
+        // 5 single-key writes + version (shard 0) + 3 get-key visits:
+        // every locked shard visit is counted exactly once.
+        assert_eq!(acquisitions, 9, "acquisitions = {acquisitions}");
+        assert!(total.hold > std::time::Duration::ZERO);
     }
 
     #[test]

@@ -54,7 +54,9 @@ pub mod timeline;
 pub mod trace;
 
 pub use json::validate_json;
-pub use registry::{CounterId, GaugeId, HistogramId, LogHistogram, MetricsRegistry};
+pub use registry::{
+    CounterId, GaugeId, HistogramId, LogHistogram, MetricsRegistry, Quantiles, Stopwatch,
+};
 pub use timeline::{BucketedTimeline, TimelineBucket, TimelineSampler};
 pub use trace::{PhaseSpan, RequestSpan, SpanBuilder, Tracer};
 

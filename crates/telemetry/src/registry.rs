@@ -89,8 +89,11 @@ fn bucket_bound(index: usize) -> u64 {
     let sub = (index - EXACT_LIMIT) % SUBBUCKETS;
     let base = 1u64 << octave;
     let width = base >> SUBBUCKET_BITS;
-    // Start of the sub-bucket plus its width, minus one to stay inclusive.
-    (base + sub * width) + width - 1
+    // Start of the sub-bucket plus its width, minus one to stay
+    // inclusive. `width - 1` must bind first: the top sub-bucket of
+    // octave 63 ends exactly at u64::MAX, so adding the full width
+    // before subtracting would wrap.
+    (base + sub * width) + (width - 1)
 }
 
 impl LogHistogram {
@@ -188,6 +191,36 @@ impl LogHistogram {
         Some(within as f64 / self.count as f64)
     }
 
+    /// Clears every bucket and resets count/sum/min/max, keeping the
+    /// already-grown bucket vector so the next samples stay allocation
+    /// free (the `stats reset` path of a live server).
+    pub fn reset(&mut self) {
+        self.buckets.iter_mut().for_each(|b| *b = 0);
+        self.count = 0;
+        self.sum_ps = 0;
+        self.min_ps = u64::MAX;
+        self.max_ps = 0;
+    }
+
+    /// The standard reporting quantiles as a total function: an empty
+    /// histogram yields all-zero durations rather than `None`, so render
+    /// paths (a `stats latency` reply, a CSV row) never need to pre-check
+    /// emptiness.
+    #[must_use]
+    pub fn quantiles(&self) -> Quantiles {
+        let q = |p: f64| self.percentile(p).unwrap_or(Duration::ZERO);
+        Quantiles {
+            count: self.count,
+            mean: self.mean(),
+            p50: q(0.50),
+            p90: q(0.90),
+            p95: q(0.95),
+            p99: q(0.99),
+            p999: q(0.999),
+            max: self.max().unwrap_or(Duration::ZERO),
+        }
+    }
+
     /// Merges another histogram into this one (shard fold-in).
     pub fn merge(&mut self, other: &LogHistogram) {
         if other.buckets.len() > self.buckets.len() {
@@ -203,6 +236,77 @@ impl LogHistogram {
     }
 }
 
+/// The reporting quantiles of one histogram, zero-filled when empty.
+/// Produced by [`LogHistogram::quantiles`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Quantiles {
+    /// Number of samples behind these quantiles.
+    pub count: u64,
+    /// Exact mean (zero when empty).
+    pub mean: Duration,
+    /// Median.
+    pub p50: Duration,
+    /// 90th percentile.
+    pub p90: Duration,
+    /// 95th percentile.
+    pub p95: Duration,
+    /// 99th percentile.
+    pub p99: Duration,
+    /// 99.9th percentile.
+    pub p999: Duration,
+    /// Exact largest sample (zero when empty).
+    pub max: Duration,
+}
+
+/// A monotonic wall-clock source that reports elapsed time as the
+/// sim-typed [`Duration`] the histograms consume — the bridge a live
+/// server uses to feed real measured latencies into the same telemetry
+/// types the simulator fills.
+///
+/// # Examples
+///
+/// ```
+/// use densekv_telemetry::Stopwatch;
+///
+/// let w = Stopwatch::start();
+/// let d = w.elapsed();
+/// assert!(d >= densekv_sim::Duration::ZERO);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch {
+    start: std::time::Instant,
+}
+
+impl Stopwatch {
+    /// Starts the clock now.
+    #[must_use]
+    pub fn start() -> Self {
+        Stopwatch {
+            start: std::time::Instant::now(),
+        }
+    }
+
+    /// Wall time elapsed since [`Stopwatch::start`], saturating at what
+    /// `u64` picoseconds can hold (~214 days).
+    #[must_use]
+    pub fn elapsed(&self) -> Duration {
+        Duration::from_std(self.start.elapsed())
+    }
+
+    /// The raw start instant, for callers that need to difference
+    /// against their own `Instant` readings.
+    #[must_use]
+    pub fn started_at(&self) -> std::time::Instant {
+        self.start
+    }
+}
+
+impl Default for Stopwatch {
+    fn default() -> Self {
+        Stopwatch::start()
+    }
+}
+
 impl fmt::Display for LogHistogram {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
@@ -215,6 +319,25 @@ impl fmt::Display for LogHistogram {
             self.max().unwrap_or(Duration::ZERO),
         )
     }
+}
+
+/// Maps a dotted metric name onto the Prometheus charset
+/// (`[a-zA-Z0-9_:]`, non-digit first): every other byte becomes `_`.
+fn prometheus_name(name: &str) -> String {
+    let mut out: String = name
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    if out.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        out.insert(0, '_');
+    }
+    out
 }
 
 /// A registry of named metrics.
@@ -383,6 +506,56 @@ impl MetricsRegistry {
         }
     }
 
+    /// Zeroes every counter and gauge and resets every histogram while
+    /// keeping all registrations (and thus every dense-index handle)
+    /// valid — the `stats reset` semantics of a live server.
+    pub fn reset(&mut self) {
+        self.counters.iter_mut().for_each(|c| c.1 = 0);
+        self.gauges.iter_mut().for_each(|g| g.1 = 0.0);
+        self.histograms.iter_mut().for_each(|h| h.1.reset());
+    }
+
+    /// Renders every metric in the Prometheus text exposition format,
+    /// in registration order (deterministic). Counters and gauges map
+    /// directly; each histogram becomes a summary (quantile series in
+    /// seconds plus `_sum`/`_count`). Metric names are sanitized to the
+    /// Prometheus charset (`.`/`-` and friends become `_`).
+    #[must_use]
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        for &(name, v) in &self.counters {
+            let name = prometheus_name(name);
+            out.push_str(&format!("# TYPE {name} counter\n{name} {v}\n"));
+        }
+        for &(name, v) in &self.gauges {
+            let name = prometheus_name(name);
+            out.push_str(&format!("# TYPE {name} gauge\n{name} {v}\n"));
+        }
+        for (name, h) in &self.histograms {
+            let name = prometheus_name(name);
+            out.push_str(&format!("# TYPE {name} summary\n"));
+            let q = h.quantiles();
+            for (label, d) in [
+                ("0.5", q.p50),
+                ("0.9", q.p90),
+                ("0.95", q.p95),
+                ("0.99", q.p99),
+                ("0.999", q.p999),
+            ] {
+                out.push_str(&format!(
+                    "{name}{{quantile=\"{label}\"}} {}\n",
+                    d.as_secs_f64()
+                ));
+            }
+            out.push_str(&format!(
+                "{name}_sum {}\n{name}_count {}\n",
+                Duration::from_ps((h.sum_ps.min(u128::from(u64::MAX))) as u64).as_secs_f64(),
+                h.count
+            ));
+        }
+        out
+    }
+
     /// Renders every metric as an aligned text block, in registration
     /// order (deterministic).
     #[must_use]
@@ -521,6 +694,108 @@ mod tests {
         assert_eq!(m.counter_value(c), 0);
         assert_eq!(m.gauge_value(g), 0.0);
         assert_eq!(m.histogram_value(h).count(), 0);
+    }
+
+    #[test]
+    fn empty_histogram_quantiles_are_total_and_zero() {
+        let h = LogHistogram::new();
+        let q = h.quantiles();
+        assert_eq!(q.count, 0);
+        for d in [q.mean, q.p50, q.p90, q.p95, q.p99, q.p999, q.max] {
+            assert_eq!(d, Duration::ZERO);
+        }
+    }
+
+    #[test]
+    fn single_sample_reports_itself_at_every_quantile() {
+        let mut h = LogHistogram::new();
+        let sample = Duration::from_micros(777);
+        h.record(sample);
+        // The containing bucket's bound exceeds the sample, but the
+        // exact-max cap must pull every quantile back to the sample
+        // itself — p50 through p100 of one observation IS that value.
+        for q in [0.0, 0.5, 0.9, 0.99, 0.999, 1.0] {
+            assert_eq!(h.percentile(q), Some(sample), "q={q}");
+        }
+        let s = h.quantiles();
+        assert_eq!((s.count, s.p50, s.p999, s.max), (1, sample, sample, sample));
+        assert_eq!(h.mean(), sample);
+    }
+
+    #[test]
+    fn saturating_bucket_at_u64_max_does_not_panic_or_overflow() {
+        let mut h = LogHistogram::new();
+        // The top sub-bucket of octave 63: its inclusive bound must be
+        // exactly u64::MAX with no wrap-around in bucket_bound.
+        h.record(Duration::from_ps(u64::MAX));
+        h.record(Duration::from_ps(u64::MAX - 1));
+        h.record(Duration::from_nanos(1));
+        assert_eq!(h.percentile(1.0), Some(Duration::from_ps(u64::MAX)));
+        assert_eq!(h.max(), Some(Duration::from_ps(u64::MAX)));
+        let bound = bucket_bound(bucket_index(u64::MAX));
+        assert_eq!(bound, u64::MAX);
+        // Quantiles stay monotone even with the saturating bucket.
+        let q = h.quantiles();
+        assert!(q.p50 <= q.p90 && q.p90 <= q.p99 && q.p99 <= q.max);
+    }
+
+    #[test]
+    fn reset_clears_samples_but_keeps_capacity() {
+        let mut h = LogHistogram::new();
+        h.record(Duration::from_millis(3));
+        let cap = h.buckets.len();
+        h.reset();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.percentile(0.5), None);
+        assert_eq!(h.buckets.len(), cap);
+        h.record(Duration::from_micros(9));
+        assert_eq!(h.percentile(1.0), Some(Duration::from_micros(9)));
+    }
+
+    #[test]
+    fn registry_reset_keeps_handles_valid() {
+        let mut m = MetricsRegistry::enabled();
+        let c = m.counter("serve.cmd.get");
+        let g = m.gauge("serve.active");
+        let h = m.histogram("serve.latency.get");
+        m.inc(c, 7);
+        m.set(g, 3.0);
+        m.observe(h, Duration::from_micros(10));
+        m.reset();
+        assert_eq!(m.counter_value(c), 0);
+        assert_eq!(m.gauge_value(g), 0.0);
+        assert_eq!(m.histogram_value(h).count(), 0);
+        m.inc(c, 2);
+        assert_eq!(m.counter_by_name("serve.cmd.get"), Some(2));
+    }
+
+    #[test]
+    fn prometheus_exposition_covers_every_metric_kind() {
+        let mut m = MetricsRegistry::enabled();
+        let c = m.counter("serve.cmd.get");
+        m.inc(c, 41);
+        let g = m.gauge("serve.conn-active");
+        m.set(g, 2.0);
+        let h = m.histogram("serve.latency.get");
+        m.observe(h, Duration::from_micros(100));
+        let text = m.to_prometheus();
+        assert!(text.contains("# TYPE serve_cmd_get counter\nserve_cmd_get 41\n"));
+        assert!(text.contains("# TYPE serve_conn_active gauge\nserve_conn_active 2\n"));
+        assert!(text.contains("# TYPE serve_latency_get summary\n"));
+        assert!(text.contains("serve_latency_get{quantile=\"0.99\"} 0.0001"));
+        assert!(text.contains("serve_latency_get_count 1\n"));
+        assert!(text.contains("serve_latency_get_sum 0.0001"));
+        // Sanitization never emits a leading digit or stray charset.
+        assert_eq!(prometheus_name("9p.lat-x"), "_9p_lat_x");
+    }
+
+    #[test]
+    fn stopwatch_moves_forward_in_sim_units() {
+        let w = Stopwatch::start();
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        let d = w.elapsed();
+        assert!(d >= Duration::from_millis(1), "{d}");
+        assert!(d < Duration::from_secs(60), "{d}");
     }
 
     #[test]

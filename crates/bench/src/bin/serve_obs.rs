@@ -20,7 +20,11 @@
 //! * `results/serve_metrics.csv` — per-verb server-side quantiles,
 //!   the client-side view, and the overhead rows.
 //! * `results/serve_trace.json` — Chrome-trace phase spans sampled
-//!   from live requests (load in Perfetto).
+//!   from live requests (load in Perfetto), capped at the newest
+//!   [`TRACE_SPAN_CAP`] spans so the checked-in artifact stays small.
+//! * `results/flight_recorder.json` — the windowed-SLO flight
+//!   recorder's dump: the window-snapshot ring, burn rates, slow log,
+//!   and an embedded (capped) trace.
 //!
 //! `DENSEKV_QUICK=1` shrinks the run for CI.
 
@@ -38,6 +42,8 @@ const POPULATION: usize = 128;
 const VALUE_BYTES: u64 = 64;
 /// Seed for every stream in this experiment.
 const SEED: u64 = 0x0B5E;
+/// Newest spans kept in the checked-in `serve_trace.json` artifact.
+const TRACE_SPAN_CAP: usize = 160;
 
 fn us(d: densekv_sim::Duration) -> f64 {
     d.as_secs_f64() * 1e6
@@ -98,6 +104,9 @@ fn main() {
     let server = spawn(ServeConfig::ephemeral().with_metrics(MetricsConfig {
         sample_every,
         slow_threshold: std::time::Duration::from_millis(5),
+        // A 250 ms window so the run closes several windows and the
+        // flight-recorder artifact carries a real snapshot ring.
+        window: std::time::Duration::from_millis(250),
         ..MetricsConfig::default()
     }))
     .expect("bind localhost");
@@ -165,7 +174,21 @@ fn main() {
     }
     let spans = server.metrics().spans_recorded();
     let slow = server.metrics().slow_requests().len();
-    emit_raw("serve_trace.json", &server.metrics().trace_chrome_json());
+    emit_raw(
+        "serve_trace.json",
+        &server.metrics().trace_chrome_json_capped(TRACE_SPAN_CAP),
+    );
+    let windows_closed = server.metrics().windows_closed();
+    let slo = server.metrics().slo_snapshot();
+    let recorder = server.metrics().flight_recorder_json();
+    densekv_telemetry::validate_json(&recorder).expect("flight recorder dump is valid JSON");
+    emit_raw("flight_recorder.json", &recorder);
+    println!(
+        "windows closed: {windows_closed}   slo burn short {:.2} / long {:.2}{}",
+        slo.short_burn,
+        slo.long_burn,
+        if slo.alerting { "   ALERTING" } else { "" }
+    );
     server.shutdown();
 
     // ---- Overhead: metrics on vs off on identical closed-loop work ----

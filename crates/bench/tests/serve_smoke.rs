@@ -155,6 +155,47 @@ fn serve_obs_binary_cross_checks_server_and_client_percentiles() {
         for phase in ["recv", "parse", "shard-lock", "store", "write"] {
             assert!(trace.contains(&format!("\"name\":\"{phase}\"")), "{phase}");
         }
+
+        // The flight-recorder dump is valid JSON carrying the window
+        // ring and the SLO ledger.
+        let recorder = std::fs::read_to_string(results.join("flight_recorder.json"))
+            .expect("flight_recorder.json");
+        densekv_telemetry::validate_json(&recorder).expect("recorder parses as JSON");
+        assert!(recorder.contains("\"format\":\"densekv-flight-recorder-v1\""));
+        for section in ["\"slo\":", "\"windows\":", "\"trace\":"] {
+            assert!(recorder.contains(section), "missing {section}");
+        }
+    });
+}
+
+#[test]
+fn densekv_top_quick_mode_renders_live_windowed_percentiles() {
+    with_deadline(Duration::from_secs(120), || {
+        // The bin itself exits non-zero if no windowed percentiles ever
+        // appear, so a clean exit already proves the plane is live; the
+        // output checks pin the dashboard's shape.
+        let output = Command::new(env!("CARGO_BIN_EXE_densekv-top"))
+            .env("DENSEKV_QUICK", "1")
+            .args(["--frames", "4", "--interval-ms", "250"])
+            .output()
+            .expect("densekv-top starts");
+        let stdout = String::from_utf8_lossy(&output.stdout);
+        let stderr = String::from_utf8_lossy(&output.stderr);
+        assert!(
+            output.status.success(),
+            "densekv-top exits cleanly\n--- stdout\n{stdout}\n--- stderr\n{stderr}"
+        );
+        for needle in [
+            "densekv-top  frame 4",
+            "slo: p<",
+            "rates (last window / ewma):",
+            "  get",
+            "  p95 ",
+            "shard lock contention:",
+        ] {
+            assert!(stdout.contains(needle), "missing {needle:?}:\n{stdout}");
+        }
+        assert!(stderr.contains("rendered 4 frames"), "{stderr}");
     });
 }
 

@@ -23,7 +23,9 @@ use densekv_cluster::{
 use densekv_net::frame::MessageSizes;
 use densekv_net::wire_bytes_for_payload;
 use densekv_par::{par_map, Jobs};
+use densekv_sim::stats::LatencyHistogram;
 use densekv_sim::{Duration, SimTime};
+use densekv_telemetry::{SloConfig, SloSnapshot, SloTracker};
 use densekv_workload::{key_bytes, Op, Request};
 
 use crate::report::TextTable;
@@ -281,7 +283,55 @@ pub fn cluster_failover(effort: SweepEffort) -> FailoverOutcome {
     FailoverOutcome { result, config }
 }
 
-/// Renders the failover timeline table.
+/// Short (fast-burn) window of the failover SLO tracker, in timeline
+/// buckets.
+const BURN_SHORT_WINDOWS: usize = 2;
+
+/// Long (sustained-burn) window of the failover SLO tracker, in
+/// timeline buckets.
+const BURN_LONG_WINDOWS: usize = 8;
+
+/// Runs the failover timeline through a [`SloTracker`], one timeline
+/// bucket per SLO window.
+///
+/// The objective is *self-calibrated*: the p95 of the pre-fault buckets
+/// against a 95% target, so the steady state burns its error budget at
+/// rate ≈ 1.0 by construction and the post-kill latency spike reads
+/// directly as a burn-rate excursion. Returns the (clamped) config and
+/// one snapshot per bucket, aligned with `outcome.result.timeline`.
+#[must_use]
+pub fn failover_burn(outcome: &FailoverOutcome) -> (SloConfig, Vec<SloSnapshot>) {
+    let timeline = &outcome.result.timeline;
+    let fault_bucket = match &outcome.result.remap {
+        Some(r) => timeline.bucket_index(r.at).min(timeline.len()),
+        None => timeline.len(),
+    };
+    let mut steady = LatencyHistogram::new();
+    for b in &timeline[..fault_bucket] {
+        steady.merge(&b.latency);
+    }
+    let objective = steady
+        .percentile(0.95)
+        .unwrap_or_else(|| Duration::from_micros(500));
+    let mut tracker = SloTracker::new(SloConfig {
+        objective,
+        target: 0.95,
+        short_windows: BURN_SHORT_WINDOWS,
+        long_windows: BURN_LONG_WINDOWS,
+        alert_burn: 2.0,
+    });
+    let mut burns = Vec::with_capacity(timeline.len());
+    for b in timeline.iter() {
+        let total = b.completed();
+        let good = (b.latency.fraction_within(objective) * total as f64).round() as u64;
+        tracker.observe_window(total, total - good.min(total));
+        burns.push(tracker.snapshot());
+    }
+    (*tracker.config(), burns)
+}
+
+/// Renders the failover timeline table, including the per-bucket SLO
+/// burn rate from [`failover_burn`].
 pub fn failover_table(outcome: &FailoverOutcome) -> TextTable {
     let remap = outcome.result.remap.as_ref();
     let title = match remap {
@@ -293,15 +343,18 @@ pub fn failover_table(outcome: &FailoverOutcome) -> TextTable {
         ),
         None => "Extension — failover transient".to_owned(),
     };
+    let (slo, burns) = failover_burn(outcome);
     let mut t = TextTable::new(vec![
         "t".into(),
         "completed".into(),
         "hit rate".into(),
         "p50".into(),
         "p99".into(),
+        format!("burn (slo {})", slo.objective),
+        "alert".into(),
     ])
     .with_title(&title);
-    for bucket in &outcome.result.timeline {
+    for (bucket, burn) in outcome.result.timeline.iter().zip(&burns) {
         if bucket.completed() == 0 {
             continue;
         }
@@ -319,6 +372,8 @@ pub fn failover_table(outcome: &FailoverOutcome) -> TextTable {
                 .percentile(0.99)
                 .expect("nonempty")
                 .to_string(),
+            format!("{:.2}", burn.short_burn),
+            if burn.alerting { "ALERT" } else { "" }.to_string(),
         ]);
     }
     t
@@ -431,5 +486,42 @@ mod tests {
             "hit rate should recover, dip={dip:.3} last={last:.3}"
         );
         assert!(failover_table(&outcome).to_string().contains("hit rate"));
+
+        // The SLO burn column: calibrated to the pre-fault p95, so the
+        // steady state burns ≈ 1.0, the kill spikes it past the 2.0
+        // alert threshold, and the re-warm brings it back down.
+        let (slo, burns) = failover_burn(&outcome);
+        assert_eq!(burns.len(), timeline.len());
+        assert!((slo.target - 0.95).abs() < 1e-12);
+        let pre_peak = burns[..fault_bucket]
+            .iter()
+            .map(|s| s.short_burn)
+            .fold(0.0f64, f64::max);
+        let post_peak = burns[fault_bucket..]
+            .iter()
+            .map(|s| s.short_burn)
+            .fold(0.0f64, f64::max);
+        assert!(
+            pre_peak < 2.0,
+            "steady state must not alert, pre-fault peak burn {pre_peak:.2}"
+        );
+        assert!(
+            post_peak >= 2.0 && post_peak > 2.0 * pre_peak,
+            "kill should spike the burn, pre {pre_peak:.2} post {post_peak:.2}"
+        );
+        assert!(
+            burns[fault_bucket..].iter().any(|s| s.alerting),
+            "a sustained spike should trip the multi-window alert"
+        );
+        // Quick effort only partially re-warms, so ask for a clear
+        // decline from the peak rather than a full return to 1.0.
+        let settled = burns.last().expect("nonempty").short_burn;
+        assert!(
+            settled < 0.75 * post_peak,
+            "burn should recover, settled {settled:.2} peak {post_peak:.2}"
+        );
+        let rendered = failover_table(&outcome).to_string();
+        assert!(rendered.contains("burn"), "{rendered}");
+        assert!(rendered.contains("ALERT"), "{rendered}");
     }
 }

@@ -70,7 +70,7 @@ pub use loadgen::{
 };
 pub use metrics::{
     render_prometheus, MetricsConfig, RequestPhases, ServeMetrics, ShardLockSnapshot, SlowRequest,
-    Verb,
+    Trigger, Verb, WindowSnapshot,
 };
 pub use server::{spawn, ServeConfig, ServeStats, ServerHandle};
 pub use shard::{ShardTiming, ShardedStore};

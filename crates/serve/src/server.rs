@@ -117,32 +117,48 @@ impl ServeConfig {
 
     /// Applies any `DENSEKV_SERVE_*` environment variables on top of
     /// this config: `MAX_CONNECTIONS`, `READ_TIMEOUT_MS`, `SHARDS`,
-    /// `METRICS` (`0`/`1`), `SAMPLE_EVERY`, and `SLOW_US`. Unset or
-    /// unparseable values leave the current setting untouched.
+    /// `METRICS` (`0`/`1`), `SAMPLE_EVERY`, `SLOW_US`, `WINDOW_MS`,
+    /// `SLO_US`, and `SLO_TARGET`. Unset or unparseable values leave
+    /// the current setting untouched.
+    ///
+    /// Pathological values are clamped to safe minimums rather than
+    /// taken literally: a cap of 0 connections, 0 lock stripes, a 0 ms
+    /// read timeout, sampling every 0th request, or a 0 ms window would
+    /// each wedge or divide-by-zero a server that a typo'd deployment
+    /// variable should merely misconfigure.
     #[must_use]
     pub fn env_overrides(mut self) -> Self {
         fn parse<T: std::str::FromStr>(var: &str) -> Option<T> {
             std::env::var(var).ok()?.trim().parse().ok()
         }
         if let Some(v) = parse::<usize>("DENSEKV_SERVE_MAX_CONNECTIONS") {
-            self.max_connections = v;
+            self.max_connections = v.max(1);
         }
         if let Some(v) = parse::<u64>("DENSEKV_SERVE_READ_TIMEOUT_MS") {
-            self.read_timeout = Duration::from_millis(v);
+            self.read_timeout = Duration::from_millis(v.max(1));
         }
         if let Some(v) = parse::<usize>("DENSEKV_SERVE_SHARDS") {
-            if v > 0 {
-                self.shards = v;
-            }
+            self.shards = v.max(1);
         }
         if let Some(v) = parse::<u8>("DENSEKV_SERVE_METRICS") {
             self.metrics.enabled = v != 0;
         }
         if let Some(v) = parse::<u64>("DENSEKV_SERVE_SAMPLE_EVERY") {
-            self.metrics.sample_every = v;
+            self.metrics.sample_every = v.max(1);
         }
         if let Some(v) = parse::<u64>("DENSEKV_SERVE_SLOW_US") {
             self.metrics.slow_threshold = Duration::from_micros(v);
+        }
+        if let Some(v) = parse::<u64>("DENSEKV_SERVE_WINDOW_MS") {
+            self.metrics.window = Duration::from_millis(v.max(1));
+        }
+        if let Some(v) = parse::<u64>("DENSEKV_SERVE_SLO_US") {
+            self.metrics.slo.objective = densekv_sim::Duration::from_micros(v.max(1));
+        }
+        if let Some(v) = parse::<f64>("DENSEKV_SERVE_SLO_TARGET") {
+            if v.is_finite() {
+                self.metrics.slo.target = v.clamp(0.0, 0.9999);
+            }
         }
         self
     }
@@ -236,6 +252,7 @@ pub fn spawn(config: ServeConfig) -> std::io::Result<ServerHandle> {
         config.shards,
     );
     let metrics = ServeMetrics::new(&config.metrics, config.shards);
+    metrics.set_connection_capacity(config.max_connections);
     let shared = Arc::new(Shared {
         store,
         clock: WallClock::new(),
@@ -342,6 +359,7 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
                 .counters
                 .rejected_busy
                 .fetch_add(1, Ordering::Relaxed);
+            shared.metrics.connection_rejected();
             let mut stream = stream;
             let _ = stream.write_all(b"SERVER_ERROR busy\r\n");
             let _ = stream.shutdown(Shutdown::Both);
@@ -349,6 +367,7 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
         }
         shared.active.fetch_add(1, Ordering::SeqCst);
         shared.counters.accepted.fetch_add(1, Ordering::Relaxed);
+        shared.metrics.connection_opened();
         let id = next_id;
         next_id += 1;
         if let Ok(clone) = stream.try_clone() {
@@ -364,10 +383,12 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
                 // Thread exhaustion: treat like an over-cap connection.
                 shared.conns.lock().remove(&id);
                 shared.active.fetch_sub(1, Ordering::SeqCst);
+                shared.metrics.connection_closed();
                 shared
                     .counters
                     .rejected_busy
                     .fetch_add(1, Ordering::Relaxed);
+                shared.metrics.connection_rejected();
             }
         }
         // Reap finished workers so the handle list stays bounded by the
@@ -423,6 +444,15 @@ fn execute(shared: &Shared, command: Command, out: &mut BytesMut) -> (Dispositio
                 b"shards" => shared
                     .metrics
                     .render_stats_shards(&shared.store.shard_stats(), out),
+                b"windows" => shared.metrics.render_stats_windows(out),
+                b"slo" => shared.metrics.render_stats_slo(out),
+                b"dump" => {
+                    // One JSON object on one line, then END — readable
+                    // with the same line-until-END client call as the
+                    // other stats verbs.
+                    out.extend_from_slice(shared.metrics.flight_recorder_json().as_bytes());
+                    out.extend_from_slice(b"\r\nEND\r\n");
+                }
                 b"reset" => {
                     shared.metrics.reset();
                     out.extend_from_slice(b"RESET\r\n");
@@ -558,6 +588,7 @@ fn serve_connection(mut stream: TcpStream, id: u64, shared: &Arc<Shared>) {
     }
     shared.conns.lock().remove(&id);
     shared.active.fetch_sub(1, Ordering::SeqCst);
+    shared.metrics.connection_closed();
 }
 
 #[cfg(test)]
@@ -571,6 +602,11 @@ mod tests {
             ..ServeConfig::ephemeral()
         }
     }
+
+    /// Serializes tests that mutate `DENSEKV_SERVE_*` process
+    /// environment (env vars are process-global; tests run in
+    /// parallel).
+    static ENV_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
 
     #[test]
     fn serves_a_full_verb_tour_over_tcp() {
@@ -662,7 +698,65 @@ mod tests {
     }
 
     #[test]
+    fn env_overrides_clamp_pathological_values() {
+        let _guard = ENV_LOCK.lock().unwrap();
+        // One knob at a time: set a wedging value, check the clamp,
+        // clean up — so a typo'd deployment variable can misconfigure
+        // the server but never hang or panic it.
+        let case = |var: &str, value: &str, check: &dyn Fn(&ServeConfig)| {
+            std::env::set_var(var, value);
+            let config = ServeConfig::from_env();
+            std::env::remove_var(var);
+            check(&config);
+        };
+        case("DENSEKV_SERVE_SHARDS", "0", &|c| {
+            assert_eq!(c.shards, 1, "0 shards clamps to 1 lock stripe");
+        });
+        case("DENSEKV_SERVE_MAX_CONNECTIONS", "0", &|c| {
+            assert_eq!(c.max_connections, 1, "a 0-connection server serves no one");
+        });
+        case("DENSEKV_SERVE_READ_TIMEOUT_MS", "0", &|c| {
+            assert_eq!(
+                c.read_timeout,
+                Duration::from_millis(1),
+                "0 ms would disable the timeout and pin workers forever"
+            );
+        });
+        case("DENSEKV_SERVE_SAMPLE_EVERY", "0", &|c| {
+            assert_eq!(c.metrics.sample_every, 1, "every-0th sampling clamps to 1");
+        });
+        case("DENSEKV_SERVE_WINDOW_MS", "0", &|c| {
+            assert_eq!(
+                c.metrics.window,
+                Duration::from_millis(1),
+                "a 0 ms window would rotate unboundedly"
+            );
+        });
+        case("DENSEKV_SERVE_SLO_US", "0", &|c| {
+            assert_eq!(
+                c.metrics.slo.objective,
+                densekv_sim::Duration::from_micros(1),
+                "a 0 µs objective marks every request bad"
+            );
+        });
+        case("DENSEKV_SERVE_SLO_TARGET", "1.5", &|c| {
+            assert!(
+                c.metrics.slo.target < 1.0,
+                "target ≥ 1 leaves no error budget"
+            );
+        });
+        // Sane values still pass through unclamped.
+        case("DENSEKV_SERVE_WINDOW_MS", "250", &|c| {
+            assert_eq!(c.metrics.window, Duration::from_millis(250));
+        });
+        case("DENSEKV_SERVE_SLO_TARGET", "0.99", &|c| {
+            assert!((c.metrics.slo.target - 0.99).abs() < 1e-12);
+        });
+    }
+
+    #[test]
     fn config_builders_and_env_overrides_compose() {
+        let _guard = ENV_LOCK.lock().unwrap();
         let config = ServeConfig::ephemeral()
             .with_max_connections(5)
             .with_read_timeout(Duration::from_millis(250))
@@ -777,6 +871,98 @@ mod tests {
         let err = conn.raw_roundtrip(b"stats bogus\r\n").unwrap();
         assert_eq!(err, "ERROR");
         server.shutdown();
+    }
+
+    #[test]
+    fn stats_windows_slo_and_dump_report_live_traffic() {
+        // A 25 ms window so real rotations happen within the test.
+        let config = quick_config().with_metrics(MetricsConfig {
+            sample_every: 1,
+            window: Duration::from_millis(25),
+            ..MetricsConfig::default()
+        });
+        let server = spawn(config).unwrap();
+        let mut conn = Connection::connect(server.addr()).unwrap();
+        for i in 0..10u32 {
+            assert!(conn.set(format!("k{i}").as_bytes(), b"value").unwrap());
+            assert!(conn.get(format!("k{i}").as_bytes()).unwrap().is_some());
+        }
+        std::thread::sleep(Duration::from_millis(60));
+        // Polling rotates the due windows even though traffic stopped.
+        let windows = conn.text_block(b"stats windows\r\n").unwrap().join("\n");
+        assert!(windows.contains("STAT window_ms 25"), "{windows}");
+        assert!(windows.contains("STAT rate_get"), "{windows}");
+        let closed: u64 = windows
+            .lines()
+            .find_map(|l| l.strip_prefix("STAT windows_closed "))
+            .unwrap()
+            .parse()
+            .unwrap();
+        assert!(closed >= 2, "60 ms at a 25 ms cadence: {windows}");
+        assert!(windows.contains("_p95_us"), "{windows}");
+
+        let slo = conn.text_block(b"stats slo\r\n").unwrap().join("\n");
+        assert!(slo.contains("STAT slo_objective_us 1000.0"), "{slo}");
+        assert!(slo.contains("STAT slo_short_burn"), "{slo}");
+        assert!(slo.contains("STAT slo_alerting 0"), "{slo}");
+        let total: u64 = slo
+            .lines()
+            .find_map(|l| l.strip_prefix("STAT slo_total "))
+            .unwrap()
+            .parse()
+            .unwrap();
+        assert!(total >= 20, "closed windows carry the traffic: {slo}");
+
+        // The embedded Chrome trace spans multiple lines; reassemble.
+        let json = conn.text_block(b"stats dump\r\n").unwrap().join("\n");
+        densekv_telemetry::validate_json(&json).expect("stats dump is valid JSON");
+        assert!(json.contains("\"format\":\"densekv-flight-recorder-v1\""));
+        assert!(json.contains("\"verbs\":{"), "{json}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn window_rotation_keeps_data_path_byte_identical() {
+        // The passivity invariant under *rotation*: a metrics-on server
+        // whose windows rotate mid-stream answers byte-identically to a
+        // metrics-off server. Two bursts with a sleep between them span
+        // several 5 ms window boundaries.
+        let burst: &[u8] = b"set k 0 0 5\r\nhello\r\nget k\r\ngets k\r\nincr n 1\r\n\
+                             set n 0 0 1\r\n7\r\nincr n 3\r\ndecr n 1\r\ntouch k 60\r\n\
+                             append k 0 0 2\r\n!!\r\nget k\r\ndelete k\r\nversion\r\n";
+        let run_against = |metrics: MetricsConfig| -> Vec<u8> {
+            let server = spawn(quick_config().with_metrics(metrics)).unwrap();
+            let mut stream = TcpStream::connect(server.addr()).unwrap();
+            let mut reply = Vec::new();
+            let mut chunk = [0u8; 4096];
+            for _ in 0..2 {
+                stream.write_all(burst).unwrap();
+                std::thread::sleep(Duration::from_millis(20));
+                loop {
+                    // Drain what has arrived; a short read ends the batch.
+                    let n = stream.read(&mut chunk).unwrap();
+                    reply.extend_from_slice(&chunk[..n]);
+                    if n < chunk.len() {
+                        break;
+                    }
+                }
+            }
+            stream.write_all(b"quit\r\n").unwrap();
+            let mut rest = Vec::new();
+            stream.read_to_end(&mut rest).unwrap();
+            reply.extend_from_slice(&rest);
+            server.shutdown();
+            reply
+        };
+        let on = run_against(MetricsConfig {
+            sample_every: 1,
+            window: Duration::from_millis(5),
+            window_retain: 2,
+            ..MetricsConfig::default()
+        });
+        let off = run_against(MetricsConfig::disabled());
+        assert!(!on.is_empty());
+        assert_eq!(on, off, "window rotation must not change the data path");
     }
 
     #[test]

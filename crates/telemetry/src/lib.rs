@@ -52,6 +52,7 @@ pub mod json;
 pub mod registry;
 pub mod timeline;
 pub mod trace;
+pub mod window;
 
 pub use json::validate_json;
 pub use registry::{
@@ -59,6 +60,7 @@ pub use registry::{
 };
 pub use timeline::{BucketedTimeline, TimelineBucket, TimelineSampler};
 pub use trace::{PhaseSpan, RequestSpan, SpanBuilder, Tracer};
+pub use window::{SloConfig, SloSnapshot, SloTracker, WindowedHistogram, WindowedRate};
 
 use densekv_sim::Duration;
 

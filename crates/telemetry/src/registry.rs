@@ -52,7 +52,7 @@ pub struct HistogramId(usize);
 /// let exact = Duration::from_micros(500);
 /// assert!(p50 >= exact && p50.as_secs_f64() < exact.as_secs_f64() * 1.1);
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LogHistogram {
     /// Sample count per bucket, indexed by [`bucket_index`].
     buckets: Vec<u64>,
@@ -94,6 +94,16 @@ fn bucket_bound(index: usize) -> u64 {
     // octave 63 ends exactly at u64::MAX, so adding the full width
     // before subtracting would wrap.
     (base + sub * width) + (width - 1)
+}
+
+impl Default for LogHistogram {
+    /// Identical to [`LogHistogram::new`] — in particular `min_ps`
+    /// starts at `u64::MAX`, so a defaulted histogram merges and
+    /// compares exactly like a `new()` one (`mem::take` on a histogram
+    /// relies on this).
+    fn default() -> Self {
+        LogHistogram::new()
+    }
 }
 
 impl LogHistogram {

@@ -207,47 +207,64 @@ impl Tracer {
     /// `chrome://tracing`.
     #[must_use]
     pub fn to_chrome_json(&self) -> String {
-        let mut out = String::from("[\n");
-        let mut first = true;
-        let mut named_pids: Vec<(u32, &'static str)> = Vec::new();
-        for span in &self.spans {
-            if !named_pids.iter().any(|&(pid, _)| pid == span.pid) {
-                named_pids.push((span.pid, span.label));
-            }
+        chrome_json_of(&self.spans)
+    }
+
+    /// Like [`Self::to_chrome_json`], but exports only the newest
+    /// `max` spans — the bound that keeps checked-in trace artifacts
+    /// and flight-recorder dumps small no matter how long the server
+    /// ran.
+    #[must_use]
+    pub fn to_chrome_json_capped(&self, max: usize) -> String {
+        let skip = self.spans.len().saturating_sub(max);
+        chrome_json_of(&self.spans[skip..])
+    }
+}
+
+/// Renders a set of spans as a Chrome trace-event JSON array.
+fn chrome_json_of(spans: &[RequestSpan]) -> String {
+    let mut out = String::from("[\n");
+    let mut first = true;
+    let mut named_pids: Vec<(u32, &'static str)> = Vec::new();
+    for span in spans {
+        if !named_pids.iter().any(|&(pid, _)| pid == span.pid) {
+            named_pids.push((span.pid, span.label));
         }
-        for (pid, _) in &named_pids {
+    }
+    for (pid, _) in &named_pids {
+        push_event(
+            &mut out,
+            &mut first,
+            &format!(
+                "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":0,\
+                     \"args\":{{\"name\":\"densekv pid {pid}\"}}}}"
+            ),
+        );
+    }
+    for span in spans {
+        for phase in &span.phases {
             push_event(
                 &mut out,
                 &mut first,
                 &format!(
-                    "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":0,\
-                     \"args\":{{\"name\":\"densekv pid {pid}\"}}}}"
+                    "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\
+                         \"pid\":{},\"tid\":{},\"args\":{{\"req\":{}}}}}",
+                    phase.name,
+                    span.label,
+                    ps_as_us(phase.start.as_ps()),
+                    ps_as_us(phase.duration().as_ps()),
+                    span.pid,
+                    span.tid,
+                    span.id,
                 ),
             );
         }
-        for span in &self.spans {
-            for phase in &span.phases {
-                push_event(
-                    &mut out,
-                    &mut first,
-                    &format!(
-                        "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\
-                         \"pid\":{},\"tid\":{},\"args\":{{\"req\":{}}}}}",
-                        phase.name,
-                        span.label,
-                        ps_as_us(phase.start.as_ps()),
-                        ps_as_us(phase.duration().as_ps()),
-                        span.pid,
-                        span.tid,
-                        span.id,
-                    ),
-                );
-            }
-        }
-        out.push_str("\n]\n");
-        out
     }
+    out.push_str("\n]\n");
+    out
+}
 
+impl Tracer {
     /// Exports the trace as JSONL: one self-contained span object per
     /// line (`id`, `label`, `start_ps`, `end_ps`, `phases[]`), for
     /// scripted analysis without a trace viewer.

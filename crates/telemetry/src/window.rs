@@ -1,0 +1,755 @@
+//! Time-windowed views over the cumulative metrics plane: rotating
+//! histogram rings, windowed rates with EWMA smoothing, and
+//! multi-window SLO burn-rate tracking.
+//!
+//! The cumulative [`LogHistogram`] answers "what has p99 been since
+//! start"; a live operator (and the failover experiments) need "what
+//! was p99 in the *last second*" and "how fast are we burning the 1 ms
+//! objective *right now*". These types layer that view on top of the
+//! existing plane without forking it:
+//!
+//! * [`WindowedHistogram`] — one open window plus a bounded ring of
+//!   closed windows plus a cumulative histogram fed in lockstep. The
+//!   load-bearing invariant: merging every window ever closed (evicted
+//!   ones are folded into a catch-all) with the open window is
+//!   **bit-identical** to the cumulative histogram, which the
+//!   workspace property tests enforce. Windowing adds a view; it never
+//!   forks the data.
+//! * [`WindowedRate`] — per-window event counts with an EWMA-smoothed
+//!   events/sec rate.
+//! * [`SloTracker`] — multi-window burn-rate alerting in the SRE
+//!   style: a short window catches fast burn, a long window confirms
+//!   it is sustained, and the alert only trips when *both* exceed the
+//!   threshold.
+//!
+//! All types are driven externally: callers decide when a window
+//! closes (`rotate`), so the same machinery serves wall-clock windows
+//! in the TCP front-end and sim-time buckets in the cluster simulator.
+
+use std::collections::VecDeque;
+
+use densekv_sim::Duration;
+
+use crate::registry::LogHistogram;
+
+/// Smallest error budget the burn-rate math will divide by; a target
+/// of 1.0 (zero budget) would otherwise make every violation an
+/// infinite burn.
+const MIN_BUDGET: f64 = 1e-9;
+
+/// A ring of rotating [`LogHistogram`] windows alongside a cumulative
+/// histogram fed in lockstep.
+///
+/// `record` writes both the open window and the cumulative histogram;
+/// `rotate` closes the open window into the ring, evicting the oldest
+/// closed window into a catch-all once the ring is full. Because
+/// nothing is ever dropped — only moved — the merge identity holds at
+/// every instant, for every capacity:
+///
+/// ```
+/// use densekv_sim::Duration;
+/// use densekv_telemetry::WindowedHistogram;
+///
+/// let mut w = WindowedHistogram::new(2);
+/// for us in [10u64, 250, 80, 4000, 15] {
+///     w.record(Duration::from_micros(us));
+///     w.rotate();
+/// }
+/// // 5 rotations with capacity 2: three windows were evicted, yet the
+/// // merge of everything still equals the cumulative view bit for bit.
+/// assert_eq!(&w.merged(), w.cumulative());
+/// assert_eq!(w.rotations(), 5);
+/// ```
+#[derive(Debug, Clone)]
+pub struct WindowedHistogram {
+    /// Maximum closed windows retained (≥ 1).
+    capacity: usize,
+    /// The open window samples land in.
+    current: LogHistogram,
+    /// Closed windows, oldest first.
+    closed: VecDeque<LogHistogram>,
+    /// Windows evicted from the ring, merged into one catch-all so the
+    /// cumulative identity survives eviction.
+    evicted: LogHistogram,
+    /// Every sample ever recorded.
+    cumulative: LogHistogram,
+    /// Number of `rotate` calls since creation/reset.
+    rotations: u64,
+}
+
+impl WindowedHistogram {
+    /// Creates a windowed histogram retaining up to `capacity` closed
+    /// windows (clamped to at least 1).
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        WindowedHistogram {
+            capacity: capacity.max(1),
+            current: LogHistogram::new(),
+            closed: VecDeque::new(),
+            evicted: LogHistogram::new(),
+            cumulative: LogHistogram::new(),
+            rotations: 0,
+        }
+    }
+
+    /// Records one sample into the open window and the cumulative
+    /// histogram.
+    pub fn record(&mut self, d: Duration) {
+        self.current.record(d);
+        self.cumulative.record(d);
+    }
+
+    /// Closes the open window into the ring and starts a fresh one,
+    /// returning the histogram of the window just closed. Closing an
+    /// empty window is legal and meaningful: it is how idle time shows
+    /// up in the ring.
+    pub fn rotate(&mut self) -> LogHistogram {
+        let closed = std::mem::take(&mut self.current);
+        self.closed.push_back(closed.clone());
+        while self.closed.len() > self.capacity {
+            let oldest = self.closed.pop_front().expect("ring non-empty");
+            self.evicted.merge(&oldest);
+        }
+        self.rotations += 1;
+        closed
+    }
+
+    /// The open (not yet rotated) window.
+    #[must_use]
+    pub fn current(&self) -> &LogHistogram {
+        &self.current
+    }
+
+    /// Closed windows still in the ring, oldest first.
+    pub fn windows(&self) -> impl Iterator<Item = &LogHistogram> {
+        self.closed.iter()
+    }
+
+    /// Number of closed windows currently retained.
+    #[must_use]
+    pub fn retained(&self) -> usize {
+        self.closed.len()
+    }
+
+    /// Total `rotate` calls since creation or reset.
+    #[must_use]
+    pub fn rotations(&self) -> u64 {
+        self.rotations
+    }
+
+    /// The cumulative histogram over every sample ever recorded.
+    #[must_use]
+    pub fn cumulative(&self) -> &LogHistogram {
+        &self.cumulative
+    }
+
+    /// Merge of the newest `n` closed windows (fewer if the ring holds
+    /// fewer) — the "last n windows" view a dashboard polls.
+    #[must_use]
+    pub fn merged_recent(&self, n: usize) -> LogHistogram {
+        let skip = self.closed.len().saturating_sub(n);
+        let mut out = LogHistogram::new();
+        for w in self.closed.iter().skip(skip) {
+            out.merge(w);
+        }
+        out
+    }
+
+    /// Merge of everything: evicted catch-all + ring + open window.
+    /// Bit-identical to [`Self::cumulative`] by construction.
+    #[must_use]
+    pub fn merged(&self) -> LogHistogram {
+        let mut out = self.evicted.clone();
+        for w in &self.closed {
+            out.merge(w);
+        }
+        out.merge(&self.current);
+        out
+    }
+
+    /// Clears every window, the ring, the catch-all, the cumulative
+    /// histogram, and the rotation count.
+    pub fn reset(&mut self) {
+        self.current.reset();
+        self.closed.clear();
+        self.evicted.reset();
+        self.cumulative.reset();
+        self.rotations = 0;
+    }
+}
+
+/// A windowed event counter with an EWMA-smoothed rate.
+///
+/// `record` adds to the open window; `rotate` closes it, converts the
+/// count to events/sec over the configured window length, and folds it
+/// into the EWMA. The instantaneous last-window rate and the smoothed
+/// rate are both exposed — dashboards show the former, alerting logic
+/// prefers the latter.
+///
+/// ```
+/// use densekv_sim::Duration;
+/// use densekv_telemetry::WindowedRate;
+///
+/// let mut r = WindowedRate::new(Duration::from_millis(500), 0.5);
+/// r.record(100);
+/// r.rotate();
+/// assert_eq!(r.last_rate(), 200.0); // 100 events per half second
+/// assert_eq!(r.ewma_rate(), 200.0); // first window seeds the EWMA
+/// r.rotate(); // empty window
+/// assert_eq!(r.last_rate(), 0.0);
+/// assert_eq!(r.ewma_rate(), 100.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct WindowedRate {
+    /// Nominal window length used to convert counts to rates.
+    window: Duration,
+    /// EWMA smoothing factor in `(0, 1]`; 1 tracks only the last
+    /// window.
+    alpha: f64,
+    /// Events in the open window.
+    current: u64,
+    /// Events in the most recently closed window.
+    last: u64,
+    /// Smoothed events/sec; `None` until the first rotation.
+    ewma: Option<f64>,
+    /// Events ever recorded.
+    total: u64,
+    /// Windows closed.
+    rotations: u64,
+}
+
+impl WindowedRate {
+    /// Creates a rate tracker for windows of the given length with the
+    /// given EWMA smoothing factor (clamped into `(0, 1]`).
+    #[must_use]
+    pub fn new(window: Duration, alpha: f64) -> Self {
+        WindowedRate {
+            window,
+            alpha: if alpha.is_finite() {
+                alpha.clamp(f64::MIN_POSITIVE, 1.0)
+            } else {
+                1.0
+            },
+            current: 0,
+            last: 0,
+            ewma: None,
+            total: 0,
+            rotations: 0,
+        }
+    }
+
+    /// Adds `n` events to the open window.
+    pub fn record(&mut self, n: u64) {
+        self.current += n;
+        self.total += n;
+    }
+
+    /// Closes the open window and folds its rate into the EWMA.
+    pub fn rotate(&mut self) {
+        self.last = std::mem::take(&mut self.current);
+        let rate = self.to_rate(self.last);
+        self.ewma = Some(match self.ewma {
+            None => rate,
+            Some(prev) => self.alpha * rate + (1.0 - self.alpha) * prev,
+        });
+        self.rotations += 1;
+    }
+
+    /// Events/sec over the most recently closed window.
+    #[must_use]
+    pub fn last_rate(&self) -> f64 {
+        self.to_rate(self.last)
+    }
+
+    /// EWMA-smoothed events/sec (0 before the first rotation).
+    #[must_use]
+    pub fn ewma_rate(&self) -> f64 {
+        self.ewma.unwrap_or(0.0)
+    }
+
+    /// Events in the open (not yet rotated) window.
+    #[must_use]
+    pub fn current_count(&self) -> u64 {
+        self.current
+    }
+
+    /// Events in the most recently closed window.
+    #[must_use]
+    pub fn last_count(&self) -> u64 {
+        self.last
+    }
+
+    /// Events ever recorded.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Clears counts, the EWMA, and the rotation count.
+    pub fn reset(&mut self) {
+        self.current = 0;
+        self.last = 0;
+        self.ewma = None;
+        self.total = 0;
+        self.rotations = 0;
+    }
+
+    fn to_rate(&self, count: u64) -> f64 {
+        let secs = self.window.as_secs_f64();
+        if secs <= 0.0 {
+            return 0.0;
+        }
+        count as f64 / secs
+    }
+}
+
+/// How an [`SloTracker`] judges the service.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SloConfig {
+    /// The latency objective requests must meet.
+    pub objective: Duration,
+    /// Fraction of requests that must meet the objective, e.g. `0.95`
+    /// for "p95 ≤ objective". The error budget is `1 - target`.
+    pub target: f64,
+    /// Length of the short (fast-burn) alerting window, in rotations.
+    pub short_windows: usize,
+    /// Length of the long (sustained-burn) alerting window, in
+    /// rotations.
+    pub long_windows: usize,
+    /// Burn rate both windows must exceed before [`SloTracker::alerting`]
+    /// trips. Burn 1.0 consumes the budget exactly as fast as it
+    /// accrues.
+    pub alert_burn: f64,
+}
+
+impl Default for SloConfig {
+    /// The paper's headline objective: 95% of requests within 1 ms,
+    /// judged over 5-window fast burn and 60-window sustained burn,
+    /// alerting at 2× budget consumption.
+    fn default() -> Self {
+        SloConfig {
+            objective: Duration::from_millis(1),
+            target: 0.95,
+            short_windows: 5,
+            long_windows: 60,
+            alert_burn: 2.0,
+        }
+    }
+}
+
+impl SloConfig {
+    /// The error budget fraction (`1 - target`), floored away from
+    /// zero so burn rates stay finite.
+    #[must_use]
+    pub fn budget(&self) -> f64 {
+        (1.0 - self.target).max(MIN_BUDGET)
+    }
+}
+
+/// One window's contribution to the SLO ledger.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+struct SloWindow {
+    /// Requests observed in the window.
+    total: u64,
+    /// Requests that missed the objective.
+    bad: u64,
+}
+
+/// A point-in-time reading of the tracker, for rendering.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SloSnapshot {
+    /// Burn rate over the short window.
+    pub short_burn: f64,
+    /// Burn rate over the long window.
+    pub long_burn: f64,
+    /// True when both burns exceed the alert threshold.
+    pub alerting: bool,
+    /// Windows observed since creation or reset.
+    pub windows: u64,
+    /// Requests observed since creation or reset.
+    pub total: u64,
+    /// Requests that missed the objective since creation or reset.
+    pub bad: u64,
+}
+
+/// Multi-window, multi-burn-rate SLO alerting over externally rotated
+/// windows.
+///
+/// Feed it one `(total, bad)` observation per closed window — from a
+/// [`WindowedHistogram`] ring on a live server or from a
+/// `BucketedTimeline` in the cluster simulator — and it reports how
+/// fast the error budget is burning over a short window (catches fast
+/// outages) and a long window (confirms they are sustained). Burn rate
+/// is the classic definition: the fraction of requests violating the
+/// objective, divided by the budget fraction. Burn 1.0 means the
+/// budget is being consumed exactly as fast as it accrues; an alert at
+/// burn `b` means the budget would be exhausted `b`× early.
+///
+/// ```
+/// use densekv_sim::Duration;
+/// use densekv_telemetry::{SloConfig, SloTracker};
+///
+/// let mut slo = SloTracker::new(SloConfig {
+///     objective: Duration::from_millis(1),
+///     target: 0.95,
+///     short_windows: 2,
+///     long_windows: 4,
+///     alert_burn: 2.0,
+/// });
+/// slo.observe_window(100, 5); // exactly on budget: burn 1.0
+/// assert!((slo.short_burn() - 1.0).abs() < 1e-12);
+/// assert!(!slo.alerting());
+/// slo.observe_window(100, 40); // outage: 40% violations
+/// slo.observe_window(100, 40);
+/// assert!(slo.short_burn() > 2.0 && slo.alerting());
+/// ```
+#[derive(Debug, Clone)]
+pub struct SloTracker {
+    config: SloConfig,
+    /// The newest `long_windows` observations, oldest first.
+    ring: VecDeque<SloWindow>,
+    /// Windows observed since creation or reset.
+    windows: u64,
+    /// Lifetime request count.
+    total: u64,
+    /// Lifetime objective misses.
+    bad: u64,
+}
+
+impl SloTracker {
+    /// Creates a tracker for the given objective. Window lengths are
+    /// clamped so the short window is at least 1 and the long window
+    /// at least the short.
+    #[must_use]
+    pub fn new(mut config: SloConfig) -> Self {
+        config.short_windows = config.short_windows.max(1);
+        config.long_windows = config.long_windows.max(config.short_windows);
+        SloTracker {
+            config,
+            ring: VecDeque::new(),
+            windows: 0,
+            total: 0,
+            bad: 0,
+        }
+    }
+
+    /// The configuration the tracker was built with (after clamping).
+    #[must_use]
+    pub fn config(&self) -> &SloConfig {
+        &self.config
+    }
+
+    /// Records one closed window: `total` requests, `bad` of which
+    /// missed the objective (`bad` is clamped to `total`).
+    pub fn observe_window(&mut self, total: u64, bad: u64) {
+        let bad = bad.min(total);
+        self.ring.push_back(SloWindow { total, bad });
+        while self.ring.len() > self.config.long_windows {
+            self.ring.pop_front();
+        }
+        self.windows += 1;
+        self.total += total;
+        self.bad += bad;
+    }
+
+    /// Records one closed window from a latency histogram, deriving
+    /// the miss count from the configured objective.
+    pub fn observe_histogram(&mut self, window: &LogHistogram) {
+        let total = window.count();
+        let within = window.fraction_within(self.config.objective).unwrap_or(1.0);
+        let good = (within * total as f64).round() as u64;
+        self.observe_window(total, total - good.min(total));
+    }
+
+    /// Burn rate over the newest `n` windows: violation fraction
+    /// divided by budget fraction. Zero when those windows saw no
+    /// traffic.
+    #[must_use]
+    pub fn burn(&self, n: usize) -> f64 {
+        let skip = self.ring.len().saturating_sub(n);
+        let (mut total, mut bad) = (0u64, 0u64);
+        for w in self.ring.iter().skip(skip) {
+            total += w.total;
+            bad += w.bad;
+        }
+        if total == 0 {
+            return 0.0;
+        }
+        (bad as f64 / total as f64) / self.config.budget()
+    }
+
+    /// Burn rate over the short (fast-burn) window.
+    #[must_use]
+    pub fn short_burn(&self) -> f64 {
+        self.burn(self.config.short_windows)
+    }
+
+    /// Burn rate over the long (sustained-burn) window.
+    #[must_use]
+    pub fn long_burn(&self) -> f64 {
+        self.burn(self.config.long_windows)
+    }
+
+    /// True when both the short and long burns exceed the alert
+    /// threshold — the multi-window rule that suppresses both blips
+    /// (short spikes with a calm long window) and stale alerts (a long
+    /// window still digesting an outage the short window shows is
+    /// over).
+    #[must_use]
+    pub fn alerting(&self) -> bool {
+        self.windows > 0
+            && self.short_burn() >= self.config.alert_burn
+            && self.long_burn() >= self.config.alert_burn
+    }
+
+    /// Everything a render path needs, in one read.
+    #[must_use]
+    pub fn snapshot(&self) -> SloSnapshot {
+        SloSnapshot {
+            short_burn: self.short_burn(),
+            long_burn: self.long_burn(),
+            alerting: self.alerting(),
+            windows: self.windows,
+            total: self.total,
+            bad: self.bad,
+        }
+    }
+
+    /// Clears the window ring and the lifetime ledger.
+    pub fn reset(&mut self) {
+        self.ring.clear();
+        self.windows = 0;
+        self.total = 0;
+        self.bad = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn d(us: u64) -> Duration {
+        Duration::from_micros(us)
+    }
+
+    #[test]
+    fn rotation_returns_the_closed_window_and_ring_is_bounded() {
+        let mut w = WindowedHistogram::new(3);
+        for i in 1..=5u64 {
+            w.record(d(i * 10));
+            let closed = w.rotate();
+            assert_eq!(closed.count(), 1);
+        }
+        assert_eq!(w.retained(), 3);
+        assert_eq!(w.rotations(), 5);
+        assert_eq!(w.cumulative().count(), 5);
+        // The ring holds the newest three windows: 30, 40, 50 us.
+        let counts: Vec<u64> = w.windows().map(LogHistogram::count).collect();
+        assert_eq!(counts, vec![1, 1, 1]);
+        assert_eq!(w.merged_recent(2).count(), 2);
+        assert_eq!(w.merged_recent(100).count(), 3);
+    }
+
+    #[test]
+    fn empty_windows_rotate_cleanly() {
+        let mut w = WindowedHistogram::new(2);
+        let closed = w.rotate();
+        assert_eq!(closed.count(), 0);
+        assert_eq!(w.retained(), 1);
+        assert_eq!(&w.merged(), w.cumulative());
+    }
+
+    #[test]
+    fn reset_clears_ring_cumulative_and_rotations() {
+        let mut w = WindowedHistogram::new(2);
+        w.record(d(100));
+        w.rotate();
+        w.record(d(200));
+        w.reset();
+        assert_eq!(w.retained(), 0);
+        assert_eq!(w.rotations(), 0);
+        assert_eq!(w.cumulative().count(), 0);
+        assert_eq!(w.current().count(), 0);
+        assert_eq!(&w.merged(), w.cumulative());
+    }
+
+    #[test]
+    fn windowed_rate_smooths_with_ewma() {
+        let mut r = WindowedRate::new(Duration::from_millis(100), 0.25);
+        r.record(10);
+        r.rotate(); // 100 events/sec seeds the EWMA
+        assert_eq!(r.ewma_rate(), 100.0);
+        r.record(50);
+        r.rotate(); // 500 events/sec
+        assert_eq!(r.last_rate(), 500.0);
+        assert!((r.ewma_rate() - 200.0).abs() < 1e-9);
+        assert_eq!(r.total(), 60);
+        r.reset();
+        assert_eq!(r.ewma_rate(), 0.0);
+        assert_eq!(r.total(), 0);
+    }
+
+    #[test]
+    fn windowed_rate_zero_length_window_reports_zero_rates() {
+        let mut r = WindowedRate::new(Duration::ZERO, 0.5);
+        r.record(10);
+        r.rotate();
+        assert_eq!(r.last_rate(), 0.0);
+        assert_eq!(r.ewma_rate(), 0.0);
+        assert_eq!(r.last_count(), 10);
+    }
+
+    #[test]
+    fn slo_burn_matches_hand_computation() {
+        let mut slo = SloTracker::new(SloConfig {
+            objective: d(1000),
+            target: 0.9, // 10% budget
+            short_windows: 1,
+            long_windows: 2,
+            alert_burn: 3.0,
+        });
+        slo.observe_window(100, 10);
+        assert!((slo.short_burn() - 1.0).abs() < 1e-12);
+        assert!((slo.long_burn() - 1.0).abs() < 1e-12);
+        assert!(!slo.alerting());
+        slo.observe_window(100, 50); // 50% bad → burn 5 short, 3 long
+        assert!((slo.short_burn() - 5.0).abs() < 1e-12);
+        assert!((slo.long_burn() - 3.0).abs() < 1e-12);
+        assert!(slo.alerting());
+        slo.observe_window(100, 0); // recovery: short calm, long elevated
+        assert_eq!(slo.short_burn(), 0.0);
+        assert!(!slo.alerting());
+    }
+
+    #[test]
+    fn slo_idle_windows_do_not_burn() {
+        let mut slo = SloTracker::new(SloConfig::default());
+        for _ in 0..10 {
+            slo.observe_window(0, 0);
+        }
+        assert_eq!(slo.short_burn(), 0.0);
+        assert_eq!(slo.long_burn(), 0.0);
+        assert!(!slo.alerting());
+    }
+
+    #[test]
+    fn slo_observe_histogram_derives_bad_count_from_objective() {
+        let mut slo = SloTracker::new(SloConfig {
+            objective: d(100),
+            target: 0.5,
+            short_windows: 1,
+            long_windows: 1,
+            alert_burn: 1.5,
+        });
+        let mut h = LogHistogram::new();
+        for _ in 0..9 {
+            h.record(d(10)); // well within
+        }
+        h.record(d(10_000)); // way out
+        slo.observe_histogram(&h);
+        let snap = slo.snapshot();
+        assert_eq!(snap.total, 10);
+        assert_eq!(snap.bad, 1);
+        // 10% bad against a 50% budget: burn 0.2.
+        assert!((snap.short_burn - 0.2).abs() < 1e-12);
+        assert!(!snap.alerting);
+    }
+
+    #[test]
+    fn slo_reset_clears_ring_and_ledger() {
+        let mut slo = SloTracker::new(SloConfig::default());
+        slo.observe_window(100, 100);
+        slo.reset();
+        let snap = slo.snapshot();
+        assert_eq!((snap.windows, snap.total, snap.bad), (0, 0, 0));
+        assert_eq!(slo.short_burn(), 0.0);
+    }
+
+    #[test]
+    fn slo_clamps_degenerate_config() {
+        let slo = SloTracker::new(SloConfig {
+            objective: d(1),
+            target: 1.0, // zero budget — floored, burns stay finite
+            short_windows: 0,
+            long_windows: 0,
+            alert_burn: 1.0,
+        });
+        assert_eq!(slo.config().short_windows, 1);
+        assert_eq!(slo.config().long_windows, 1);
+        assert!(slo.config().budget() > 0.0);
+    }
+
+    /// One step of the windowed-vs-plain comparison driver.
+    #[derive(Debug, Clone)]
+    enum WinOp {
+        Record(u64),
+        Rotate,
+    }
+
+    fn win_op() -> impl Strategy<Value = WinOp> {
+        prop_oneof![
+            (0u64..=400_000_000_000).prop_map(WinOp::Record),
+            (0u64..=400_000_000_000).prop_map(WinOp::Record),
+            (0u64..=400_000_000_000).prop_map(WinOp::Record),
+            (0u64..1).prop_map(|_| WinOp::Rotate),
+        ]
+    }
+
+    proptest! {
+        /// The tentpole invariant: for any record/rotate interleaving
+        /// and any ring capacity (including ones small enough to force
+        /// eviction), merging every window is bit-identical to both
+        /// the internal cumulative histogram and a plain LogHistogram
+        /// fed the same samples. Windowing is a view, never a fork.
+        #[test]
+        fn windowed_merge_is_bit_identical_to_cumulative(
+            ops in proptest::collection::vec(win_op(), 0..200),
+            capacity in 1usize..12,
+        ) {
+            let mut windowed = WindowedHistogram::new(capacity);
+            let mut plain = LogHistogram::new();
+            for op in &ops {
+                match *op {
+                    WinOp::Record(ps) => {
+                        let v = Duration::from_ps(ps);
+                        windowed.record(v);
+                        plain.record(v);
+                    }
+                    WinOp::Rotate => {
+                        windowed.rotate();
+                    }
+                }
+                prop_assert_eq!(&windowed.merged(), windowed.cumulative());
+                prop_assert_eq!(windowed.cumulative(), &plain);
+            }
+        }
+
+        /// Rotation bookkeeping: retained windows never exceed
+        /// capacity, and their counts plus evicted plus current always
+        /// total the cumulative count.
+        #[test]
+        fn ring_occupancy_is_bounded_and_counts_conserve(
+            ops in proptest::collection::vec(win_op(), 0..200),
+            capacity in 1usize..6,
+        ) {
+            let mut windowed = WindowedHistogram::new(capacity);
+            for op in &ops {
+                match *op {
+                    WinOp::Record(ps) => windowed.record(Duration::from_ps(ps)),
+                    WinOp::Rotate => {
+                        windowed.rotate();
+                    }
+                }
+                prop_assert!(windowed.retained() <= capacity);
+                let in_ring: u64 = windowed.windows().map(LogHistogram::count).sum();
+                prop_assert_eq!(
+                    windowed.merged().count(),
+                    in_ring + windowed.current().count()
+                        + (windowed.cumulative().count() - in_ring - windowed.current().count())
+                );
+                prop_assert_eq!(windowed.merged().count(), windowed.cumulative().count());
+            }
+        }
+    }
+}

@@ -15,6 +15,9 @@ use densekv::experiments::evaluation;
 use densekv::sim::{CoreSim, CoreSimConfig};
 use densekv::sweep::{measure_point, SweepEffort};
 use densekv_cpu::cache::{Cache, CacheConfig};
+use densekv_engine::Engine;
+use densekv_kv::store::StoreConfig;
+use densekv_kv::StoreBackend;
 use densekv_par::Jobs;
 use densekv_sim::dist::Zipf;
 use densekv_sim::SplitMix64;
@@ -75,6 +78,20 @@ fn main() {
         black_box(measure_point(&cfg, 64, SweepEffort::quick()));
     });
 
+    // The storage engine's hot path: overwrite + read back one 256 B
+    // value — hash, bucket probe, bitmap page free/alloc, byte copy.
+    let mut engine = Engine::new(StoreConfig::with_capacity(16 << 20));
+    let value = vec![7u8; 256];
+    engine
+        .set_with_flags(b"hotpath-key", value.clone(), 0, None, 0)
+        .expect("fits");
+    let engine_ns = median_ns(100_000, 9, || {
+        engine
+            .set_with_flags(b"hotpath-key", value.clone(), 0, None, 0)
+            .expect("fits");
+        black_box(engine.get(b"hotpath-key", 0));
+    });
+
     // The grid all-experiments fans out, at quick effort: serial versus
     // the requested/detected worker count.
     let time_grid = |jobs: Jobs| {
@@ -91,7 +108,8 @@ fn main() {
          \"hot_paths_ns_per_op\": {{\n    \"zipf_alias_sample\": {alias_ns:.1},\n    \
          \"zipf_cdf_sample\": {cdf_ns:.1},\n    \"cache_l1_mru_hit\": {cache_ns:.1},\n    \
          \"request_mercury_a7_get64\": {request_ns:.1},\n    \
-         \"sweep_point_quick_64b\": {sweep_point_ns:.1}\n  }},\n  \
+         \"sweep_point_quick_64b\": {sweep_point_ns:.1},\n    \
+         \"engine_set_get_256b\": {engine_ns:.1}\n  }},\n  \
          \"quick_grid\": {{\n    \"jobs_1_ms\": {grid_serial_ms:.1},\n    \
          \"jobs_n_ms\": {grid_par_ms:.1},\n    \"jobs\": {n},\n    \
          \"speedup\": {speedup:.2}\n  }}\n}}\n",

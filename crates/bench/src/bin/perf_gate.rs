@@ -26,6 +26,9 @@ use std::time::Instant;
 use densekv::sim::{CoreSim, CoreSimConfig};
 use densekv::sweep::{measure_point, SweepEffort};
 use densekv_cpu::cache::{Cache, CacheConfig};
+use densekv_engine::Engine;
+use densekv_kv::store::StoreConfig;
+use densekv_kv::StoreBackend;
 use densekv_sim::dist::Zipf;
 use densekv_sim::SplitMix64;
 use densekv_workload::{key_bytes, Op, Request};
@@ -101,12 +104,27 @@ fn measure(quick: bool) -> Vec<(&'static str, f64)> {
         black_box(measure_point(&cfg, 64, SweepEffort::quick()));
     });
 
+    // The storage engine's hot path: overwrite + read back one 256 B
+    // value — hash, bucket probe, bitmap page free/alloc, byte copy.
+    let mut engine = Engine::new(StoreConfig::with_capacity(16 << 20));
+    let value = vec![7u8; 256];
+    engine
+        .set_with_flags(b"hotpath-key", value.clone(), 0, None, 0)
+        .expect("fits");
+    let engine_ns = median_ns(if quick { 20_000 } else { 100_000 }, reps, || {
+        engine
+            .set_with_flags(b"hotpath-key", value.clone(), 0, None, 0)
+            .expect("fits");
+        black_box(engine.get(b"hotpath-key", 0));
+    });
+
     vec![
         ("zipf_alias_sample", alias_ns),
         ("zipf_cdf_sample", cdf_ns),
         (CALIBRATION, cache_ns),
         ("request_mercury_a7_get64", request_ns),
         ("sweep_point_quick_64b", sweep_point_ns),
+        ("engine_set_get_256b", engine_ns),
     ]
 }
 

@@ -31,8 +31,8 @@
 use densekv::report::TextTable;
 use densekv_bench::emit_raw;
 use densekv_serve::{
-    preload, run_closed_loop, run_open_loop, spawn, ClosedLoopConfig, Connection, LoadMix,
-    MetricsConfig, OpenLoopConfig, ServeConfig, Verb,
+    preload, run_closed_loop, run_open_loop, spawn, BackendKind, ClosedLoopConfig, Connection,
+    LoadMix, MetricsConfig, OpenLoopConfig, ServeConfig, Verb,
 };
 use densekv_telemetry::Quantiles;
 
@@ -79,7 +79,10 @@ impl Row {
 
 /// Closed-loop throughput against a fresh server with the given plane.
 fn capacity_with(metrics: MetricsConfig, workers: usize, requests: u64) -> f64 {
-    let server = spawn(ServeConfig::ephemeral().with_metrics(metrics)).expect("bind localhost");
+    let config = ServeConfig::ephemeral()
+        .with_metrics(metrics)
+        .with_backend(BackendKind::from_env());
+    let server = spawn(config).expect("bind localhost");
     let mix = LoadMix::etc(POPULATION, VALUE_BYTES, SEED);
     preload(server.addr(), &mix).expect("preload");
     let report = run_closed_loop(&ClosedLoopConfig {
@@ -101,14 +104,18 @@ fn main() {
     let sample_every = if quick { 32 } else { 128 };
 
     // ---- Observed run: open loop against an instrumented server ----
-    let server = spawn(ServeConfig::ephemeral().with_metrics(MetricsConfig {
-        sample_every,
-        slow_threshold: std::time::Duration::from_millis(5),
-        // A 250 ms window so the run closes several windows and the
-        // flight-recorder artifact carries a real snapshot ring.
-        window: std::time::Duration::from_millis(250),
-        ..MetricsConfig::default()
-    }))
+    let server = spawn(
+        ServeConfig::ephemeral()
+            .with_metrics(MetricsConfig {
+                sample_every,
+                slow_threshold: std::time::Duration::from_millis(5),
+                // A 250 ms window so the run closes several windows and the
+                // flight-recorder artifact carries a real snapshot ring.
+                window: std::time::Duration::from_millis(250),
+                ..MetricsConfig::default()
+            })
+            .with_backend(BackendKind::from_env()),
+    )
     .expect("bind localhost");
     let addr = server.addr();
     let mix = LoadMix::etc(POPULATION, VALUE_BYTES, SEED);

@@ -1,0 +1,63 @@
+//! Property test for the multi-level allocation bitmap: after any
+//! interleaving of allocations, frees, and growth, every upper level
+//! exactly summarizes the one below, and `find_free` agrees with a
+//! naive linear scan over a mirror `Vec<bool>`.
+
+use densekv_engine::MultiLevelBitmap;
+
+proptest::proptest! {
+    #[test]
+    fn summaries_survive_any_alloc_free_interleaving(
+        initial in 0u64..300,
+        ops in proptest::collection::vec(
+            (proptest::any::<u8>(), proptest::any::<u16>()),
+            1..200,
+        )
+    ) {
+        let mut bm = MultiLevelBitmap::new(initial);
+        let mut mirror = vec![false; initial as usize];
+        for &(kind, arg) in &ops {
+            match kind % 8 {
+                // Allocate the page find_free proposes (the engine's
+                // only allocation path).
+                0..=3 => {
+                    let expect = mirror.iter().position(|&b| !b).map(|i| i as u64);
+                    proptest::prop_assert_eq!(
+                        bm.find_free(),
+                        expect,
+                        "find_free disagrees with the linear scan"
+                    );
+                    if let Some(page) = expect {
+                        bm.set(page);
+                        mirror[page as usize] = true;
+                    }
+                }
+                // Free a random allocated page.
+                4..=6 => {
+                    let allocated: Vec<usize> = mirror
+                        .iter()
+                        .enumerate()
+                        .filter_map(|(i, &b)| b.then_some(i))
+                        .collect();
+                    if !allocated.is_empty() {
+                        let page = allocated[arg as usize % allocated.len()];
+                        bm.clear(page as u64);
+                        mirror[page] = false;
+                    }
+                }
+                // Grow by a small amount (the tier's doubling is a
+                // special case of this).
+                _ => {
+                    let grown = bm.capacity() + u64::from(arg % 100);
+                    bm.grow(grown);
+                    mirror.resize(grown as usize, false);
+                }
+            }
+            if let Err(e) = bm.check_invariants() {
+                proptest::prop_assert!(false, "invariant violated: {e}");
+            }
+            let used = mirror.iter().filter(|&&b| b).count() as u64;
+            proptest::prop_assert_eq!(bm.used(), used);
+        }
+    }
+}

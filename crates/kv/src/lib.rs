@@ -15,7 +15,10 @@
 //! * [`server`] / [`client`] — the command loop and the client-side
 //!   codec, so full byte-level request/response loops run in-process,
 //! * [`concurrent`] — thread-safe wrappers (global lock vs. striped)
-//!   used by the baseline lock-scaling experiments.
+//!   used by the baseline lock-scaling experiments,
+//! * [`backend`] — the [`StoreBackend`] trait the command loop
+//!   dispatches through, so real engines (`densekv-engine`) serve the
+//!   same protocol as the model store.
 //!
 //! # Examples
 //!
@@ -32,6 +35,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod backend;
 pub mod binary;
 pub mod client;
 pub mod concurrent;
@@ -43,5 +47,6 @@ pub mod slab;
 pub mod store;
 pub mod table;
 
+pub use backend::StoreBackend;
 pub use server::{Clock, FixedClock, WallClock};
 pub use store::{KvStore, StoreConfig, StoreError, StoreStats};

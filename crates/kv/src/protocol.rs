@@ -370,6 +370,11 @@ pub fn render_deleted(out: &mut BytesMut, existed: bool) {
 pub fn render_store_error(out: &mut BytesMut, err: &StoreError) {
     match err {
         StoreError::OutOfMemory => out.put_slice(b"SERVER_ERROR out of memory storing object\r\n"),
+        // Same wording as the parse-time nbytes cap: one item-size
+        // policy, one client-visible error, whichever layer catches it.
+        StoreError::ValueTooLarge { .. } => {
+            out.put_slice(b"SERVER_ERROR object too large for cache\r\n")
+        }
         StoreError::CasMismatch => out.put_slice(b"EXISTS\r\n"),
         StoreError::NotFound => out.put_slice(b"NOT_FOUND\r\n"),
         StoreError::Exists => out.put_slice(b"NOT_STORED\r\n"),

@@ -1,15 +1,20 @@
 //! The server-side command loop: dispatches parsed protocol commands to
-//! a [`KvStore`] and renders responses — the glue between
+//! a storage backend and renders responses — the glue between
 //! [`crate::protocol`] and [`crate::store`] that a byte-stream server
 //! (or the simulator's functional path) runs per connection.
+//!
+//! The loop is generic over [`StoreBackend`], so the same dispatch,
+//! rendering, and error mapping serve both the Memcached-model
+//! [`crate::store::KvStore`] and real engines layered on the trait.
 
 use bytes::BytesMut;
 
+use crate::backend::StoreBackend;
 use crate::protocol::{
     parse_command, render_deleted, render_end, render_error, render_number, render_store_error,
     render_stored, render_value, Command, Parsed, ProtocolError, StoreVerb,
 };
-use crate::store::{KvStore, StoreError};
+use crate::store::StoreError;
 
 /// What the connection should do after a command.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -97,7 +102,7 @@ impl Clock for WallClock {
 /// Executes one parsed command against `store` at the clock's current
 /// time, appending any response to `out`.
 pub fn handle_command(
-    store: &mut KvStore,
+    store: &mut dyn StoreBackend,
     command: Command,
     clock: &dyn Clock,
     out: &mut BytesMut,
@@ -123,14 +128,12 @@ pub fn handle_command(
         } => {
             let ttl = (exptime > 0).then_some(exptime);
             let result = match verb {
-                StoreVerb::Set => store
-                    .set_with_flags(&key, data.to_vec(), flags, ttl, now)
-                    .map(|_| ()),
-                StoreVerb::Add => store.add(&key, data.to_vec(), ttl, now).map(|_| ()),
-                StoreVerb::Replace => store.replace(&key, data.to_vec(), ttl, now).map(|_| ()),
-                StoreVerb::Append => store.concat(&key, &data, false, now).map(|_| ()),
-                StoreVerb::Prepend => store.concat(&key, &data, true, now).map(|_| ()),
-                StoreVerb::Cas => store.cas(&key, data.to_vec(), cas, ttl, now).map(|_| ()),
+                StoreVerb::Set => store.set_with_flags(&key, data.to_vec(), flags, ttl, now),
+                StoreVerb::Add => store.add(&key, data.to_vec(), ttl, now),
+                StoreVerb::Replace => store.replace(&key, data.to_vec(), ttl, now),
+                StoreVerb::Append => store.concat(&key, &data, false, now),
+                StoreVerb::Prepend => store.concat(&key, &data, true, now),
+                StoreVerb::Cas => store.cas(&key, data.to_vec(), cas, ttl, now),
             };
             if !noreply {
                 match result {
@@ -154,7 +157,7 @@ pub fn handle_command(
             }
         }
         Command::Delete { key, noreply } => {
-            let existed = store.delete(&key).is_some();
+            let existed = store.delete(&key);
             if !noreply {
                 render_deleted(out, existed);
             }
@@ -179,6 +182,10 @@ pub fn handle_command(
         }
         Command::Stats { arg } => match arg.as_deref() {
             None => render_stats(&store.stats(), out),
+            // `stats engine` surfaces backend internals (tier occupancy,
+            // bitmap fill, probe histogram); the model store has none
+            // and answers ERROR like any unknown stats argument.
+            Some(b"engine") => render_backend_stats(&store.backend_stat_lines(), out),
             // Extended sub-commands (`stats latency` …) are served by the
             // front-end layers that own the relevant state; a bare store
             // answers like Memcached answers unknown stats args.
@@ -222,6 +229,21 @@ pub fn stat_lines(stats: &crate::store::StoreStats) -> [(&'static str, u64); 12]
     ]
 }
 
+/// Renders the `stats engine` reply from a backend's internal gauges,
+/// or `ERROR` when the backend exposes none (the model store). Shared
+/// by the single-store loop and sharded front-ends, which merge their
+/// per-shard lines by name before rendering.
+pub fn render_backend_stats(lines: &[(String, u64)], out: &mut BytesMut) {
+    if lines.is_empty() {
+        out.extend_from_slice(b"ERROR\r\n");
+        return;
+    }
+    for (name, value) in lines {
+        out.extend_from_slice(format!("STAT {name} {value}\r\n").as_bytes());
+    }
+    render_end(out);
+}
+
 /// Renders the store's counters in the Prometheus text exposition format
 /// (the `metrics` verb of a bare store), terminated by `END\r\n` so text
 /// protocol clients can frame the reply.
@@ -256,7 +278,7 @@ pub fn render_store_metrics(stats: &crate::store::StoreStats, out: &mut BytesMut
 /// let out = serve_buffer(&mut store, b"set k 0 0 2\r\nhi\r\nget k\r\n", 0);
 /// assert_eq!(&out[..], b"STORED\r\nVALUE k 0 2\r\nhi\r\nEND\r\n");
 /// ```
-pub fn serve_buffer(store: &mut KvStore, input: &[u8], now: u64) -> Vec<u8> {
+pub fn serve_buffer(store: &mut dyn StoreBackend, input: &[u8], now: u64) -> Vec<u8> {
     let mut buf = BytesMut::from(input);
     let mut out = BytesMut::new();
     let clock = FixedClock(now);
@@ -306,7 +328,7 @@ pub fn resync_after_error(buf: &mut BytesMut, err: &ProtocolError) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::store::StoreConfig;
+    use crate::store::{KvStore, StoreConfig};
 
     fn store() -> KvStore {
         KvStore::new(StoreConfig::with_capacity(8 << 20))
@@ -397,6 +419,29 @@ mod tests {
         let mut s = store();
         assert_eq!(text(&mut s, b"stats latency\r\n"), "ERROR\r\n");
         assert_eq!(text(&mut s, b"stats nonsense\r\n"), "ERROR\r\n");
+        // The model store exposes no engine internals: `stats engine`
+        // answers ERROR too. A real engine backend overrides this (see
+        // densekv-engine's tests).
+        assert_eq!(text(&mut s, b"stats engine\r\n"), "ERROR\r\n");
+    }
+
+    #[test]
+    fn oversized_item_renders_the_server_error_wording() {
+        // The store-level size cap (header + key + value vs the largest
+        // slab chunk) renders with the same wording as the parse-time
+        // nbytes cap — one policy, one client-visible message. A value
+        // under the protocol's MAX_VALUE_BYTES can still push the item
+        // footprint past the largest chunk.
+        let mut s = store();
+        let nbytes = (1 << 20) - 10; // passes the parser, fails the slab
+        let mut input = format!("set k 0 0 {nbytes}\r\n").into_bytes();
+        input.extend_from_slice(&vec![b'x'; nbytes]);
+        input.extend_from_slice(b"\r\n");
+        let out = serve_buffer(&mut s, &input, 0);
+        assert_eq!(
+            String::from_utf8(out).unwrap(),
+            "SERVER_ERROR object too large for cache\r\n"
+        );
     }
 
     #[test]

@@ -43,6 +43,23 @@ pub enum SlabError {
     OutOfMemory,
 }
 
+impl SlabError {
+    /// Whether evicting an item of the same class and retrying can turn
+    /// this failure into a success — the contract [`SlabAllocator::allocate`]
+    /// documents.
+    ///
+    /// [`SlabError::OutOfMemory`] is retryable: freeing any chunk of the
+    /// requested class makes the next `allocate` succeed. A caller must
+    /// therefore only surface it after its eviction policy ran dry (or
+    /// eviction is disabled). [`SlabError::ObjectTooLarge`] is not: no
+    /// amount of eviction grows the largest chunk class, so retrying
+    /// would evict the whole store and still fail.
+    #[must_use]
+    pub fn retryable_after_eviction(&self) -> bool {
+        matches!(self, SlabError::OutOfMemory)
+    }
+}
+
 impl fmt::Display for SlabError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -163,9 +180,12 @@ impl SlabAllocator {
     ///
     /// # Errors
     ///
-    /// [`SlabError::ObjectTooLarge`] if no class fits;
-    /// [`SlabError::OutOfMemory`] when the arena is exhausted — callers
-    /// (the store) respond by evicting and retrying.
+    /// [`SlabError::ObjectTooLarge`] if no class fits — terminal, never
+    /// retry it; [`SlabError::OutOfMemory`] when the arena is exhausted
+    /// — callers (the store) respond by evicting a same-class victim
+    /// and retrying, and surface the error only once eviction cannot
+    /// free a fitting chunk. [`SlabError::retryable_after_eviction`]
+    /// encodes the distinction.
     pub fn allocate(&mut self, bytes: u64) -> Result<SlabAddr, SlabError> {
         let class_idx = self.class_for(bytes).ok_or(SlabError::ObjectTooLarge {
             requested: bytes,
@@ -296,6 +316,30 @@ mod tests {
         slab.allocate(big).unwrap();
         slab.allocate(big).unwrap();
         assert_eq!(slab.allocate(big), Err(SlabError::OutOfMemory));
+    }
+
+    #[test]
+    fn retry_guidance_distinguishes_the_two_failures() {
+        assert!(SlabError::OutOfMemory.retryable_after_eviction());
+        assert!(!SlabError::ObjectTooLarge {
+            requested: PAGE_BYTES * 2,
+            max: PAGE_BYTES,
+        }
+        .retryable_after_eviction());
+    }
+
+    #[test]
+    fn oom_becomes_allocatable_after_a_same_class_free() {
+        // The retry contract end to end: exhaust the arena, observe the
+        // retryable error, free one fitting chunk, and allocate again.
+        let mut slab = SlabAllocator::new(2 * PAGE_BYTES);
+        let big = PAGE_BYTES / 2;
+        let first = slab.allocate(big).unwrap();
+        slab.allocate(big).unwrap();
+        let err = slab.allocate(big).unwrap_err();
+        assert!(err.retryable_after_eviction());
+        slab.free(first);
+        assert!(slab.allocate(big).is_ok(), "eviction made room");
     }
 
     #[test]

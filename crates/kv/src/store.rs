@@ -20,6 +20,17 @@ pub const ITEM_HEADER_BYTES: u64 = 48;
 /// Maximum key length (Memcached: 250 bytes).
 pub const MAX_KEY_BYTES: usize = 250;
 
+/// The one item-size policy every layer shares: an item's footprint
+/// ([`ITEM_HEADER_BYTES`] + key + value) must fit the slab's largest
+/// chunk — one 1 MB page. The protocol's
+/// [`crate::protocol::MAX_VALUE_BYTES`] caps the `set` nbytes field at
+/// the same 1 MB (a value that passes the parser can still push the
+/// footprint past the chunk and fail here), and `densekv-engine`'s
+/// overflow allocations enforce this same bound above its 4 KB top
+/// tier. Breaching it returns [`StoreError::ValueTooLarge`], rendered
+/// as `SERVER_ERROR object too large for cache` in both backends.
+pub const MAX_ITEM_FOOTPRINT_BYTES: u64 = crate::slab::PAGE_BYTES;
+
 /// Errors returned by store operations.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum StoreError {
@@ -214,6 +225,18 @@ pub struct GetHit {
 }
 
 impl GetHit {
+    /// Builds a hit from its parts — how alternative backends (the
+    /// [`crate::backend::StoreBackend`] implementations outside this
+    /// crate) construct GET results without access to private fields.
+    pub fn new(value: Vec<u8>, flags: u32, cas: u64, trace: AccessTrace) -> Self {
+        GetHit {
+            value,
+            flags,
+            cas,
+            trace,
+        }
+    }
+
     /// The value bytes.
     pub fn value(&self) -> &[u8] {
         &self.value
@@ -859,6 +882,21 @@ mod tests {
     }
 
     #[test]
+    fn item_footprint_boundary_at_the_largest_chunk() {
+        // The shared size policy, at its exact boundary: a footprint of
+        // MAX_ITEM_FOOTPRINT_BYTES stores; one byte more is rejected.
+        let mut s = small();
+        let fit = (MAX_ITEM_FOOTPRINT_BYTES - ITEM_HEADER_BYTES) as usize - 1;
+        s.set(b"k", vec![0u8; fit], None, 0).expect("exactly fits");
+        assert_eq!(
+            s.set(b"k", vec![0u8; fit + 1], None, 0),
+            Err(StoreError::ValueTooLarge {
+                bytes: MAX_ITEM_FOOTPRINT_BYTES + 1
+            })
+        );
+    }
+
+    #[test]
     fn eviction_makes_room_lru_order() {
         // 2 MB arena, ~64 KB values: ~30 fit; insert 40 and confirm the
         // earliest (least recently used) were evicted.
@@ -890,6 +928,41 @@ mod tests {
             }
         }
         assert_eq!(result, Err(StoreError::OutOfMemory));
+    }
+
+    #[test]
+    fn oom_never_surfaces_while_same_class_victims_remain() {
+        // The slab's retry contract, enforced at the store: with
+        // eviction enabled, OutOfMemory must stay internal as long as
+        // the needed class holds victims to evict — sets keep
+        // succeeding indefinitely past the arena capacity.
+        let mut s = small();
+        let value = vec![1u8; 64 << 10];
+        for i in 0..200 {
+            s.set(format!("k{i}").as_bytes(), value.clone(), None, 0)
+                .expect("eviction absorbs the pressure");
+        }
+        assert!(s.stats().evictions > 0, "capacity was really exceeded");
+    }
+
+    #[test]
+    fn oom_surfaces_once_eviction_cannot_free_a_fitting_chunk() {
+        // Eviction is enabled, but every resident item lives in a large
+        // class: the small-class eviction policy is empty, so the store
+        // must report OutOfMemory only after pop_victim finds nothing —
+        // not silently evict unrelated classes.
+        let mut s = small();
+        let big = vec![2u8; 512 << 10];
+        for i in 0..2 {
+            s.set(format!("big{i}").as_bytes(), big.clone(), None, 0)
+                .unwrap();
+        }
+        // The arena's pages are all class-assigned to the big class;
+        // a small item needs a fresh page and has no victims.
+        let err = s.set(b"tiny", b"x".to_vec(), None, 0).unwrap_err();
+        assert_eq!(err, StoreError::OutOfMemory);
+        assert_eq!(s.stats().evictions, 0, "no cross-class eviction churn");
+        assert!(s.get(b"big0", 0).is_some(), "resident items survive");
     }
 
     #[test]

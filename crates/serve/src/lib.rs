@@ -73,4 +73,4 @@ pub use metrics::{
     Trigger, Verb, WindowSnapshot,
 };
 pub use server::{spawn, ServeConfig, ServeStats, ServerHandle};
-pub use shard::{ShardTiming, ShardedStore};
+pub use shard::{BackendKind, ShardTiming, ShardedStore};

@@ -1225,6 +1225,7 @@ pub fn render_prometheus(
     serve: &ServeStats,
     active: usize,
     store: &densekv_kv::store::StoreStats,
+    engine: &[(String, u64)],
 ) -> String {
     metrics.sync_gauges(serve, active);
     let mut out = String::new();
@@ -1253,6 +1254,13 @@ pub fn render_prometheus(
         };
         out.push_str(&format!(
             "# TYPE densekv_store_{name} {kind}\ndensekv_store_{name} {v}\n"
+        ));
+    }
+    // Backend-internal gauges (tier occupancy, bitmap fill, probe
+    // lengths) when the engine is serving; empty under the model store.
+    for (name, v) in engine {
+        out.push_str(&format!(
+            "# TYPE densekv_{name} gauge\ndensekv_{name} {v}\n"
         ));
     }
     out.push_str(&metrics.to_prometheus());
@@ -1614,8 +1622,9 @@ mod tests {
             items: 7,
             ..Default::default()
         };
-        let text = render_prometheus(&m, &serve, 2, &store);
+        let text = render_prometheus(&m, &serve, 2, &store, &[("engine_items".to_string(), 7)]);
         assert!(text.contains("densekv_serve_accepted 4\n"), "{text}");
+        assert!(text.contains("densekv_engine_items 7\n"), "{text}");
         assert!(
             text.contains("# TYPE densekv_store_curr_items gauge"),
             "{text}"

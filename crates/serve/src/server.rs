@@ -32,7 +32,7 @@ use densekv_kv::server::{resync_after_error, Disposition, WallClock};
 use densekv_kv::store::StoreConfig;
 
 use crate::metrics::{render_prometheus, MetricsConfig, RequestPhases, ServeMetrics, Verb};
-use crate::shard::{ShardTiming, ShardedStore};
+use crate::shard::{BackendKind, ShardTiming, ShardedStore};
 
 /// Read size per syscall in the connection loop.
 const READ_CHUNK: usize = 16 << 10;
@@ -56,6 +56,9 @@ pub struct ServeConfig {
     /// The observability plane: per-verb latency histograms, span
     /// sampling, slow log. Disabled keeps the data path byte-identical.
     pub metrics: MetricsConfig,
+    /// The store implementation behind every shard lock: the model
+    /// store (default) or the tiered fixed-page engine.
+    pub backend: BackendKind,
 }
 
 impl Default for ServeConfig {
@@ -67,6 +70,7 @@ impl Default for ServeConfig {
             max_connections: 64,
             read_timeout: Duration::from_secs(2),
             metrics: MetricsConfig::default(),
+            backend: BackendKind::default(),
         }
     }
 }
@@ -115,11 +119,18 @@ impl ServeConfig {
         self
     }
 
+    /// Sets the store implementation behind the shard locks.
+    #[must_use]
+    pub fn with_backend(mut self, backend: BackendKind) -> Self {
+        self.backend = backend;
+        self
+    }
+
     /// Applies any `DENSEKV_SERVE_*` environment variables on top of
     /// this config: `MAX_CONNECTIONS`, `READ_TIMEOUT_MS`, `SHARDS`,
     /// `METRICS` (`0`/`1`), `SAMPLE_EVERY`, `SLOW_US`, `WINDOW_MS`,
-    /// `SLO_US`, and `SLO_TARGET`. Unset or unparseable values leave
-    /// the current setting untouched.
+    /// `SLO_US`, `SLO_TARGET`, and `BACKEND` (`model`/`engine`). Unset
+    /// or unparseable values leave the current setting untouched.
     ///
     /// Pathological values are clamped to safe minimums rather than
     /// taken literally: a cap of 0 connections, 0 lock stripes, a 0 ms
@@ -159,6 +170,12 @@ impl ServeConfig {
             if v.is_finite() {
                 self.metrics.slo.target = v.clamp(0.0, 0.9999);
             }
+        }
+        if let Some(v) = std::env::var("DENSEKV_SERVE_BACKEND")
+            .ok()
+            .and_then(|v| BackendKind::parse(v.trim()))
+        {
+            self.backend = v;
         }
         self
     }
@@ -247,9 +264,10 @@ pub struct ServerHandle {
 pub fn spawn(config: ServeConfig) -> std::io::Result<ServerHandle> {
     let listener = TcpListener::bind(config.addr)?;
     let addr = listener.local_addr()?;
-    let store = ShardedStore::new(
+    let store = ShardedStore::new_with_backend(
         StoreConfig::with_capacity(config.store_bytes),
         config.shards,
+        config.backend,
     );
     let metrics = ServeMetrics::new(&config.metrics, config.shards);
     metrics.set_connection_capacity(config.max_connections);
@@ -457,6 +475,10 @@ fn execute(shared: &Shared, command: Command, out: &mut BytesMut) -> (Dispositio
                     shared.metrics.reset();
                     out.extend_from_slice(b"RESET\r\n");
                 }
+                b"engine" => densekv_kv::server::render_backend_stats(
+                    &shared.store.backend_stat_lines(),
+                    out,
+                ),
                 _ => out.extend_from_slice(b"ERROR\r\n"),
             }
             (Disposition::KeepAlive, ShardTiming::default())
@@ -467,6 +489,7 @@ fn execute(shared: &Shared, command: Command, out: &mut BytesMut) -> (Dispositio
                 &stats_of(&shared.counters),
                 shared.active.load(Ordering::Relaxed),
                 &shared.store.stats(),
+                &shared.store.backend_stat_lines(),
             );
             out.extend_from_slice(text.as_bytes());
             out.extend_from_slice(b"END\r\n");
@@ -1045,5 +1068,84 @@ mod tests {
         let start = std::time::Instant::now();
         server.shutdown(); // must not wait out the 30 s read timeout
         assert!(start.elapsed() < Duration::from_secs(5));
+    }
+
+    #[test]
+    fn engine_backend_serves_over_tcp() {
+        let config = quick_config().with_backend(BackendKind::Engine);
+        let server = spawn(config).unwrap();
+        let mut conn = Connection::connect(server.addr()).unwrap();
+        assert!(conn.set(b"k", b"hello").unwrap());
+        assert_eq!(conn.get(b"k").unwrap().unwrap().data, b"hello");
+        assert!(conn.delete(b"k").unwrap());
+        assert!(conn.set(b"k2", &[7u8; 300]).unwrap());
+        // The engine's internals are visible in-band.
+        let block = conn.text_block(b"stats engine\r\n").unwrap().join("\n");
+        assert!(block.contains("STAT engine_items 1"), "{block}");
+        assert!(
+            block.contains("STAT engine_tier_512_used_pages 1"),
+            "{block}"
+        );
+        // ... and as Prometheus gauges on the metrics verb.
+        let body = conn.text_block(b"metrics\r\n").unwrap().join("\n");
+        assert!(body.contains("densekv_engine_items 1"), "{body}");
+        server.shutdown();
+
+        // The model backend has no engine internals to report.
+        let server = spawn(quick_config()).unwrap();
+        let mut conn = Connection::connect(server.addr()).unwrap();
+        let reply = conn.raw_roundtrip(b"stats engine\r\n").unwrap();
+        assert_eq!(reply, "ERROR");
+        server.shutdown();
+    }
+
+    #[test]
+    fn env_selects_the_backend() {
+        let _guard = ENV_LOCK.lock().unwrap();
+        std::env::set_var("DENSEKV_SERVE_BACKEND", "engine");
+        assert_eq!(ServeConfig::from_env().backend, BackendKind::Engine);
+        std::env::set_var("DENSEKV_SERVE_BACKEND", "model");
+        assert_eq!(ServeConfig::from_env().backend, BackendKind::Model);
+        // Unknown names leave the setting untouched.
+        std::env::set_var("DENSEKV_SERVE_BACKEND", "frobnicated");
+        let base = ServeConfig::ephemeral().with_backend(BackendKind::Engine);
+        assert_eq!(base.env_overrides().backend, BackendKind::Engine);
+        std::env::remove_var("DENSEKV_SERVE_BACKEND");
+    }
+
+    #[test]
+    fn engine_eviction_pressure_over_tcp_stays_in_protocol() {
+        // Fill the engine well past its budget through the real server:
+        // every store must answer STORED (evicting, never erroring) and
+        // the evictions must be visible in-band via `stats engine`.
+        let config = ServeConfig {
+            store_bytes: 1 << 20,
+            shards: 2,
+            ..quick_config()
+        }
+        .with_backend(BackendKind::Engine);
+        let server = spawn(config).unwrap();
+        let mut conn = Connection::connect(server.addr()).unwrap();
+        let value = vec![b'v'; 1024];
+        for i in 0..1500u32 {
+            let key = format!("pressure-key-{i}");
+            assert!(
+                conn.set(key.as_bytes(), &value).unwrap(),
+                "set {i} must land (by evicting, not failing)"
+            );
+        }
+        // The freshest key is resident; the engine recycled pages.
+        assert!(conn.get(b"pressure-key-1499").unwrap().is_some());
+        let block = conn.text_block(b"stats engine\r\n").unwrap().join("\n");
+        let evictions: u64 = block
+            .lines()
+            .find_map(|l| l.strip_prefix("STAT engine_evictions "))
+            .expect("engine_evictions gauge present")
+            .parse()
+            .unwrap();
+        assert!(evictions > 0, "{block}");
+        let stats = conn.text_block(b"stats\r\n").unwrap().join("\n");
+        assert!(stats.contains("STAT evictions "), "{stats}");
+        server.shutdown();
     }
 }

@@ -13,12 +13,70 @@
 use bytes::BytesMut;
 use parking_lot::Mutex;
 
+use densekv_engine::Engine;
 use densekv_kv::hash::jenkins_oaat;
 use densekv_kv::protocol::{render_end, render_value, Command};
-use densekv_kv::server::{handle_command, render_stats, render_store_metrics, Clock, Disposition};
+use densekv_kv::server::{
+    handle_command, render_backend_stats, render_stats, render_store_metrics, Clock, Disposition,
+};
 use densekv_kv::store::{KvStore, StoreConfig, StoreStats};
+use densekv_kv::StoreBackend;
 
 use crate::metrics::ServeMetrics;
+
+/// Which store implementation sits behind every shard lock.
+///
+/// The model [`KvStore`] is the simulator-faithful reference; the
+/// [`Engine`] is the bricksKV-style tiered fixed-page engine whose
+/// protocol behaviour the differential tests pin to the model.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum BackendKind {
+    /// The model store (`densekv_kv::store::KvStore`), the default.
+    #[default]
+    Model,
+    /// The real tiered-page engine (`densekv_engine::Engine`).
+    Engine,
+}
+
+impl BackendKind {
+    /// Parses a backend name (`model` or `engine`).
+    #[must_use]
+    pub fn parse(name: &str) -> Option<Self> {
+        match name {
+            "model" => Some(BackendKind::Model),
+            "engine" => Some(BackendKind::Engine),
+            _ => None,
+        }
+    }
+
+    /// The backend selected by `DENSEKV_SERVE_BACKEND`, defaulting to
+    /// the model store when unset or unrecognised.
+    #[must_use]
+    pub fn from_env() -> Self {
+        std::env::var("DENSEKV_SERVE_BACKEND")
+            .ok()
+            .and_then(|v| BackendKind::parse(&v))
+            .unwrap_or_default()
+    }
+
+    /// The backend's canonical name.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            BackendKind::Model => "model",
+            BackendKind::Engine => "engine",
+        }
+    }
+
+    /// Builds one store of this kind over `config`.
+    #[must_use]
+    pub fn build(self, config: StoreConfig) -> Box<dyn StoreBackend + Send> {
+        match self {
+            BackendKind::Model => Box::new(KvStore::new(config)),
+            BackendKind::Engine => Box::new(Engine::new(config)),
+        }
+    }
+}
 
 /// Wall time one dispatched command spent on shard locks: how long the
 /// worker waited to acquire them and how long it held them. Multi-key
@@ -51,20 +109,41 @@ pub struct ShardTiming {
 /// store.dispatch(cmd, &FixedClock(0), &mut out);
 /// assert_eq!(&out[..], b"STORED\r\n");
 /// ```
-#[derive(Debug)]
 pub struct ShardedStore {
-    shards: Vec<Mutex<KvStore>>,
+    shards: Vec<Mutex<Box<dyn StoreBackend + Send>>>,
+    backend: BackendKind,
+}
+
+impl std::fmt::Debug for ShardedStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedStore")
+            .field("shards", &self.shards.len())
+            .field("backend", &self.backend)
+            .finish()
+    }
 }
 
 impl ShardedStore {
-    /// Creates `shards` independent stores splitting `config.memory_bytes`
-    /// evenly. `shards == 1` is the global-lock (Memcached 1.4) design.
+    /// Creates `shards` independent model stores splitting
+    /// `config.memory_bytes` evenly. `shards == 1` is the global-lock
+    /// (Memcached 1.4) design.
     ///
     /// # Panics
     ///
     /// Panics if `shards` is zero.
     #[must_use]
     pub fn new(config: StoreConfig, shards: usize) -> Self {
+        ShardedStore::new_with_backend(config, shards, BackendKind::Model)
+    }
+
+    /// Like [`ShardedStore::new`], but choosing the store implementation
+    /// behind every shard lock.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero.
+    #[must_use]
+    pub fn new_with_backend(config: StoreConfig, shards: usize, backend: BackendKind) -> Self {
         assert!(shards > 0, "need at least one shard");
         let per_shard = StoreConfig {
             memory_bytes: config.memory_bytes / shards as u64,
@@ -72,8 +151,9 @@ impl ShardedStore {
         };
         ShardedStore {
             shards: (0..shards)
-                .map(|_| Mutex::new(KvStore::new(per_shard.clone())))
+                .map(|_| Mutex::new(backend.build(per_shard.clone())))
                 .collect(),
+            backend,
         }
     }
 
@@ -81,6 +161,12 @@ impl ShardedStore {
     #[must_use]
     pub fn shard_count(&self) -> usize {
         self.shards.len()
+    }
+
+    /// The store implementation behind the shard locks.
+    #[must_use]
+    pub fn backend(&self) -> BackendKind {
+        self.backend
     }
 
     /// The shard owning `key`: upper hash bits, like
@@ -109,7 +195,9 @@ impl ShardedStore {
                 render_end(out);
                 Disposition::KeepAlive
             }
-            // Plain `stats` renders the fold; sub-commands belong to the
+            // Plain `stats` renders the fold; `stats engine` renders the
+            // backend's internal gauges (ERROR under the model store,
+            // which exposes none). Other sub-commands belong to the
             // serving layer's observability plane — at this layer (no
             // plane attached) they answer ERROR like memcached does for
             // unknown stats args.
@@ -117,8 +205,12 @@ impl ShardedStore {
                 render_stats(&self.stats(), out);
                 Disposition::KeepAlive
             }
-            Command::Stats { arg: Some(_) } => {
-                out.extend_from_slice(b"ERROR\r\n");
+            Command::Stats { arg: Some(arg) } => {
+                if arg.as_ref() == b"engine" {
+                    render_backend_stats(&self.backend_stat_lines(), out);
+                } else {
+                    out.extend_from_slice(b"ERROR\r\n");
+                }
                 Disposition::KeepAlive
             }
             Command::Metrics => {
@@ -137,11 +229,11 @@ impl ShardedStore {
             | Command::Delete { ref key, .. }
             | Command::Touch { ref key, .. } => {
                 let shard = self.shard_of(key);
-                handle_command(&mut self.shards[shard].lock(), command, clock, out)
+                handle_command(&mut **self.shards[shard].lock(), command, clock, out)
             }
             // Version/Quit touch no data; any shard's loop renders them.
             Command::Version | Command::Quit => {
-                handle_command(&mut self.shards[0].lock(), command, clock, out)
+                handle_command(&mut **self.shards[0].lock(), command, clock, out)
             }
         }
     }
@@ -211,7 +303,7 @@ impl ShardedStore {
         idx: usize,
         metrics: &ServeMetrics,
         timing: &mut ShardTiming,
-        f: impl FnOnce(&mut KvStore) -> R,
+        f: impl FnOnce(&mut dyn StoreBackend) -> R,
     ) -> R {
         let t0 = std::time::Instant::now();
         let (mut guard, contended) = match self.shards[idx].try_lock() {
@@ -220,7 +312,7 @@ impl ShardedStore {
         };
         let wait = t0.elapsed();
         let t1 = std::time::Instant::now();
-        let result = f(&mut guard);
+        let result = f(&mut **guard);
         drop(guard);
         let hold = t1.elapsed();
         metrics.record_shard(idx, wait, hold, contended);
@@ -255,6 +347,24 @@ impl ShardedStore {
     #[must_use]
     pub fn shard_stats(&self) -> Vec<StoreStats> {
         self.shards.iter().map(|s| s.lock().stats()).collect()
+    }
+
+    /// Backend-internal gauges merged across shards by summing lines
+    /// with matching names (every shard runs the same backend, so the
+    /// line sets agree). Empty under the model store, which exposes no
+    /// internals — [`render_backend_stats`] turns that into `ERROR`.
+    #[must_use]
+    pub fn backend_stat_lines(&self) -> Vec<(String, u64)> {
+        let mut merged: Vec<(String, u64)> = Vec::new();
+        for shard in &self.shards {
+            for (name, value) in shard.lock().backend_stat_lines() {
+                match merged.iter_mut().find(|(n, _)| *n == name) {
+                    Some((_, total)) => *total += value,
+                    None => merged.push((name, value)),
+                }
+            }
+        }
+        merged
     }
 
     /// Total live items across shards.
@@ -394,6 +504,110 @@ mod tests {
         // every locked shard visit is counted exactly once.
         assert_eq!(acquisitions, 9, "acquisitions = {acquisitions}");
         assert!(total.hold > std::time::Duration::ZERO);
+    }
+
+    #[test]
+    fn engine_backend_speaks_the_same_protocol() {
+        let store = ShardedStore::new_with_backend(
+            StoreConfig::with_capacity(16 << 20),
+            4,
+            BackendKind::Engine,
+        );
+        assert_eq!(store.backend(), BackendKind::Engine);
+        let out = run(
+            &store,
+            b"set k 0 0 3\r\nfoo\r\nadd k 0 0 3\r\nbar\r\nget k\r\nset n 0 0 1\r\n5\r\nincr n 10\r\ndelete k\r\n",
+            0,
+        );
+        assert_eq!(
+            out,
+            "STORED\r\nNOT_STORED\r\nVALUE k 0 3\r\nfoo\r\nEND\r\n\
+             STORED\r\n15\r\nDELETED\r\n"
+        );
+        let stats = run(&store, b"stats\r\n", 0);
+        assert!(stats.contains("STAT cmd_set 3"), "{stats}");
+        assert!(stats.contains("STAT curr_items 1"), "{stats}");
+    }
+
+    #[test]
+    fn stats_engine_renders_gauges_or_errors_by_backend() {
+        let engine = ShardedStore::new_with_backend(
+            StoreConfig::with_capacity(16 << 20),
+            2,
+            BackendKind::Engine,
+        );
+        run(
+            &engine,
+            format!("set k 0 0 100\r\n{}\r\n", "x".repeat(100)).as_bytes(),
+            0,
+        );
+        let out = run(&engine, b"stats engine\r\n", 0);
+        assert!(out.contains("STAT engine_items 1"), "{out}");
+        assert!(out.contains("STAT engine_tier_128_used_pages 1"), "{out}");
+        assert!(out.ends_with("END\r\n"), "{out}");
+        // Two shards merge by summing: bucket counts add up.
+        let buckets: u64 = out
+            .lines()
+            .find_map(|l| l.strip_prefix("STAT engine_bucket_count "))
+            .unwrap()
+            .parse()
+            .unwrap();
+        assert!(buckets >= 16, "two shards of >=8 buckets, got {buckets}");
+
+        // The model store exposes no engine internals.
+        let model = ShardedStore::new(StoreConfig::with_capacity(16 << 20), 2);
+        assert_eq!(run(&model, b"stats engine\r\n", 0), "ERROR\r\n");
+    }
+
+    #[test]
+    fn sustained_shard_contention_trips_the_flight_recorder() {
+        use crate::metrics::{MetricsConfig, ServeMetrics};
+        use std::sync::Arc;
+
+        let store = Arc::new(ShardedStore::new_with_backend(
+            StoreConfig::with_capacity(8 << 20),
+            1,
+            BackendKind::Engine,
+        ));
+        let metrics = Arc::new(ServeMetrics::new(&MetricsConfig::default(), 1));
+        // On a one-CPU box organic interleaving almost never collides,
+        // so the test manufactures the contention the trigger is built
+        // to catch: the main thread holds the single shard's lock while
+        // handing the worker each command, so the worker's `try_lock`
+        // reliably loses and the acquisition counts as contended.
+        let (go_tx, go_rx) = std::sync::mpsc::channel::<u32>();
+        let (done_tx, done_rx) = std::sync::mpsc::channel::<()>();
+        let worker = {
+            let store = Arc::clone(&store);
+            let metrics = Arc::clone(&metrics);
+            std::thread::spawn(move || {
+                let mut out = BytesMut::new();
+                while let Ok(i) = go_rx.recv() {
+                    let script = format!("set key{i} 0 0 1\r\nx\r\n");
+                    let mut buf = BytesMut::from(script.as_bytes());
+                    let Ok(Parsed::Complete(cmd)) = parse_command(&mut buf) else {
+                        panic!("complete command");
+                    };
+                    store.dispatch_timed(cmd, &FixedClock(0), &mut out, &metrics);
+                    done_tx.send(()).unwrap();
+                }
+            })
+        };
+        for i in 0..24u32 {
+            let guard = store.shards[0].lock();
+            go_tx.send(i).unwrap();
+            // Give the worker time to attempt (and lose) its try_lock.
+            std::thread::sleep(std::time::Duration::from_millis(1));
+            drop(guard);
+            done_rx.recv().unwrap();
+        }
+        drop(go_tx);
+        worker.join().unwrap();
+        metrics.rotate_now();
+        let trigger = metrics
+            .last_trigger()
+            .expect("window closed with a trigger");
+        assert_eq!(trigger.reason, "shard-contention");
     }
 
     #[test]

@@ -208,9 +208,13 @@ impl Engine {
         false
     }
 
-    /// Places `slot`, doubling the bucket table until it fits.
+    /// Places `slot`, doubling the bucket table if the probe window is
+    /// full. `do_set` stores the item in `items` before calling this,
+    /// so [`Self::double_table`]'s rehash already places the slot —
+    /// retrying `try_place` afterwards would enter a second, duplicate
+    /// bucket entry that outlives the item's deletion.
     fn table_insert(&mut self, hash: u64, slot: u32) {
-        while !self.try_place(hash, slot) {
+        if !self.try_place(hash, slot) {
             self.double_table();
         }
     }
@@ -713,6 +717,37 @@ mod tests {
             e.backend_stat_lines().into_iter().collect();
         assert!(lines["engine_probe_len_1"] > 0);
         assert_eq!(lines["engine_bucket_doublings"], e.doublings());
+    }
+
+    #[test]
+    fn doubling_mid_insert_leaves_no_duplicate_bucket_entries() {
+        // Regression: the insert that triggers a doubling used to be
+        // placed twice — once by the rehash (the slot is already in
+        // `items`) and once by the retried `try_place`. The stale
+        // duplicate outlived the item's deletion and made any lookup
+        // probing through it panic on a vacated slot.
+        let mut config = StoreConfig::with_capacity(16 << 20);
+        config.initial_buckets = 8;
+        let mut e = Engine::new(config);
+        for i in 0..200u32 {
+            let key = format!("key{i}");
+            e.set_with_flags(key.as_bytes(), b"v".to_vec(), 0, None, 0)
+                .unwrap();
+        }
+        assert!(e.doublings() > 0, "200 keys cannot fit 8 buckets");
+        for i in 0..200u32 {
+            let key = format!("key{i}");
+            assert!(e.delete(key.as_bytes()), "every key is live");
+        }
+        for i in 0..200u32 {
+            let key = format!("key{i}");
+            assert!(e.get(key.as_bytes(), 0).is_none(), "fully deleted");
+        }
+        assert_eq!(e.len(), 0);
+        // Every bucket entry must point at a live item slot: exactly
+        // zero after deleting everything.
+        let live = e.buckets.iter().filter(|&&b| b != EMPTY && b != TOMB);
+        assert_eq!(live.count(), 0, "no stale bucket entries survive");
     }
 
     #[test]

@@ -353,47 +353,81 @@ fn command(kind: u8, k: u8, size: u8, fill: u8, ttl: u8, num: u8) -> Vec<u8> {
     }
 }
 
+/// One random op as drawn by the proptest strategies below.
+type Op = ((u8, u8, u8), (u8, u8, u8), u64);
+
+/// Drives `ops` through all three backends, comparing the raw reply
+/// bytes op by op. `initial_buckets` sizes the engine's (and model's)
+/// starting bucket table, so a tiny value forces the doubling path.
+fn assert_backends_agree(ops: &[Op], initial_buckets: u64) {
+    let config = StoreConfig {
+        initial_buckets,
+        ..StoreConfig::with_capacity(BUDGET)
+    };
+    let mut engine = Engine::new(config.clone());
+    let mut model = KvStore::new(config);
+    let mut reference = RefStore::new();
+    let mut now = 0u64;
+    for (i, &((kind, k, size), (fill, ttl, num), dt)) in ops.iter().enumerate() {
+        now += dt; // the clock only moves forward
+        let input = command(kind, k, size, fill, ttl, num);
+        let from_engine = serve_buffer(&mut engine, &input, now);
+        let from_model = serve_buffer(&mut model, &input, now);
+        let from_reference = serve_buffer(&mut reference, &input, now);
+        proptest::prop_assert_eq!(
+            String::from_utf8_lossy(&from_engine),
+            String::from_utf8_lossy(&from_model),
+            "engine vs model diverged at op {} of {:?}",
+            i,
+            String::from_utf8_lossy(&input).lines().next().unwrap_or("")
+        );
+        proptest::prop_assert_eq!(
+            String::from_utf8_lossy(&from_model),
+            String::from_utf8_lossy(&from_reference),
+            "model vs reference diverged at op {} of {:?}",
+            i,
+            String::from_utf8_lossy(&input).lines().next().unwrap_or("")
+        );
+    }
+    // Final state agrees too, not just the observable stream.
+    proptest::prop_assert_eq!(engine.len(), model.len());
+    proptest::prop_assert_eq!(engine.stats(), reference.stats());
+}
+
+/// The op-sequence strategy shared by both differential properties.
+fn ops_strategy() -> impl proptest::Strategy<Value = Vec<Op>> {
+    proptest::collection::vec(
+        (
+            (
+                proptest::any::<u8>(),
+                proptest::any::<u8>(),
+                proptest::any::<u8>(),
+            ),
+            (
+                proptest::any::<u8>(),
+                proptest::any::<u8>(),
+                proptest::any::<u8>(),
+            ),
+            0u64..3,
+        ),
+        1..120,
+    )
+}
+
 proptest::proptest! {
     /// Random command sequences produce byte-identical protocol output
     /// on all three backends, including the `stats` counter block.
     #[test]
-    fn backends_agree_on_protocol_output(
-        ops in proptest::collection::vec(
-            (
-                (proptest::any::<u8>(), proptest::any::<u8>(), proptest::any::<u8>()),
-                (proptest::any::<u8>(), proptest::any::<u8>(), proptest::any::<u8>()),
-                0u64..3,
-            ),
-            1..120,
-        )
-    ) {
-        let mut engine = Engine::new(StoreConfig::with_capacity(BUDGET));
-        let mut model = KvStore::new(StoreConfig::with_capacity(BUDGET));
-        let mut reference = RefStore::new();
-        let mut now = 0u64;
-        for (i, &((kind, k, size), (fill, ttl, num), dt)) in ops.iter().enumerate() {
-            now += dt; // the clock only moves forward
-            let input = command(kind, k, size, fill, ttl, num);
-            let from_engine = serve_buffer(&mut engine, &input, now);
-            let from_model = serve_buffer(&mut model, &input, now);
-            let from_reference = serve_buffer(&mut reference, &input, now);
-            proptest::prop_assert_eq!(
-                String::from_utf8_lossy(&from_engine),
-                String::from_utf8_lossy(&from_model),
-                "engine vs model diverged at op {} of {:?}",
-                i,
-                String::from_utf8_lossy(&input).lines().next().unwrap_or("")
-            );
-            proptest::prop_assert_eq!(
-                String::from_utf8_lossy(&from_model),
-                String::from_utf8_lossy(&from_reference),
-                "model vs reference diverged at op {} of {:?}",
-                i,
-                String::from_utf8_lossy(&input).lines().next().unwrap_or("")
-            );
-        }
-        // Final state agrees too, not just the observable stream.
-        proptest::prop_assert_eq!(engine.len(), model.len());
-        proptest::prop_assert_eq!(engine.stats(), reference.stats());
+    fn backends_agree_on_protocol_output(ops in ops_strategy()) {
+        assert_backends_agree(&ops, StoreConfig::default().initial_buckets);
+    }
+
+    /// The same property starting from an 8-bucket table, so random
+    /// sequences cross the bucket-doubling threshold — the insert that
+    /// triggers a doubling, followed by deletes and re-lookups, is
+    /// exactly where a duplicate bucket entry would diverge (or panic).
+    #[test]
+    fn backends_agree_across_bucket_doubling(ops in ops_strategy()) {
+        assert_backends_agree(&ops, 8);
     }
 }

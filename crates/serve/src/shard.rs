@@ -351,7 +351,9 @@ impl ShardedStore {
 
     /// Backend-internal gauges merged across shards by summing lines
     /// with matching names (every shard runs the same backend, so the
-    /// line sets agree). Empty under the model store, which exposes no
+    /// line sets agree). Ratio lines don't sum — `*_fill_pct` is
+    /// recomputed from the merged `*_used_pages` / `*_total_pages`
+    /// totals. Empty under the model store, which exposes no
     /// internals — [`render_backend_stats`] turns that into `ERROR`.
     #[must_use]
     pub fn backend_stat_lines(&self) -> Vec<(String, u64)> {
@@ -362,6 +364,19 @@ impl ShardedStore {
                     Some((_, total)) => *total += value,
                     None => merged.push((name, value)),
                 }
+            }
+        }
+        let find = |merged: &[(String, u64)], name: &str| {
+            merged.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
+        };
+        for i in 0..merged.len() {
+            let Some(prefix) = merged[i].0.strip_suffix("_fill_pct") else {
+                continue;
+            };
+            let used = find(&merged, &format!("{prefix}_used_pages"));
+            let total = find(&merged, &format!("{prefix}_total_pages"));
+            if let (Some(used), Some(total)) = (used, total) {
+                merged[i].1 = (used * 100).checked_div(total).unwrap_or(0);
             }
         }
         merged
@@ -527,6 +542,36 @@ mod tests {
         let stats = run(&store, b"stats\r\n", 0);
         assert!(stats.contains("STAT cmd_set 3"), "{stats}");
         assert!(stats.contains("STAT curr_items 1"), "{stats}");
+    }
+
+    #[test]
+    fn merged_fill_pct_is_a_ratio_not_a_sum() {
+        let store = ShardedStore::new_with_backend(
+            StoreConfig::with_capacity(16 << 20),
+            2,
+            BackendKind::Engine,
+        );
+        // Enough 128 B-tier values that both shards sit well above 50%
+        // tier fill (the arena doubles, so used >= total / 2): summing
+        // the per-shard percentages would exceed 100.
+        for i in 0..64u32 {
+            run(
+                &store,
+                format!("set key{i} 0 0 100\r\n{}\r\n", "x".repeat(100)).as_bytes(),
+                0,
+            );
+        }
+        let lines: std::collections::HashMap<String, u64> =
+            store.backend_stat_lines().into_iter().collect();
+        let used = lines["engine_tier_128_used_pages"];
+        let total = lines["engine_tier_128_total_pages"];
+        assert_eq!(used, 64, "every value takes one 128 B page");
+        assert_eq!(
+            lines["engine_tier_128_fill_pct"],
+            used * 100 / total,
+            "fill_pct is recomputed from the merged used/total pages"
+        );
+        assert!(lines["engine_tier_128_fill_pct"] <= 100);
     }
 
     #[test]

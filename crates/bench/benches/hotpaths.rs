@@ -8,10 +8,11 @@ use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use std::hint::black_box;
 
 use densekv::sim::{CoreSim, CoreSimConfig};
+use densekv::slots::RequestSlots;
 use densekv::sweep::{measure_point, SweepEffort};
 use densekv_cpu::cache::{Cache, CacheConfig};
 use densekv_sim::dist::Zipf;
-use densekv_sim::SplitMix64;
+use densekv_sim::{Scheduler, SplitMix64};
 use densekv_workload::{key_bytes, Op, Request};
 
 fn bench_zipf_sampling(c: &mut Criterion) {
@@ -60,6 +61,52 @@ fn bench_request(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_scheduler(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hotpaths/scheduler");
+    group.throughput(Throughput::Elements(1));
+    // Steady-state unit: pop the earliest event off the timer wheel and
+    // reschedule it a random distance ahead, holding a 4096-event
+    // backlog so pops cascade wheel levels.
+    group.bench_function("push_pop", |b| {
+        let mut sched: Scheduler<u32> = Scheduler::new();
+        let mut rng = SplitMix64::new(11);
+        for id in 0..4096u32 {
+            sched.schedule_in(
+                densekv_sim::Duration::from_nanos(1 + rng.next_below(1 << 20)),
+                id,
+            );
+        }
+        b.iter(|| {
+            let (_, id) = sched.pop().expect("standing backlog");
+            sched.schedule_in(
+                densekv_sim::Duration::from_nanos(1 + rng.next_below(1 << 20)),
+                id,
+            );
+        })
+    });
+    group.finish();
+}
+
+fn bench_slab_churn(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hotpaths/slots");
+    group.throughput(Throughput::Elements(1));
+    // Acquire renders the key into the arena slab, release recycles it
+    // through the free list — per-request state cost, no simulator.
+    group.bench_function("request_slab_churn", |b| {
+        let mut slots = RequestSlots::with_capacity(4);
+        let mut key_id = 0u64;
+        b.iter(|| {
+            key_id = key_id.wrapping_add(1);
+            let a = slots.acquire(Op::Get, 64, key_id);
+            let b2 = slots.acquire(Op::Put, 64, !key_id);
+            black_box(slots.key(b2));
+            slots.release(b2);
+            slots.release(a);
+        })
+    });
+    group.finish();
+}
+
 fn bench_sweep_point(c: &mut Criterion) {
     let mut group = c.benchmark_group("hotpaths/sweep");
     group.sample_size(10);
@@ -75,6 +122,8 @@ criterion_group!(
     bench_zipf_sampling,
     bench_cache_hot_hit,
     bench_request,
+    bench_scheduler,
+    bench_slab_churn,
     bench_sweep_point
 );
 criterion_main!(bench_hotpaths);

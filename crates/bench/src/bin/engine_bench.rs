@@ -20,7 +20,7 @@ use densekv::report::TextTable;
 use densekv_engine::StripedEngine;
 use densekv_kv::concurrent::SharedStore;
 use densekv_sim::dist::Zipf;
-use densekv_sim::SplitMix64;
+use densekv_sim::SplitRng;
 
 /// Key population (pre-loaded so GETs mostly hit).
 const KEYS: u64 = 8_192;
@@ -85,7 +85,10 @@ fn measure(variant: Variant, threads: u32, duration: Duration) -> f64 {
             let stop = Arc::clone(&stop);
             let barrier = Arc::clone(&barrier);
             std::thread::spawn(move || {
-                let mut rng = SplitMix64::new(0xE1213E + u64::from(t));
+                // Batched draws: the Zipf sampler and the GET/SET coin
+                // drain `SplitRng`'s refill buffer — the same RNG hot
+                // path the simulator's samplers share.
+                let mut rng = SplitRng::new(0xE1213E + u64::from(t));
                 let mut ops = 0u64;
                 barrier.wait();
                 while !stop.load(Ordering::Relaxed) {

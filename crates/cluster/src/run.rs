@@ -28,7 +28,7 @@ use densekv_energy::PowerTimeline;
 use densekv_net::PortMeter;
 use densekv_sim::dist::{Exponential, Zipf};
 use densekv_sim::stats::LatencyHistogram;
-use densekv_sim::{Duration, Scheduler, SimTime, SplitMix64};
+use densekv_sim::{Duration, Scheduler, SimTime, SplitRng};
 use densekv_telemetry::{BucketedTimeline, SpanBuilder, Telemetry};
 
 use crate::config::ClusterConfig;
@@ -220,6 +220,34 @@ pub fn effective_capacity(config: &ClusterConfig) -> f64 {
     1.0 / (config.profile.hit_service.as_secs_f64() * hot_core_share(config) * batch)
 }
 
+/// Reusable struct-of-arrays scratch for one logical request's shard
+/// legs: the routing pass fills the parallel vectors, the timing pass
+/// walks them in leg order. Reused across arrivals, so steady-state
+/// fan-out allocates nothing regardless of batch size.
+#[derive(Default)]
+struct LegScratch {
+    /// Sampled key per routable leg.
+    keys: Vec<u64>,
+    /// Owning ring node per leg.
+    owners: Vec<u32>,
+    /// Stack housing the owner, per leg.
+    stacks: Vec<u32>,
+}
+
+impl LegScratch {
+    fn clear(&mut self) {
+        self.keys.clear();
+        self.owners.clear();
+        self.stacks.clear();
+    }
+
+    fn push(&mut self, key: u64, owner: u32, stack: u32) {
+        self.keys.push(key);
+        self.owners.push(owner);
+        self.stacks.push(stack);
+    }
+}
+
 /// Per-run mutable state of the cluster's shared resources.
 struct ClusterState {
     ring: ConsistentHashRing,
@@ -333,7 +361,10 @@ pub fn run_with_telemetry(config: &ClusterConfig, tele: &mut Telemetry) -> Clust
 
     let arrivals = Exponential::from_rate_per_sec(config.workload.rate_per_sec);
     let zipf = Zipf::new(population as usize, config.workload.zipf_alpha);
-    let mut rng = SplitMix64::new(config.seed);
+    // Batched generator: consumes the exact SplitMix64 stream this seed
+    // always produced, amortizing state updates across arrival and Zipf
+    // draws — bit-identical results, fewer per-draw loads.
+    let mut rng = SplitRng::new(config.seed);
 
     let total_requests = config.warmup + config.requests;
     let mut sched: Scheduler<Event> = Scheduler::new();
@@ -354,7 +385,7 @@ pub fn run_with_telemetry(config: &ClusterConfig, tele: &mut Telemetry) -> Clust
     let mut sim_end = SimTime::ZERO;
     let mut timeline = BucketedTimeline::new(config.timeline_bucket);
     let mut remap: Option<RemapEvent> = None;
-    let mut shard_keys: Vec<u64> = Vec::new();
+    let mut legs = LegScratch::default();
 
     while let Some((now, event)) = sched.pop() {
         tele.sampler.advance(now);
@@ -395,11 +426,18 @@ pub fn run_with_telemetry(config: &ClusterConfig, tele: &mut Telemetry) -> Clust
                 if seq + 1 < total_requests {
                     sched.schedule_in(arrivals.sample(&mut rng), Event::Arrival { seq: seq + 1 });
                 }
-                // Draw the batch up front so the RNG stream is identical
-                // whether or not any shard is routable.
-                shard_keys.clear();
+                // Routing pass: draw the batch up front (so the RNG
+                // stream is identical whether or not any shard is
+                // routable) and resolve owners — the ring lookup is
+                // pure, so splitting it from the timing pass below
+                // reorders nothing. Unroutable keys drop out here,
+                // exactly as the old inline `continue` did.
+                legs.clear();
                 for _ in 0..config.workload.multiget_batch {
-                    shard_keys.push(zipf.sample(&mut rng) as u64);
+                    let key = zipf.sample(&mut rng) as u64;
+                    if let Some(owner) = state.ring.node_for(&key.to_le_bytes()) {
+                        legs.push(key, owner, topo.stack_of(owner));
+                    }
                 }
 
                 let in_measurement = seq >= config.warmup;
@@ -407,11 +445,12 @@ pub fn run_with_telemetry(config: &ClusterConfig, tele: &mut Telemetry) -> Clust
                 let mut slowest: Option<SimTime> = None;
                 let mut batch_hits = 0u64;
                 let mut batch_misses = 0u64;
-                for &key in &shard_keys {
-                    let Some(owner) = state.ring.node_for(&key.to_le_bytes()) else {
-                        continue;
-                    };
-                    let stack = topo.stack_of(owner) as usize;
+                // Timing pass: walk the legs in arrival order, mutating
+                // the shared ports/queues exactly as the single-pass
+                // loop did.
+                for leg in 0..legs.keys.len() {
+                    let (key, owner) = (legs.keys[leg], legs.owners[leg]);
+                    let stack = legs.stacks[leg] as usize;
 
                     // Ingress: the stack's shared port serializes
                     // requests one at a time.

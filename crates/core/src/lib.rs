@@ -51,6 +51,7 @@ pub mod openloop;
 pub mod paper;
 pub mod report;
 pub mod sim;
+pub mod slots;
 pub mod stack_sim;
 pub mod sweep;
 pub mod system;

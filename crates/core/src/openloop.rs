@@ -10,9 +10,10 @@
 use densekv_sim::dist::Exponential;
 use densekv_sim::stats::LatencyHistogram;
 use densekv_sim::{Duration, SimTime, SplitMix64};
-use densekv_workload::{FixedSizeWorkload, Op, RequestGenerator};
+use densekv_workload::{FixedSizeWorkload, Op};
 
 use crate::sim::{CoreSim, CoreSimConfig};
+use crate::slots::RequestSlots;
 
 /// Configuration of one open-loop run.
 #[derive(Debug, Clone)]
@@ -99,15 +100,28 @@ pub fn run(config: &OpenLoopConfig) -> OpenLoopResult {
     let mut gets = FixedSizeWorkload::new(Op::Get, config.value_bytes, population, config.seed);
     let mut puts = FixedSizeWorkload::new(Op::Put, config.value_bytes, population, !config.seed);
 
+    // Requests cycle through one recycled slot in the arena — no
+    // per-request key allocation. Draw order (`next_bool`, then the
+    // chosen generator's key id) matches the owned-`Request` path
+    // exactly, so the run is byte-identical.
+    let mut slots = RequestSlots::with_capacity(1);
+    let next_slot = |rng: &mut SplitMix64,
+                     gets: &mut FixedSizeWorkload,
+                     puts: &mut FixedSizeWorkload,
+                     slots: &mut RequestSlots| {
+        if rng.next_bool(config.get_fraction) {
+            slots.acquire(Op::Get, config.value_bytes, gets.next_key_id())
+        } else {
+            slots.acquire(Op::Put, config.value_bytes, puts.next_key_id())
+        }
+    };
+
     // Warm the caches closed-loop (no queue) so the Poisson process sees
     // steady-state service times, not a cold-start backlog.
     for _ in 0..config.warmup {
-        let request = if rng.next_bool(config.get_fraction) {
-            gets.next_request()
-        } else {
-            puts.next_request()
-        };
-        core.execute(&request);
+        let slot = next_slot(&mut rng, &mut gets, &mut puts, &mut slots);
+        core.execute_parts(slots.op(slot), slots.key(slot), slots.value_bytes(slot));
+        slots.release(slot);
     }
 
     let mut now = SimTime::ZERO;
@@ -118,14 +132,12 @@ pub fn run(config: &OpenLoopConfig) -> OpenLoopResult {
 
     for _ in 0..config.requests {
         now += arrivals.sample(&mut rng);
-        let request = if rng.next_bool(config.get_fraction) {
-            gets.next_request()
-        } else {
-            puts.next_request()
-        };
+        let slot = next_slot(&mut rng, &mut gets, &mut puts, &mut slots);
         // FIFO single-server queue: service starts when the core frees.
         let start = now.max(server_free_at);
-        let timing = core.execute(&request);
+        let (timing, _) =
+            core.execute_parts(slots.op(slot), slots.key(slot), slots.value_bytes(slot));
+        slots.release(slot);
         // The core is occupied for the server-side time; the wire/client
         // portions of the RTT overlap the next request's service.
         server_free_at = start + timing.server;

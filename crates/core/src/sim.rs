@@ -6,15 +6,18 @@
 //! its own Memcached instance (the paper's deployment model, §4.1.4/§5.3)
 //! serving a closed-loop client: TPS = 1/RTT (§5.3).
 
-use densekv_cpu::engine::{PhaseEngine, PhaseResult, PhaseSpec, StreamRef};
+use std::collections::HashMap;
+
+use densekv_cpu::engine::{EngineDelta, PhaseEngine, PhaseResult, PhaseSpec, StreamRef};
 use densekv_cpu::CoreConfig;
 use densekv_hybrid::{HybridMemory, TierSnapshot};
 use densekv_kv::hash::hash_instructions;
 use densekv_kv::store::{AccessTrace, KvStore, StoreConfig, StoreError};
-use densekv_mem::dram::DramStack;
+use densekv_mem::dram::{DramCounters, DramStack};
+use densekv_mem::flash::FlashCounters;
 use densekv_mem::ftl::Ftl;
 use densekv_mem::sram::SramBuffer;
-use densekv_mem::{lines_for_bytes, AccessKind, MemoryTiming};
+use densekv_mem::{lines_for_bytes, AccessKind, MemoryTiming, PagePolicy};
 use densekv_net::frame::MessageSizes;
 use densekv_net::nic::NicMac;
 use densekv_net::{TcpCostModel, Wire};
@@ -146,6 +149,98 @@ impl CoreSimConfig {
     }
 }
 
+/// Consecutive bit-identical observations of a request family before its
+/// replay arms. Real executions keep running (and keep checking) until a
+/// family has proved this many times in a row that its timing, phase
+/// breakdown, engine delta, and device delta no longer change.
+///
+/// The streak proves the *recording* is stable; it cannot prove that a
+/// replay is invisible to other traffic. A replay credits counters and
+/// advances cursors but leaves cache *contents* untouched, so a later
+/// real execution of a different family sees staler L1 sets than it
+/// would have in a memo-free run and can time differently. The memo is
+/// therefore exact only when every request after arming replays — the
+/// single-request-shape loops the hot-path benches drive — and it ships
+/// **disabled by default** ([`CoreSim::set_memo_enabled`]). The always-on
+/// speedup for mixed request streams is the resident-L2 shortcut inside
+/// [`PhaseEngine`], which is bit-exact unconditionally.
+const MEMO_ARM_STREAK: u32 = 8;
+
+/// Everything that determines a request's *timing inputs* once the store
+/// operation itself has executed. Two requests with the same family key
+/// run the exact same phase specs (instruction counts, reference counts,
+/// stream lengths), so on a timing-stateless memory system their phase
+/// walk is a pure function of warmed engine state — which is what the
+/// arming streak verifies empirically before any replay happens.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct MemoKey {
+    op: Op,
+    key_len: u64,
+    value_bytes: u64,
+    /// GET hit / PUT success.
+    hit: bool,
+    /// Metadata probes: chain headers walked by the lookup/insert.
+    probes: u32,
+    /// Value lines streamed (0 when no value moved).
+    value_lines: u64,
+    /// Items the store evicted to make room (PUT only).
+    evicted: u64,
+}
+
+/// The recorded effect of one real execution of a family: the outputs to
+/// return and the engine/device side effects to replay.
+#[derive(Debug, Clone, PartialEq)]
+struct MemoEntry {
+    timing: RequestTiming,
+    breakdown: PhaseBreakdown,
+    engine: EngineDelta,
+    device: DeviceDelta,
+}
+
+/// Per-family memo state: the last observed entry and how many times in
+/// a row it has repeated exactly.
+#[derive(Debug, Clone)]
+struct MemoFamily {
+    entry: MemoEntry,
+    streak: u32,
+    armed: bool,
+}
+
+/// Device-side traffic counters, snapshot or per-request delta,
+/// for whichever memory system backs the core. Hybrid stacks never memo
+/// (the DRAM tier is stateful), so they have no variant here.
+#[derive(Debug, Clone, PartialEq)]
+enum DeviceDelta {
+    Dram(DramCounters),
+    Flash {
+        flash: FlashCounters,
+        buffer_bytes: u64,
+    },
+}
+
+impl DeviceDelta {
+    /// Counter growth since an `earlier` snapshot.
+    fn delta(&self, earlier: &DeviceDelta) -> DeviceDelta {
+        match (self, earlier) {
+            (DeviceDelta::Dram(now), DeviceDelta::Dram(was)) => DeviceDelta::Dram(now.delta(was)),
+            (
+                DeviceDelta::Flash {
+                    flash: now,
+                    buffer_bytes: now_buf,
+                },
+                DeviceDelta::Flash {
+                    flash: was,
+                    buffer_bytes: was_buf,
+                },
+            ) => DeviceDelta::Flash {
+                flash: now.delta(was),
+                buffer_bytes: now_buf - was_buf,
+            },
+            _ => unreachable!("snapshots from the same StackMemory variant"),
+        }
+    }
+}
+
 /// The stack's memory system as one core sees it.
 enum StackMemory {
     /// Mercury: DRAM holds both the store and the packet buffers.
@@ -250,6 +345,57 @@ impl StackMemory {
                 tier.reset_counters();
                 buffer.reset_counters();
             }
+        }
+    }
+
+    /// Whether this memory system's *timing* is stateless for `op`, i.e.
+    /// whether replaying counter deltas instead of re-walking the device
+    /// is exact:
+    ///
+    /// * Closed-page DRAM never consults row state — every line access
+    ///   costs the same; GETs and PUTs both qualify. The open-page
+    ///   ablation is stateful (row buffers) and never arms.
+    /// * Flash line *reads* have fixed latency and touch no FTL state,
+    ///   so GETs qualify; PUTs program pages and can trigger garbage
+    ///   collection and wear-leveling — deeply stateful — and never arm.
+    /// * The hybrid tier is an LRU page cache — stateful on every path.
+    fn memo_eligible(&self, op: Op) -> bool {
+        match (self, op) {
+            (StackMemory::Dram(d), _) => d.config().page_policy == PagePolicy::Closed,
+            (StackMemory::Flash { .. }, Op::Get) => true,
+            (StackMemory::Flash { .. }, Op::Put) => false,
+            (StackMemory::Hybrid { .. }, _) => false,
+        }
+    }
+
+    /// Snapshot of every device traffic counter; `None` for memory
+    /// systems that never memo.
+    fn memo_counters(&self) -> Option<DeviceDelta> {
+        match self {
+            StackMemory::Dram(d) => Some(DeviceDelta::Dram(d.counters())),
+            StackMemory::Flash { ftl, buffer } => Some(DeviceDelta::Flash {
+                flash: ftl.flash().counters(),
+                buffer_bytes: buffer.bytes_moved(),
+            }),
+            StackMemory::Hybrid { .. } => None,
+        }
+    }
+
+    /// Replays a recorded per-request traffic delta onto the counters.
+    fn credit(&mut self, delta: &DeviceDelta) {
+        match (self, delta) {
+            (StackMemory::Dram(d), DeviceDelta::Dram(c)) => d.credit(c),
+            (
+                StackMemory::Flash { ftl, buffer },
+                DeviceDelta::Flash {
+                    flash,
+                    buffer_bytes,
+                },
+            ) => {
+                ftl.credit_flash(flash);
+                buffer.credit_bytes(*buffer_bytes);
+            }
+            _ => unreachable!("delta recorded on the same StackMemory variant"),
         }
     }
 }
@@ -357,6 +503,15 @@ pub struct CoreSim {
     mac: NicMac,
     /// Wire payload bytes exchanged (both directions).
     wire_bytes: u64,
+    /// Whether the request memo layer may replay armed families.
+    memo_enabled: bool,
+    /// Per-family recorded executions; see [`MemoKey`] for the proof
+    /// obligations and [`MEMO_ARM_STREAK`] for the arming rule.
+    memo: HashMap<MemoKey, MemoFamily>,
+    /// Requests served by replay instead of a phase walk.
+    memo_hits: u64,
+    /// Reused trace buffer (avoids per-request chain-vector allocation).
+    trace_scratch: AccessTrace,
 }
 
 impl core::fmt::Debug for CoreSim {
@@ -421,6 +576,10 @@ impl CoreSim {
             memory,
             mac: NicMac::for_cores(1),
             wire_bytes: 0,
+            memo_enabled: false,
+            memo: HashMap::new(),
+            memo_hits: 0,
+            trace_scratch: AccessTrace::default(),
             config,
         })
     }
@@ -438,6 +597,12 @@ impl CoreSim {
     /// Per-level cache hit/miss counters of the core's hierarchy.
     pub fn cache_stats(&self) -> densekv_cpu::CacheHierarchyStats {
         self.engine.cache_stats()
+    }
+
+    /// Forces the engine's full LRU walk (differential tests only).
+    #[doc(hidden)]
+    pub fn disable_l2_residency_shortcut(&mut self) {
+        self.engine.disable_l2_residency_shortcut();
     }
 
     /// Loads `population` keys of `value_bytes` each (untimed), so
@@ -498,6 +663,34 @@ impl CoreSim {
         self.wire_bytes = 0;
     }
 
+    /// Enables or disables the request memo layer. Disabling also drops
+    /// every recorded family, so re-enabling starts proving streaks from
+    /// scratch.
+    ///
+    /// **Off by default.** Replay is bit-exact only while every request
+    /// after arming replays (a single repeated request shape, as the
+    /// hot-path benches drive); in mixed request streams a later real
+    /// execution sees frozen cache contents and can time differently
+    /// than a memo-free run — see [`MEMO_ARM_STREAK`]. The experiment
+    /// drivers leave it off so their CSVs stay byte-identical.
+    pub fn set_memo_enabled(&mut self, enabled: bool) {
+        self.memo_enabled = enabled;
+        if !enabled {
+            self.memo.clear();
+            self.memo_hits = 0;
+        }
+    }
+
+    /// Whether the request memo layer is enabled.
+    pub fn memo_enabled(&self) -> bool {
+        self.memo_enabled
+    }
+
+    /// Requests served by memo replay instead of a full phase walk.
+    pub fn memo_hits(&self) -> u64 {
+        self.memo_hits
+    }
+
     /// Runs a phase whose stream (if any) targets the store device.
     fn run_store(&mut self, spec: &PhaseSpec) -> PhaseResult {
         self.memory.run_phase(&mut self.engine, spec, false)
@@ -523,11 +716,92 @@ impl CoreSim {
     /// is this call with the breakdown discarded — both run the same
     /// code, so observed and unobserved executions are identical.
     pub fn execute_breakdown(&mut self, request: &Request) -> (RequestTiming, PhaseBreakdown) {
-        let key_len = request.key.len() as u64;
-        let sizes = match request.op {
-            Op::Get => MessageSizes::get(key_len, request.value_bytes),
-            Op::Put => MessageSizes::put(key_len, request.value_bytes),
+        self.execute_parts(request.op, &request.key, request.value_bytes)
+    }
+
+    /// [`CoreSim::execute_breakdown`] without a materialized
+    /// [`Request`]: slot-based drivers (the sweeps and the open-loop
+    /// runner) pass key bytes straight out of their request-slot arena,
+    /// so no per-request `Vec` allocation happens on the hot path.
+    pub fn execute_parts(
+        &mut self,
+        op: Op,
+        key: &[u8],
+        value_bytes: u64,
+    ) -> (RequestTiming, PhaseBreakdown) {
+        let key_len = key.len() as u64;
+        let sizes = match op {
+            Op::Get => MessageSizes::get(key_len, value_bytes),
+            Op::Put => MessageSizes::put(key_len, value_bytes),
         };
+
+        // --- The store operation itself (real data structures) runs
+        // first: the store never consults the timing models, so hoisting
+        // it ahead of the phase walk is observable-neutral — and its
+        // trace both parameterizes the phase specs and identifies the
+        // request's memo family.
+        let mut trace = std::mem::take(&mut self.trace_scratch);
+        let (hit, evicted) = match op {
+            Op::Get => (self.store.get_traced(key, 0, &mut trace).is_some(), 0),
+            Op::Put => {
+                match self
+                    .store
+                    .set(key, vec![0xCD; stored_len(value_bytes) as usize], None, 0)
+                {
+                    Ok(set) => {
+                        trace = set.trace;
+                        (true, set.evicted)
+                    }
+                    Err(_) => {
+                        trace = AccessTrace::default();
+                        (false, 0)
+                    }
+                }
+            }
+        };
+        let value_lines = trace
+            .value
+            .map(|(_, len)| lines_for_bytes(len.max(value_bytes)))
+            .unwrap_or(0);
+
+        // --- Memo replay: when this family has a proven-stable
+        // recording, credit its engine and device effects and return the
+        // recorded outputs — bit-identical to the walk it replaces.
+        let memo_key = (self.memo_enabled && self.memory.memo_eligible(op)).then_some(MemoKey {
+            op,
+            key_len,
+            value_bytes,
+            hit,
+            probes: trace.chain_offsets.len() as u32,
+            value_lines,
+            evicted,
+        });
+        if let Some(k) = memo_key {
+            if let Some(family) = self.memo.get(&k) {
+                if family.armed {
+                    self.engine.apply_replay(&family.entry.engine);
+                    self.memory.credit(&family.entry.device);
+                    self.memo_hits += 1;
+                    self.wire_bytes += sizes.request_payload + sizes.response_payload;
+                    self.trace_scratch = trace;
+                    return (family.entry.timing, family.entry.breakdown);
+                }
+            }
+        }
+
+        // --- Real execution, with before-state captured so the family
+        // can record (or keep proving) its effect. Recording waits for
+        // [`PhaseEngine::warm`]: during the cold cache fill, timing sits
+        // on long locally-constant plateaus that a streak check alone
+        // would arm on — freezing cold-cache timing into the replay.
+        let snapshot = (memo_key.is_some() && self.engine.warm()).then(|| {
+            (
+                self.engine.replay_snapshot(),
+                self.memory
+                    .memo_counters()
+                    .expect("memo-eligible memory snapshots counters"),
+            )
+        });
 
         // --- Receive path: kernel RX + payload landing in buffers.
         let rx = self.config.tcp.rx_cost(sizes.request_frames());
@@ -561,7 +835,7 @@ impl CoreSim {
         // --- Key hash.
         let hash_result = self.run_buffer(&PhaseSpec {
             name: "hash",
-            instructions: hash_instructions(request.key.len()),
+            instructions: hash_instructions(key.len()),
             ifetch_footprint_lines: 64,
             ifetch_per_kinstr: 2,
             kernel_refs: 0,
@@ -570,10 +844,10 @@ impl CoreSim {
             uncached_ops: 0,
         });
 
-        // --- The store operation itself (real data structures).
-        let (store_result, copy_result, hit, value_bytes_moved) = match request.op {
-            Op::Get => self.execute_get(request),
-            Op::Put => self.execute_put(request),
+        // --- Store metadata + value movement, priced from the trace.
+        let (store_result, copy_result) = match op {
+            Op::Get => self.get_phases(&trace, value_bytes),
+            Op::Put => self.put_phases(&trace, value_bytes),
         };
 
         // --- Transmit path: kernel TX + NIC DMA out of the buffers.
@@ -595,7 +869,6 @@ impl CoreSim {
             self.memory.dma_buffer_line(BUFFER_BASE_LINE + i);
         }
 
-        let _ = value_bytes_moved;
         self.wire_bytes += sizes.request_payload + sizes.response_payload;
 
         let breakdown = PhaseBreakdown {
@@ -619,6 +892,46 @@ impl CoreSim {
             hash: breakdown.hash,
             hit,
         };
+
+        // --- Record: a family arms only after MEMO_ARM_STREAK
+        // consecutive bit-identical recordings (outputs AND effects).
+        if let (Some(k), Some((engine_before, device_before))) = (memo_key, snapshot) {
+            let entry = MemoEntry {
+                timing,
+                breakdown,
+                engine: self.engine.replay_delta(&engine_before),
+                device: self
+                    .memory
+                    .memo_counters()
+                    .expect("memo-eligible memory snapshots counters")
+                    .delta(&device_before),
+            };
+            match self.memo.entry(k) {
+                std::collections::hash_map::Entry::Occupied(mut slot) => {
+                    let family = slot.get_mut();
+                    if family.entry == entry {
+                        family.streak += 1;
+                        if family.streak >= MEMO_ARM_STREAK {
+                            family.armed = true;
+                        }
+                    } else {
+                        *family = MemoFamily {
+                            entry,
+                            streak: 1,
+                            armed: false,
+                        };
+                    }
+                }
+                std::collections::hash_map::Entry::Vacant(slot) => {
+                    slot.insert(MemoFamily {
+                        entry,
+                        streak: 1,
+                        armed: false,
+                    });
+                }
+            }
+        }
+        self.trace_scratch = trace;
         (timing, breakdown)
     }
 
@@ -680,12 +993,10 @@ impl CoreSim {
                 uncached_ops: 0,
             });
             hash_time += hash_result.time;
-            let request = Request {
-                op: Op::Get,
-                key: key.clone(),
-                value_bytes,
-            };
-            let (store_result, copy_result, hit, _) = self.execute_get(&request);
+            let mut trace = std::mem::take(&mut self.trace_scratch);
+            let hit = self.store.get_traced(key, 0, &mut trace).is_some();
+            let (store_result, copy_result) = self.get_phases(&trace, value_bytes);
+            self.trace_scratch = trace;
             store_time += store_result.time;
             copy_time += copy_result.time;
             if hit {
@@ -734,14 +1045,9 @@ impl CoreSim {
         )
     }
 
-    /// GET: lookup in the real store; metadata walk and value stream
-    /// priced from the returned [`AccessTrace`].
-    fn execute_get(&mut self, request: &Request) -> (PhaseResult, PhaseResult, bool, u64) {
-        let outcome = self.store.get(&request.key, 0);
-        let (trace, hit): (AccessTrace, bool) = match &outcome {
-            Some(hit) => (hit.trace().clone(), true),
-            None => (AccessTrace::default(), false),
-        };
+    /// GET phase walk: metadata refs and value stream priced from the
+    /// [`AccessTrace`] the already-executed lookup produced.
+    fn get_phases(&mut self, trace: &AccessTrace, value_bytes: u64) -> (PhaseResult, PhaseResult) {
         let metadata: Vec<u64> = trace.metadata_offsets().map(Self::store_line).collect();
         let store_result = self.run_store(&PhaseSpec {
             name: "store-get",
@@ -755,9 +1061,9 @@ impl CoreSim {
         });
 
         // Value moves store -> CPU -> socket buffer.
-        let (mut copy_result, mut moved) = (PhaseResult::default(), 0);
+        let mut copy_result = PhaseResult::default();
         if let Some((offset, len)) = trace.value {
-            let lines = lines_for_bytes(len.max(request.value_bytes));
+            let lines = lines_for_bytes(len.max(value_bytes));
             let read = self.run_store(&PhaseSpec {
                 name: "value-copy",
                 instructions: COPY_INSTR_PER_LINE * lines,
@@ -788,24 +1094,14 @@ impl CoreSim {
             });
             copy_result = read;
             copy_result.merge(&write);
-            moved = len;
         }
-        (store_result, copy_result, hit, moved)
+        (store_result, copy_result)
     }
 
-    /// PUT: insert into the real store; metadata walk + metadata writes +
-    /// value stream priced from the trace.
-    fn execute_put(&mut self, request: &Request) -> (PhaseResult, PhaseResult, bool, u64) {
-        let outcome = self.store.set(
-            &request.key,
-            vec![0xCD; stored_len(request.value_bytes) as usize],
-            None,
-            0,
-        );
-        let trace = match &outcome {
-            Ok(set) => set.trace.clone(),
-            Err(_) => AccessTrace::default(),
-        };
+    /// PUT phase walk: metadata refs + metadata writes + value stream
+    /// priced from the [`AccessTrace`] the already-executed insert
+    /// produced.
+    fn put_phases(&mut self, trace: &AccessTrace, value_bytes: u64) -> (PhaseResult, PhaseResult) {
         let metadata: Vec<u64> = trace.metadata_offsets().map(Self::store_line).collect();
         // Metadata updates dirty a few lines; charge them as a short
         // write burst at the head of the item.
@@ -825,9 +1121,9 @@ impl CoreSim {
             uncached_ops: 0,
         });
 
-        let (mut copy_result, mut moved) = (PhaseResult::default(), 0);
+        let mut copy_result = PhaseResult::default();
         if let Some((offset, len)) = trace.value {
-            let lines = lines_for_bytes(len.max(request.value_bytes));
+            let lines = lines_for_bytes(len.max(value_bytes));
             // Read the payload out of the socket buffer...
             let read = self.run_buffer(&PhaseSpec {
                 name: "value-copy",
@@ -847,7 +1143,7 @@ impl CoreSim {
             // write goes through the FTL as whole-page programs (with
             // garbage collection in the loop); on Mercury it streams
             // through the DRAM.
-            let write_bytes = len.max(request.value_bytes);
+            let write_bytes = len.max(value_bytes);
             let write = match self.memory.ftl_value_write(offset, write_bytes) {
                 Some(ftl_latency) => PhaseResult {
                     time: ftl_latency,
@@ -874,9 +1170,8 @@ impl CoreSim {
             };
             copy_result = read;
             copy_result.merge(&write);
-            moved = len;
         }
-        (store_result, copy_result, outcome.is_ok(), moved)
+        (store_result, copy_result)
     }
 }
 

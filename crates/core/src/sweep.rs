@@ -5,9 +5,10 @@ use densekv_par::{par_map, par_map_reduce, Jobs};
 use densekv_server::PerCorePerf;
 use densekv_sim::stats::LatencyHistogram;
 use densekv_sim::Duration;
-use densekv_workload::{FixedSizeWorkload, Op, Request, RequestGenerator};
+use densekv_workload::{FixedSizeWorkload, Op};
 
 use crate::sim::{CoreSim, CoreSimConfig, RequestTiming};
+use crate::slots::RequestSlots;
 
 /// Measured behaviour of one operation type at one size point.
 #[derive(Debug, Clone)]
@@ -139,10 +140,17 @@ fn measure_op(
     population: u64,
     effort: SweepEffort,
 ) -> OpPoint {
+    // Requests live in a slot arena: the key renders straight into the
+    // arena and the slot recycles each iteration, so the loop never
+    // allocates. The key-id draws are the exact stream `next_request`
+    // would consume, so results are byte-identical to the owned-
+    // `Request` path.
     let mut gen = FixedSizeWorkload::new(op, value_bytes, population, 0x5EED ^ value_bytes);
+    let mut slots = RequestSlots::with_capacity(1);
     for _ in 0..effort.warmup_for(value_bytes) {
-        let request = gen.next_request();
-        core.execute(&request);
+        let slot = slots.acquire(op, value_bytes, gen.next_key_id());
+        core.execute_parts(slots.op(slot), slots.key(slot), slots.value_bytes(slot));
+        slots.release(slot);
     }
     core.reset_counters();
 
@@ -154,8 +162,10 @@ fn measure_op(
     let mut server = Duration::ZERO;
     let measured = effort.measured_for(value_bytes);
     for _ in 0..measured {
-        let request: Request = gen.next_request();
-        let t: RequestTiming = core.execute(&request);
+        let slot = slots.acquire(op, value_bytes, gen.next_key_id());
+        let (t, _): (RequestTiming, _) =
+            core.execute_parts(slots.op(slot), slots.key(slot), slots.value_bytes(slot));
+        slots.release(slot);
         latency.record(t.rtt);
         total += t.rtt;
         net += t.network;

@@ -1,0 +1,100 @@
+//! Differential pins for the hot-loop rewrite's two speed paths.
+//!
+//! The resident-L2 shortcut must be invisible at the request level for
+//! *mixed* GET/PUT streams on every stack family; the phase memo is
+//! only exact for single-shape loops, which is why it ships disabled —
+//! both claims are checked against a reference core with the path
+//! turned off.
+
+use densekv::sim::{CoreSim, CoreSimConfig};
+use densekv::slots::RequestSlots;
+use densekv_workload::{FixedSizeWorkload, Op};
+
+fn build(config: &CoreSimConfig, value_bytes: u64, population: u64, reference: bool) -> CoreSim {
+    let mut sized = config.clone();
+    sized.store_bytes = sized
+        .store_bytes
+        .max((value_bytes + 4096) * population * 2)
+        .max(16 << 20);
+    let mut core = CoreSim::new(sized).expect("valid configuration");
+    if reference {
+        core.disable_l2_residency_shortcut();
+    }
+    core.preload(value_bytes, population).expect("preload fits");
+    core
+}
+
+/// Runs the same seeded mixed op stream through `fast` and `reference`,
+/// asserting identical timings, breakdowns, and cache counters at every
+/// request.
+fn assert_streams_identical(fast: &mut CoreSim, reference: &mut CoreSim, value_bytes: u64) {
+    let population = 64;
+    let mut slots = RequestSlots::with_capacity(1);
+    for op in [Op::Get, Op::Put, Op::Get] {
+        let mut gen_f = FixedSizeWorkload::new(op, value_bytes, population, 0xD1FF ^ value_bytes);
+        let mut gen_r = FixedSizeWorkload::new(op, value_bytes, population, 0xD1FF ^ value_bytes);
+        for i in 0..110u32 {
+            let a = slots.acquire(op, value_bytes, gen_f.next_key_id());
+            let (tf, bf) = fast.execute_parts(slots.op(a), slots.key(a), slots.value_bytes(a));
+            slots.release(a);
+            let b = slots.acquire(op, value_bytes, gen_r.next_key_id());
+            let (tr, br) = reference.execute_parts(slots.op(b), slots.key(b), slots.value_bytes(b));
+            slots.release(b);
+            assert_eq!(tf, tr, "timing diverged at {op:?} #{i} ({value_bytes} B)");
+            assert_eq!(bf, br, "breakdown diverged at {op:?} #{i}");
+            assert_eq!(
+                fast.cache_stats(),
+                reference.cache_stats(),
+                "cache counters diverged at {op:?} #{i}"
+            );
+        }
+    }
+}
+
+#[test]
+fn residency_shortcut_is_invisible_on_mercury() {
+    for value_bytes in [64, 128, 8192] {
+        let config = CoreSimConfig::mercury_a7();
+        let mut fast = build(&config, value_bytes, 64, false);
+        let mut reference = build(&config, value_bytes, 64, true);
+        assert_streams_identical(&mut fast, &mut reference, value_bytes);
+    }
+}
+
+#[test]
+fn residency_shortcut_is_invisible_on_iridium() {
+    let config = CoreSimConfig::iridium_a7();
+    let mut fast = build(&config, 128, 64, false);
+    let mut reference = build(&config, 128, 64, true);
+    assert_streams_identical(&mut fast, &mut reference, 128);
+}
+
+/// The memo's documented soundness domain: a loop that replays one
+/// request shape end-to-end. With every request armed-and-replaying,
+/// the frozen cache contents are never consulted by a diverging real
+/// execution, so opt-in memo must be bit-exact — and actually hit.
+#[test]
+fn memo_is_exact_for_single_shape_loops() {
+    let config = CoreSimConfig::mercury_a7();
+    let mut memoized = build(&config, 64, 64, false);
+    memoized.set_memo_enabled(true);
+    let mut reference = build(&config, 64, 64, false);
+    assert!(!reference.memo_enabled(), "memo ships disabled");
+
+    let mut slots = RequestSlots::with_capacity(1);
+    // One fixed key: a single (family, size) shape.
+    for i in 0..400u32 {
+        let a = slots.acquire(Op::Get, 64, 7);
+        let (tm, bm) = memoized.execute_parts(slots.op(a), slots.key(a), slots.value_bytes(a));
+        let (tr, br) = reference.execute_parts(slots.op(a), slots.key(a), slots.value_bytes(a));
+        slots.release(a);
+        assert_eq!(tm, tr, "memo replay diverged at #{i}");
+        assert_eq!(bm, br, "memo breakdown diverged at #{i}");
+    }
+    assert!(
+        memoized.memo_hits() > 100,
+        "the loop must actually replay (hits = {})",
+        memoized.memo_hits()
+    );
+    assert_eq!(reference.memo_hits(), 0);
+}

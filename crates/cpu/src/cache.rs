@@ -70,8 +70,13 @@ impl CacheConfig {
 #[derive(Debug, Clone)]
 pub struct Cache {
     config: CacheConfig,
-    /// Per-set tag list, most-recently-used first.
-    sets: Vec<Vec<u64>>,
+    ways: usize,
+    /// Flat tag storage: `ways` slots per set, each set's segment
+    /// ordered most-recently-used first with [`EMPTY`] filling the
+    /// unoccupied tail. One contiguous `u32` allocation (a 2 MB L2 is
+    /// 128 KB of tags) instead of a `Vec` per set, so the simulator's
+    /// per-reference walk stays in a few host cache lines.
+    tags: Vec<u32>,
     /// Set-index mask when the set count is a power of two (the common
     /// case for every geometry in the workspace); `None` falls back to
     /// `%`/`/` for odd set counts.
@@ -79,6 +84,11 @@ pub struct Cache {
     hits: u64,
     misses: u64,
 }
+
+/// Sentinel marking an unoccupied way. Real tags must stay below this,
+/// which [`Cache::access`] asserts — with 64 B lines and ≥128 sets that
+/// only excludes devices beyond ~2^45 bytes, far past anything modeled.
+const EMPTY: u32 = u32::MAX;
 
 /// Precomputed mask/shift replacing the per-reference `%`/`/` pair when
 /// the set count is a power of two.
@@ -102,7 +112,8 @@ impl Cache {
             shift: sets.trailing_zeros(),
         });
         Cache {
-            sets: vec![Vec::with_capacity(config.ways as usize); sets as usize],
+            ways: config.ways as usize,
+            tags: vec![EMPTY; (sets * u64::from(config.ways)) as usize],
             pow2,
             hits: 0,
             misses: 0,
@@ -117,31 +128,39 @@ impl Cache {
 
     /// Looks up `line_addr`, updating LRU state and filling on miss.
     /// Returns `true` on a hit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the line's tag reaches the [`EMPTY`] sentinel — a
+    /// device beyond the modeled address range.
     pub fn access(&mut self, line_addr: u64) -> bool {
         let (set_idx, tag) = match self.pow2 {
             Some(p) => ((line_addr & p.mask) as usize, line_addr >> p.shift),
             None => {
-                let nsets = self.sets.len() as u64;
+                let nsets = (self.tags.len() / self.ways) as u64;
                 ((line_addr % nsets) as usize, line_addr / nsets)
             }
         };
-        let set = &mut self.sets[set_idx];
+        assert!(tag < u64::from(EMPTY), "line address out of modeled range");
+        let tag = tag as u32;
+        let set = &mut self.tags[set_idx * self.ways..set_idx * self.ways + self.ways];
         // Fast path: re-referencing the MRU way needs no recency shuffle.
-        if set.first() == Some(&tag) {
+        if set[0] == tag {
             self.hits += 1;
             return true;
         }
-        if let Some(pos) = set.iter().position(|&t| t == tag) {
+        if let Some(pos) = set[1..].iter().position(|&t| t == tag) {
             // Move to MRU position.
-            let t = set.remove(pos);
-            set.insert(0, t);
+            set.copy_within(..pos + 1, 1);
+            set[0] = tag;
             self.hits += 1;
             true
         } else {
-            if set.len() == self.config.ways as usize {
-                set.pop();
-            }
-            set.insert(0, tag);
+            // Shift everything down one way and fill at MRU; sentinels
+            // ride along in the tail, so the slot dropped off the end is
+            // the true LRU tag exactly when the set was full.
+            set.copy_within(..self.ways - 1, 1);
+            set[0] = tag;
             self.misses += 1;
             false
         }
@@ -173,11 +192,17 @@ impl Cache {
         self.misses = 0;
     }
 
+    /// Credits hit/miss counters without touching contents — the replay
+    /// path of the request memo layer, which accounts a request's cache
+    /// traffic without re-walking it.
+    pub fn credit(&mut self, hits: u64, misses: u64) {
+        self.hits += hits;
+        self.misses += misses;
+    }
+
     /// Evicts everything and clears counters.
     pub fn flush(&mut self) {
-        for set in &mut self.sets {
-            set.clear();
-        }
+        self.tags.fill(EMPTY);
         self.reset_counters();
     }
 }

@@ -366,17 +366,30 @@ impl KvStore {
     /// Looks up a live item slot, lazily expiring a stale one. Returns the
     /// slot and the trace of the walk.
     fn lookup(&mut self, key: &[u8], hash: u64, now: u64) -> (Option<u32>, AccessTrace) {
+        let mut trace = AccessTrace::default();
+        let slot = self.lookup_into(key, hash, now, &mut trace);
+        (slot, trace)
+    }
+
+    /// [`KvStore::lookup`] writing into a caller-owned trace, so hot
+    /// paths reuse the chain-offsets buffer instead of allocating one
+    /// per request.
+    fn lookup_into(
+        &mut self,
+        key: &[u8],
+        hash: u64,
+        now: u64,
+        trace: &mut AccessTrace,
+    ) -> Option<u32> {
         let items = &self.items;
         let found = self.table.find_with(hash, |slot| {
             items[slot as usize]
                 .as_ref()
                 .is_some_and(|item| item.key == key)
         });
-        let mut trace = AccessTrace {
-            bucket_offset: self.bucket_offset(hash),
-            chain_offsets: Vec::new(),
-            value: None,
-        };
+        trace.bucket_offset = self.bucket_offset(hash);
+        trace.chain_offsets.clear();
+        trace.value = None;
         // Reconstruct chain-walk addresses: we log the matched item's
         // header (dependent loads along the chain are represented by the
         // probe count).
@@ -393,11 +406,11 @@ impl KvStore {
                 self.remove_slot(slot, hash);
                 self.stats.expirations += 1;
                 self.stats.expired_bytes += freed;
-                return (None, trace);
+                return None;
             }
-            return (Some(slot), trace);
+            return Some(slot);
         }
-        (None, trace)
+        None
     }
 
     /// Fetches `key`, returning the value and trace on a live hit.
@@ -421,6 +434,33 @@ impl KvStore {
                     cas: item.cas,
                     trace,
                 })
+            }
+            None => {
+                self.stats.get_misses += 1;
+                None
+            }
+        }
+    }
+
+    /// [`KvStore::get`] for timing-model callers: identical side
+    /// effects (lookup walk, LRU touch, stats) and an identical trace
+    /// written into `trace`, but returns only the value length —
+    /// skipping the value clone a [`GetHit`] would pay for, which at
+    /// 1 MB values is a megabyte of memcpy per simulated request.
+    pub fn get_traced(&mut self, key: &[u8], now: u64, trace: &mut AccessTrace) -> Option<u64> {
+        let hash = jenkins_oaat(key);
+        match self.lookup_into(key, hash, now, trace) {
+            Some(slot) => {
+                let class = {
+                    let item = self.items[slot as usize].as_ref().expect("live");
+                    trace.value = Some((self.value_offset(item), item.value.len() as u64));
+                    item.addr.class
+                };
+                self.policies[class as usize].on_access(slot);
+                self.stats.get_hits += 1;
+                let item = self.items[slot as usize].as_ref().expect("live");
+                self.stats.bytes_read += item.value.len() as u64;
+                Some(item.value.len() as u64)
             }
             None => {
                 self.stats.get_misses += 1;
@@ -1093,5 +1133,35 @@ mod tests {
         s.concat(b"k", b"b", false, 40).unwrap();
         assert!(s.get(b"k", 90).is_some(), "alive until the original expiry");
         assert!(s.get(b"k", 110).is_none(), "expired at the original time");
+    }
+
+    #[test]
+    fn get_traced_matches_get_observably() {
+        // Two identical stores: one driven by `get`, one by `get_traced`.
+        // Traces, stats, hit/miss outcomes, and lazy expirations must be
+        // identical — only the value clone is skipped.
+        let mut by_hit = small();
+        let mut by_trace = small();
+        for s in [&mut by_hit, &mut by_trace] {
+            s.set(b"live", b"value-bytes".to_vec(), None, 0).unwrap();
+            s.set(b"stale", b"old".to_vec(), Some(10), 0).unwrap();
+        }
+        let mut trace = AccessTrace::default();
+        for (key, now) in [
+            (&b"live"[..], 0),
+            (&b"missing"[..], 0),
+            (&b"stale"[..], 50),
+            (&b"stale"[..], 60),
+            (&b"live"[..], 60),
+        ] {
+            let hit = by_hit.get(key, now);
+            let len = by_trace.get_traced(key, now, &mut trace);
+            assert_eq!(hit.as_ref().map(|h| h.value().len() as u64), len);
+            if let Some(hit) = hit {
+                assert_eq!(hit.trace(), &trace, "key {key:?}");
+            }
+            assert_eq!(by_hit.stats(), by_trace.stats(), "key {key:?}");
+        }
+        assert_eq!(by_trace.stats().expirations, 1, "lazy expiry still fires");
     }
 }

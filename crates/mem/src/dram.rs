@@ -159,6 +159,16 @@ pub struct DramStack {
     row_hits: u64,
     row_misses: u64,
     per_port_bytes: Vec<u64>,
+    /// `closed_page_latency + line_transfer_time()`, precomputed so the
+    /// closed-page path never re-derives a float division per access.
+    closed_access: Duration,
+    /// `row_hit_latency + line_transfer_time()`, for open-page hits.
+    row_hit_access: Duration,
+    /// `(capacity_lines - 1, log2(port_lines))` when the whole geometry
+    /// is power-of-two sized, letting [`Self::line_access`] find the
+    /// port with a mask and a shift instead of the div/mod chain in
+    /// [`Self::decode`]. `None` falls back to full decode.
+    pow2_ports: Option<(u64, u32)>,
 }
 
 impl DramStack {
@@ -170,12 +180,19 @@ impl DramStack {
     pub fn new(config: DramConfig) -> Self {
         assert!(config.ports > 0 && config.banks_per_port > 0 && config.layers > 0);
         let nbanks = (config.ports * config.banks_per_port) as usize;
+        let capacity_lines = config.capacity_bytes() / LINE_BYTES;
+        let port_lines = config.port_bytes() / LINE_BYTES;
+        let pow2_ports = (capacity_lines.is_power_of_two() && port_lines.is_power_of_two())
+            .then(|| (capacity_lines - 1, port_lines.trailing_zeros()));
         DramStack {
             open_rows: vec![None; nbanks],
             per_port_bytes: vec![0; config.ports as usize],
             bytes_moved: 0,
             row_hits: 0,
             row_misses: 0,
+            closed_access: config.closed_page_latency + config.line_transfer_time(),
+            row_hit_access: config.row_hit_latency + config.line_transfer_time(),
+            pow2_ports,
             config,
         }
     }
@@ -217,31 +234,114 @@ impl DramStack {
     pub fn port_bytes_moved(&self, port: u32) -> u64 {
         self.per_port_bytes[port as usize]
     }
+
+    /// Snapshot of every traffic counter, for the request memo layer.
+    pub fn counters(&self) -> DramCounters {
+        DramCounters {
+            bytes_moved: self.bytes_moved,
+            row_hits: self.row_hits,
+            row_misses: self.row_misses,
+            per_port_bytes: self.per_port_bytes.clone(),
+        }
+    }
+
+    /// Credits all counters by a recorded per-request delta — the replay
+    /// path of the memo layer. Timing state is untouched, which is exact
+    /// under the closed-page policy (no timing state exists) and is why
+    /// the memo layer only arms closed-page stacks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the delta's port vector length differs from this
+    /// stack's (a delta recorded on a different geometry).
+    pub fn credit(&mut self, delta: &DramCounters) {
+        assert_eq!(
+            delta.per_port_bytes.len(),
+            self.per_port_bytes.len(),
+            "delta recorded on a different port count"
+        );
+        self.bytes_moved += delta.bytes_moved;
+        self.row_hits += delta.row_hits;
+        self.row_misses += delta.row_misses;
+        for (port, d) in self.per_port_bytes.iter_mut().zip(&delta.per_port_bytes) {
+            *port += d;
+        }
+    }
+}
+
+/// Traffic-counter snapshot of a [`DramStack`]; also serves as the
+/// per-request delta the memo layer replays.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DramCounters {
+    /// Total bytes moved.
+    pub bytes_moved: u64,
+    /// Row-buffer hits.
+    pub row_hits: u64,
+    /// Row-buffer misses.
+    pub row_misses: u64,
+    /// Bytes moved per port.
+    pub per_port_bytes: Vec<u64>,
+}
+
+impl DramCounters {
+    /// Counter growth since an `earlier` snapshot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any counter went backwards (snapshots out of order or a
+    /// reset in between) or the port counts differ.
+    #[must_use]
+    pub fn delta(&self, earlier: &DramCounters) -> DramCounters {
+        DramCounters {
+            bytes_moved: self.bytes_moved - earlier.bytes_moved,
+            row_hits: self.row_hits - earlier.row_hits,
+            row_misses: self.row_misses - earlier.row_misses,
+            per_port_bytes: self
+                .per_port_bytes
+                .iter()
+                .zip(&earlier.per_port_bytes)
+                .map(|(now, was)| now - was)
+                .collect(),
+        }
+    }
 }
 
 impl MemoryTiming for DramStack {
     fn line_access(&mut self, line_addr: u64, _kind: AccessKind) -> Duration {
+        // Closed-page accesses touch no row-buffer state and need only
+        // the port index, which power-of-two geometries yield with a
+        // mask and shift. (Masking line units is exact even when
+        // `line_addr * LINE_BYTES` would wrap: 2^64 is a multiple of a
+        // power-of-two capacity.)
+        if self.config.page_policy == PagePolicy::Closed {
+            if let Some((cap_mask, port_shift)) = self.pow2_ports {
+                self.row_misses += 1;
+                self.bytes_moved += LINE_BYTES;
+                self.per_port_bytes[((line_addr & cap_mask) >> port_shift) as usize] += LINE_BYTES;
+                return self.closed_access;
+            }
+        }
         let loc = self.decode(line_addr);
         let bank_idx = (loc.port * self.config.banks_per_port + loc.bank) as usize;
-        let array = match self.config.page_policy {
+        let access = match self.config.page_policy {
             PagePolicy::Closed => {
                 self.row_misses += 1;
-                self.config.closed_page_latency
+                self.closed_access
             }
             PagePolicy::Open => {
                 if self.open_rows[bank_idx] == Some(loc.row) {
                     self.row_hits += 1;
-                    self.config.row_hit_latency
+                    self.row_hit_access
                 } else {
                     self.row_misses += 1;
                     self.open_rows[bank_idx] = Some(loc.row);
-                    self.config.closed_page_latency
+                    self.closed_access
                 }
             }
         };
         self.bytes_moved += LINE_BYTES;
         self.per_port_bytes[loc.port as usize] += LINE_BYTES;
-        array + self.config.line_transfer_time()
+        access
     }
 
     fn bytes_moved(&self) -> u64 {

@@ -1,14 +1,22 @@
 //! Deterministic discrete-event queue and scheduler.
 //!
 //! Events are ordered by time, with ties broken by insertion sequence so
-//! the simulation is fully deterministic regardless of heap internals.
+//! the simulation is fully deterministic regardless of queue internals.
+//!
+//! [`EventQueue`] is backed by the hierarchical timer wheel
+//! ([`crate::wheel::TimerWheel`]): amortized O(1) push/pop with
+//! slab-stored payloads. [`HeapQueue`] is the original binary-heap
+//! implementation, kept as the executable specification — the
+//! differential property tests drive both with the same workload and
+//! require bit-identical pop sequences, stats, and peeks.
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
 use crate::time::{Duration, SimTime};
+use crate::wheel::TimerWheel;
 
-/// An entry in the event queue: payload `E` due at a time.
+/// An entry in the reference heap queue: payload `E` due at a time.
 #[derive(Debug, Clone)]
 struct Entry<E> {
     time: SimTime,
@@ -42,6 +50,10 @@ impl<E> Ord for Entry<E> {
 
 /// Lifetime statistics of an [`EventQueue`] — the scheduler-side gauges
 /// the telemetry layer snapshots (event backlog, churn).
+///
+/// [`EventQueue::clear`] resets these to a fresh queue's values; a
+/// queue that should keep lifetime churn across epochs must accumulate
+/// the stats before clearing.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct QueueStats {
     /// Events pushed over the queue's lifetime.
@@ -71,16 +83,80 @@ pub struct QueueStats {
 /// ```
 #[derive(Debug, Clone)]
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Entry<E>>,
-    next_seq: u64,
-    popped: u64,
-    peak_len: usize,
+    wheel: TimerWheel<E>,
 }
 
 impl<E> EventQueue<E> {
     /// Creates an empty queue.
     pub fn new() -> Self {
         EventQueue {
+            wheel: TimerWheel::new(),
+        }
+    }
+
+    /// Schedules `event` at absolute time `time`.
+    pub fn push(&mut self, time: SimTime, event: E) {
+        self.wheel.push(time, event);
+    }
+
+    /// Removes and returns the earliest event, if any.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        self.wheel.pop()
+    }
+
+    /// Lifetime push/pop/backlog statistics ([`QueueStats`]).
+    pub fn stats(&self) -> QueueStats {
+        QueueStats {
+            pushed: self.wheel.pushed(),
+            popped: self.wheel.popped(),
+            peak_len: self.wheel.peak_len(),
+        }
+    }
+
+    /// The timestamp of the earliest pending event.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.wheel.peek_time()
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.wheel.len()
+    }
+
+    /// True if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.wheel.is_empty()
+    }
+
+    /// Drops all pending events and resets the lifetime statistics, so
+    /// the queue is indistinguishable from a fresh one (allocated
+    /// capacity is kept for reuse).
+    pub fn clear(&mut self) {
+        self.wheel.clear();
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        EventQueue::new()
+    }
+}
+
+/// The original `BinaryHeap`-backed event queue, kept as the reference
+/// implementation for the wheel's differential tests: same API, same
+/// `(time, FIFO seq)` order, same stats semantics.
+#[derive(Debug, Clone)]
+pub struct HeapQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    next_seq: u64,
+    popped: u64,
+    peak_len: usize,
+}
+
+impl<E> HeapQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        HeapQueue {
             heap: BinaryHeap::new(),
             next_seq: 0,
             popped: 0,
@@ -129,15 +205,19 @@ impl<E> EventQueue<E> {
         self.heap.is_empty()
     }
 
-    /// Drops all pending events.
+    /// Drops all pending events and resets the lifetime statistics,
+    /// mirroring [`EventQueue::clear`].
     pub fn clear(&mut self) {
         self.heap.clear();
+        self.next_seq = 0;
+        self.popped = 0;
+        self.peak_len = 0;
     }
 }
 
-impl<E> Default for EventQueue<E> {
+impl<E> Default for HeapQueue<E> {
     fn default() -> Self {
-        EventQueue::new()
+        HeapQueue::new()
     }
 }
 
@@ -185,7 +265,12 @@ impl<E> Scheduler<E> {
     ///
     /// Panics if `time` is in the past (before [`Scheduler::now`]).
     pub fn schedule_at(&mut self, time: SimTime, event: E) {
-        assert!(time >= self.now, "cannot schedule into the past");
+        assert!(
+            time >= self.now,
+            "cannot schedule into the past: now={} ps, requested={} ps",
+            self.now.as_ps(),
+            time.as_ps(),
+        );
         self.queue.push(time, event);
     }
 
@@ -214,6 +299,13 @@ impl<E> Scheduler<E> {
     /// Lifetime push/pop/backlog statistics of the underlying queue.
     pub fn stats(&self) -> QueueStats {
         self.queue.stats()
+    }
+
+    /// Drops all pending events and resets the queue statistics — like
+    /// [`EventQueue::clear`] — without rewinding the clock, so a reused
+    /// scheduler keeps monotone time.
+    pub fn clear(&mut self) {
+        self.queue.clear();
     }
 }
 
@@ -304,11 +396,65 @@ mod tests {
     }
 
     #[test]
+    fn clear_resets_stats_to_fresh() {
+        let mut q = EventQueue::new();
+        for i in 0..10u64 {
+            q.push(SimTime::from_ps(i), i);
+        }
+        q.pop();
+        q.clear();
+        assert_eq!(q.stats(), QueueStats::default());
+        assert!(q.is_empty());
+        // The cleared queue behaves exactly like a fresh one.
+        q.push(SimTime::from_ps(3), 7);
+        assert_eq!(q.stats().pushed, 1);
+        assert_eq!(q.pop(), Some((SimTime::from_ps(3), 7)));
+
+        let mut h = HeapQueue::new();
+        h.push(SimTime::from_ps(1), 1);
+        h.pop();
+        h.clear();
+        assert_eq!(h.stats(), QueueStats::default());
+    }
+
+    #[test]
+    fn scheduler_clear_drops_events_but_keeps_now() {
+        let mut s = Scheduler::new();
+        s.schedule_in(Duration::from_nanos(10), 1);
+        s.schedule_in(Duration::from_nanos(20), 2);
+        s.pop();
+        let now = s.now();
+        s.clear();
+        assert!(s.is_idle());
+        assert_eq!(s.stats(), QueueStats::default());
+        assert_eq!(s.now(), now, "clear must not rewind the clock");
+        // Scheduling keeps working relative to the preserved clock.
+        s.schedule_in(Duration::from_nanos(5), 3);
+        let (t, e) = s.pop().unwrap();
+        assert_eq!(e, 3);
+        assert_eq!(t, now + Duration::from_nanos(5));
+    }
+
+    #[test]
     #[should_panic(expected = "cannot schedule into the past")]
     fn scheduling_into_the_past_panics() {
         let mut s = Scheduler::new();
         s.schedule_in(Duration::from_nanos(10), ());
         s.pop();
         s.schedule_at(SimTime::from_ps(1), ());
+    }
+
+    #[test]
+    fn past_panic_message_names_both_timestamps() {
+        let mut s = Scheduler::new();
+        s.schedule_in(Duration::from_nanos(10), ());
+        s.pop();
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            s.schedule_at(SimTime::from_ps(1), ());
+        }))
+        .expect_err("must panic");
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("now=10000 ps"), "message was: {msg}");
+        assert!(msg.contains("requested=1 ps"), "message was: {msg}");
     }
 }

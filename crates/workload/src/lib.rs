@@ -102,16 +102,12 @@ impl FixedSizeWorkload {
     pub fn all_keys(&self) -> impl Iterator<Item = Vec<u8>> + '_ {
         (0..self.population).map(key_bytes)
     }
-}
 
-/// Renders key `id` as the 16-byte key the workloads use.
-pub fn key_bytes(id: u64) -> Vec<u8> {
-    format!("key:{id:011}").into_bytes()
-}
-
-impl RequestGenerator for FixedSizeWorkload {
-    fn next_request(&mut self) -> Request {
-        let id = match self.op {
+    /// Draws the next key id — the same stream [`RequestGenerator::
+    /// next_request`] consumes, exposed so allocation-free paths can
+    /// format the key into a reused buffer.
+    pub fn next_key_id(&mut self) -> u64 {
+        match self.op {
             // GETs sample uniformly; PUTs rotate so the store's footprint
             // stays bounded at `population` items.
             Op::Get => self.rng.next_below(self.population),
@@ -120,7 +116,78 @@ impl RequestGenerator for FixedSizeWorkload {
                 self.next_key = (self.next_key + 1) % self.population;
                 id
             }
-        };
+        }
+    }
+
+    /// Writes the next request into `request` in place, reusing its key
+    /// buffer. Byte-identical to [`RequestGenerator::next_request`]
+    /// (same RNG draws, same key bytes) without the per-request
+    /// allocation.
+    pub fn fill_next(&mut self, request: &mut Request) {
+        let id = self.next_key_id();
+        request.op = self.op;
+        request.value_bytes = self.value_bytes;
+        key_bytes_into(id, &mut request.key);
+    }
+}
+
+/// Length of a workload key for ids below 10^11 (`"key:"` + 11 digits).
+pub const KEY_LEN: usize = 15;
+
+/// Renders key `id` as the key bytes the workloads use ([`KEY_LEN`]
+/// bytes for every id the generators draw).
+pub fn key_bytes(id: u64) -> Vec<u8> {
+    let mut out = Vec::new();
+    key_bytes_into(id, &mut out);
+    out
+}
+
+/// Renders key `id` into a reused buffer — the same bytes as
+/// [`key_bytes`] (`key:` + zero-padded decimal, at least 11 digits)
+/// without allocating once the buffer has capacity.
+pub fn key_bytes_into(id: u64, out: &mut Vec<u8>) {
+    out.clear();
+    out.resize(key_bytes_len(id), 0);
+    key_bytes_into_slice(id, out);
+}
+
+/// Upper bound on a rendered key's length for any `u64` id (`"key:"`
+/// plus up to 20 decimal digits) — the stride arena-backed request
+/// slots reserve per key.
+pub const MAX_KEY_LEN: usize = 24;
+
+/// Exact length [`key_bytes`] renders for `id`.
+pub fn key_bytes_len(id: u64) -> usize {
+    let digits = if id == 0 { 1 } else { id.ilog10() as usize + 1 };
+    4 + digits.max(11)
+}
+
+/// Renders key `id` into the first [`key_bytes_len`] bytes of `out`,
+/// byte-identical to [`key_bytes`], and returns the rendered length.
+///
+/// # Panics
+///
+/// Panics if `out` is shorter than the rendered key ([`MAX_KEY_LEN`]
+/// always suffices).
+pub fn key_bytes_into_slice(id: u64, out: &mut [u8]) -> usize {
+    let len = key_bytes_len(id);
+    let out = &mut out[..len];
+    out[..4].copy_from_slice(b"key:");
+    out[4..].fill(b'0');
+    let mut rest = id;
+    for slot in out[4..].iter_mut().rev() {
+        if rest == 0 {
+            break;
+        }
+        *slot = b'0' + (rest % 10) as u8;
+        rest /= 10;
+    }
+    len
+}
+
+impl RequestGenerator for FixedSizeWorkload {
+    fn next_request(&mut self) -> Request {
+        let id = self.next_key_id();
         Request {
             op: self.op,
             key: key_bytes(id),
@@ -400,6 +467,35 @@ mod tests {
     #[test]
     fn key_bytes_are_fixed_width() {
         assert_eq!(key_bytes(0).len(), key_bytes(u32::MAX as u64).len());
+    }
+
+    #[test]
+    fn key_bytes_match_format_reference() {
+        for id in [0u64, 1, 9, 10, 99_999_999_999, 100_000_000_000, u64::MAX] {
+            assert_eq!(
+                key_bytes(id),
+                format!("key:{id:011}").into_bytes(),
+                "id {id}"
+            );
+        }
+        assert_eq!(key_bytes(7).len(), KEY_LEN);
+    }
+
+    #[test]
+    fn fill_next_matches_next_request_stream() {
+        for op in [Op::Get, Op::Put] {
+            let mut by_value = FixedSizeWorkload::new(op, 256, 17, 42);
+            let mut in_place = FixedSizeWorkload::new(op, 256, 17, 42);
+            let mut req = Request {
+                op: Op::Get,
+                key: Vec::new(),
+                value_bytes: 0,
+            };
+            for _ in 0..200 {
+                in_place.fill_next(&mut req);
+                assert_eq!(req, by_value.next_request());
+            }
+        }
     }
 
     #[test]
